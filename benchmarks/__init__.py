@@ -1,0 +1,5 @@
+"""Benchmark suite: one module per table/figure of the paper.
+
+Run with ``pytest benchmarks/ --benchmark-only``; paper-style result
+tables land in ``benchmarks/results/``.
+"""

@@ -1,0 +1,101 @@
+"""Figure 1: the BI/LA performance landscape.
+
+Paper: a qualitative quadrant -- specialized engines excel on one side
+(HyPer on BI, MKL on LA) and collapse on the other; LevelHeaded targets
+competitive performance on both.
+
+Reproduction: a representative BI query (Q5) and LA kernel (SMV) run on
+every engine; each engine's slowdown relative to the per-side best
+locates it in the landscape.  The expected shape: the pairwise engines
+near 1x on BI and orders of magnitude off (or oom) on LA, the LA
+package unable to run BI at all, LevelHeaded within small factors on
+both sides.
+"""
+
+import pytest
+
+from repro import LevelHeadedEngine
+from repro.baselines import LAPackage, NaiveWCOJEngine, PairwiseEngine
+from repro.bench import Measurement, best_of, render_table, run_guarded
+from repro.datasets import dense_vector, sparse_profile
+from repro.datasets.tpch import Q5
+from repro.la import matvec_sql, register_coo, register_vector
+
+from .conftest import BUDGET, MATRIX_SCALE, REPEATS, TIMEOUT
+
+ENGINES = ["levelheaded", "hyper*", "monetdb*", "logicblox*", "mkl*"]
+
+
+def test_fig1_landscape(benchmark, tpch_catalog, report_log):
+    # BI side: Q5
+    bi = {}
+    bi["levelheaded"] = run_guarded(
+        lambda: LevelHeadedEngine(tpch_catalog).query(Q5), repeats=REPEATS
+    )
+    bi["hyper*"] = run_guarded(
+        lambda: PairwiseEngine(tpch_catalog, planner="selinger").query(Q5), repeats=REPEATS
+    )
+    bi["monetdb*"] = run_guarded(
+        lambda: PairwiseEngine(tpch_catalog, planner="fifo").query(Q5), repeats=REPEATS
+    )
+    bi["logicblox*"] = run_guarded(
+        lambda: NaiveWCOJEngine(tpch_catalog).query(Q5),
+        repeats=1,
+        timeout_seconds=TIMEOUT,
+    )
+    bi["mkl*"] = Measurement("no SQL")  # LA packages cannot run BI queries
+
+    # LA side: SMV on the hv15r profile
+    (rows, cols, vals), n = sparse_profile("hv15r", scale=MATRIX_SCALE, seed=2018)
+    catalog = LevelHeadedEngine().catalog
+    register_coo(catalog, "m", rows, cols, vals, n=n, domain="dim")
+    register_vector(catalog, "x", dense_vector(n), domain="dim")
+    package = LAPackage()
+    package.load_sparse("m", rows, cols, vals, n)
+    package.load_vector("x", dense_vector(n))
+    sql = matvec_sql("m", "x")
+
+    la = {}
+    lh = LevelHeadedEngine(catalog)
+    plan = lh.compile(sql)
+    lh.execute(plan)
+    benchmark.pedantic(lambda: lh.execute(plan), rounds=REPEATS, warmup_rounds=0)
+    la["levelheaded"] = Measurement("ok", seconds=benchmark.stats.stats.mean)
+    la["mkl*"] = run_guarded(lambda: package.smv("m", "x"), repeats=REPEATS)
+    la["hyper*"] = run_guarded(
+        lambda: PairwiseEngine(catalog, planner="selinger", memory_budget_bytes=BUDGET).query(sql),
+        repeats=1,
+        timeout_seconds=TIMEOUT,
+    )
+    la["monetdb*"] = run_guarded(
+        lambda: PairwiseEngine(catalog, planner="fifo", memory_budget_bytes=BUDGET).query(sql),
+        repeats=1,
+        timeout_seconds=TIMEOUT,
+    )
+    naive = NaiveWCOJEngine(catalog)
+    naive_plan = naive.compile(sql)
+    la["logicblox*"] = run_guarded(
+        lambda: naive.execute(naive_plan), repeats=1, timeout_seconds=TIMEOUT
+    )
+
+    bi_best, la_best = best_of(bi), best_of(la)
+    rows_out = []
+    for engine in ENGINES:
+        rows_out.append(
+            [
+                engine,
+                bi[engine].render_relative(bi_best),
+                la[engine].render_relative(la_best),
+            ]
+        )
+    report_log.add_table(
+        "fig1_summary",
+        render_table(
+            "Figure 1: slowdown vs per-side best (BI = TPC-H Q5, LA = SMV hv15r)",
+            ["engine", "BI", "LA"],
+            rows_out,
+        ),
+    )
+    # the landscape's shape: LevelHeaded competitive on both sides
+    assert la["levelheaded"].ok
+    assert bi["levelheaded"].ok

@@ -1,0 +1,59 @@
+"""Figure 5a: set-intersection performance per layout pair.
+
+Paper: at equal cardinalities (1e6 and 1e7), bs∩bs is ~50x faster than
+uint∩uint and bs∩uint sits ~5x over bs∩bs -- the measurements behind
+the icost constants 1 / 10 / 50 (Section V-A1).
+
+Reproduction: the same three kernels at laptop cardinalities; the
+derived cost ratios (uint∩uint over bs∩bs etc.) are reported so the
+icost model can be sanity-checked against this machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_seconds, measure, render_table
+from repro.sets import BitSet, UintSet, intersect
+
+from .conftest import REPEATS
+
+CARDINALITIES = [100_000, 1_000_000]
+
+_rows = {}
+_times = {}
+
+
+def _make_pair(kind: str, cardinality: int, rng):
+    # Values spread over 8x the cardinality: dense enough for realistic
+    # bitsets, sparse enough that uint sets stay uint-shaped.
+    domain = cardinality * 8
+    a = np.sort(rng.choice(domain, size=cardinality, replace=False).astype(np.uint32))
+    b = np.sort(rng.choice(domain, size=cardinality, replace=False).astype(np.uint32))
+    if kind == "uint-uint":
+        return UintSet(a), UintSet(b)
+    if kind == "bs-bs":
+        return BitSet.from_values(a), BitSet.from_values(b)
+    return BitSet.from_values(a), UintSet(b)
+
+
+@pytest.mark.parametrize("cardinality", CARDINALITIES)
+@pytest.mark.parametrize("kind", ["bs-bs", "bs-uint", "uint-uint"])
+def test_intersection_kind(benchmark, kind, cardinality, rng, report_log):
+    left, right = _make_pair(kind, cardinality, rng)
+    benchmark.pedantic(
+        lambda: intersect(left, right), rounds=max(REPEATS, 5), warmup_rounds=1
+    )
+    seconds = benchmark.stats.stats.mean
+    _times[(cardinality, kind)] = seconds
+
+    base = _times.get((cardinality, "bs-bs"))
+    ratio = f"{seconds / base:.1f}x bs-bs" if base else "-"
+    _rows[(cardinality, kind)] = [f"{cardinality:.0e}", kind, format_seconds(seconds), ratio]
+    report_log.add_table(
+        "fig5a_intersections",
+        render_table(
+            "Figure 5a: intersection time per layout pair (icost basis 1/10/50)",
+            ["cardinality", "kernel", "time", "relative"],
+            [_rows[key] for key in sorted(_rows)],
+        ),
+    )

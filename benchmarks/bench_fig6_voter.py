@@ -1,0 +1,52 @@
+"""Figure 6: the voter-classification application across engines.
+
+Paper: LevelHeaded beats Spark, MonetDB/Scikit-learn, and
+Pandas/Scikit-learn by up to one order of magnitude end to end, mostly
+through faster SQL processing and by avoiding data transformations
+between the SQL and training phases.
+
+Reproduction: the four pipelines of ``repro.ml.pipeline`` on synthetic
+voter data; each bar decomposes into SQL / encode / train seconds as in
+the figure.
+"""
+
+import pytest
+
+from repro.bench import format_seconds, render_table
+from repro.ml import PIPELINES
+
+from .conftest import REPEATS
+
+_rows = {}
+
+
+@pytest.mark.parametrize("engine_name", list(PIPELINES))
+def test_voter_pipeline(benchmark, voters_catalog, engine_name, report_log):
+    pipeline = PIPELINES[engine_name]
+    pipeline(voters_catalog, iterations=5)  # warm caches
+
+    results = []
+
+    def run():
+        results.append(pipeline(voters_catalog, iterations=5))
+
+    benchmark.pedantic(run, rounds=REPEATS, warmup_rounds=0)
+    result = results[-1]
+    assert result.accuracy > 0.55
+
+    _rows[engine_name] = [
+        engine_name,
+        format_seconds(result.sql_seconds),
+        format_seconds(result.encode_seconds),
+        format_seconds(result.train_seconds),
+        format_seconds(result.total_seconds),
+        f"{result.accuracy:.3f}",
+    ]
+    report_log.add_table(
+        "fig6_voter",
+        render_table(
+            "Figure 6: voter classification, per-phase seconds per engine",
+            ["engine", "sql", "encode", "train", "total", "accuracy"],
+            [_rows[key] for key in sorted(_rows)],
+        ),
+    )

@@ -1,0 +1,72 @@
+"""Table IV: column-store -> CSR conversion cost vs SMV query time.
+
+Paper: converting a column store to the sparse-BLAS CSR format
+(``mkl_scsrcoo``) takes 15-42x as long as one SMV execution -- the
+transformation LevelHeaded's single trie-based structure avoids
+entirely (Section VII, Table IV).
+
+Reproduction: ``repro.la.sparse.coo_to_csr`` is the conversion.  In the
+paper both sides of the ratio are compiled code; here the conversion is
+compiled (numpy) while LevelHeaded's SMV is interpreted Python, which
+would invert the ratio for the wrong reason.  The primary ratio
+therefore uses a compiled SMV kernel (the LA package's CSR matvec) as
+the per-query denominator, preserving the paper's like-for-like
+comparison; the interpreted LevelHeaded SMV time is reported alongside
+(see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro import LevelHeadedEngine
+from repro.baselines import LAPackage
+from repro.bench import format_seconds, measure, render_table
+from repro.datasets import dense_vector, sparse_profile
+from repro.la import coo_to_csr, matvec_sql, register_coo, register_vector
+
+from .conftest import MATRIX_SCALE, REPEATS
+
+_rows = {}
+
+
+@pytest.mark.parametrize("profile", ["harbor", "hv15r", "nlp240"])
+def test_conversion_vs_smv(benchmark, profile, report_log):
+    (rows, cols, vals), n = sparse_profile(profile, scale=MATRIX_SCALE, seed=2018)
+    catalog = LevelHeadedEngine().catalog
+    register_coo(catalog, "m", rows, cols, vals, n=n, domain="dim")
+    register_vector(catalog, "x", dense_vector(n), domain="dim")
+    sql = matvec_sql("m", "x")
+
+    lh = LevelHeadedEngine(catalog)
+    lh.query(sql)
+    lh_smv_seconds = measure(lambda: lh.query(sql), repeats=REPEATS)
+
+    package = LAPackage()
+    package.load_sparse("m", rows, cols, vals, n)
+    package.load_vector("x", dense_vector(n))
+    compiled_smv_seconds = measure(lambda: package.smv("m", "x"), repeats=REPEATS)
+
+    benchmark.pedantic(
+        lambda: coo_to_csr(rows, cols, vals, (n, n)), rounds=REPEATS, warmup_rounds=1
+    )
+    conversion_seconds = benchmark.stats.stats.mean
+
+    ratio = conversion_seconds / compiled_smv_seconds
+    _rows[profile] = [
+        profile,
+        format_seconds(conversion_seconds),
+        format_seconds(compiled_smv_seconds),
+        f"{ratio:.2f}",
+        format_seconds(lh_smv_seconds),
+    ]
+    report_log.add_table(
+        "table4_conversion",
+        render_table(
+            "Table IV: COO->CSR conversion vs compiled SMV "
+            "(ratio = conversions per query); interpreted engine SMV shown "
+            "for reference",
+            ["dataset", "conversion", "SMV (compiled)", "ratio", "SMV (interpreted)"],
+            [_rows[key] for key in sorted(_rows)],
+        ),
+    )
+    # the paper's shape: one conversion costs many SMV executions
+    assert ratio > 1.0

@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures: datasets, engines, and result reporting.
+
+Scales are configurable through environment variables so the same
+benchmarks run laptop-sized by default and larger on bigger machines:
+
+* ``REPRO_TPCH_SF``        -- TPC-H scale factor (default 0.005)
+* ``REPRO_MATRIX_SCALE``   -- sparse-matrix profile scale (default 0.5)
+* ``REPRO_DENSE_SCALE``    -- dense-matrix scale (default 1.0)
+* ``REPRO_BENCH_REPEATS``  -- comparator repeats (default 3)
+* ``REPRO_BENCH_TIMEOUT``  -- per-engine timeout seconds (default 60)
+* ``REPRO_BENCH_BUDGET``   -- baseline memory budget bytes (default 512MB)
+
+Every experiment appends its paper-style table to
+``benchmarks/results/`` at the end of the session.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench import ReportLog
+from repro.datasets import generate_tpch, generate_voters
+
+TPCH_SF = float(os.environ.get("REPRO_TPCH_SF", "0.005"))
+MATRIX_SCALE = float(os.environ.get("REPRO_MATRIX_SCALE", "0.5"))
+DENSE_SCALE = float(os.environ.get("REPRO_DENSE_SCALE", "1.0"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "60"))
+BUDGET = int(os.environ.get("REPRO_BENCH_BUDGET", str(512 * 1024 * 1024)))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def report_log():
+    log = ReportLog(RESULTS_DIR)
+    yield log
+    log.flush()
+
+
+@pytest.fixture(scope="session")
+def tpch_catalog():
+    return generate_tpch(scale_factor=TPCH_SF, seed=2018)
+
+
+@pytest.fixture(scope="session")
+def voters_catalog():
+    return generate_voters(n_voters=40_000, n_precincts=200, seed=45)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)

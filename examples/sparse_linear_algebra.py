@@ -1,0 +1,81 @@
+"""Linear-algebra example: sparse and dense kernels as SQL queries.
+
+Shows the Section VI-B2 kernels through the engine: sparse matvec and
+matmul run as pure aggregate-join queries (with the cost-based
+optimizer recovering MKL's loop order via the relaxed attribute order,
+Figure 5b), while dense kernels are routed opaquely to the BLAS
+substrate thanks to attribute elimination.  Results are verified
+against scipy/numpy.
+
+Run:  python examples/sparse_linear_algebra.py
+"""
+
+import time
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro import LevelHeadedEngine
+from repro.datasets import sparse_profile
+from repro.la import (
+    matmul_sql,
+    matvec_sql,
+    register_coo,
+    register_dense,
+    register_vector,
+    result_to_dense,
+    result_to_vector,
+)
+
+
+def sparse_demo() -> None:
+    print("== sparse kernels on a CFD-profile matrix (harbor-like) ==")
+    (rows, cols, vals), n = sparse_profile("harbor", scale=0.5, seed=3)
+    print(f"  n={n}, nnz={rows.size}")
+    engine = LevelHeadedEngine()
+    register_coo(engine.catalog, "m", rows, cols, vals, n=n, domain="dim")
+    x = np.random.default_rng(0).normal(size=n)
+    register_vector(engine.catalog, "x", x, domain="dim")
+    csr = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+
+    engine.query(matvec_sql("m", "x"))  # warm the trie cache
+    start = time.perf_counter()
+    smv = engine.query(matvec_sql("m", "x"))
+    print(f"  SMV as SQL: {(time.perf_counter() - start) * 1000:.1f}ms")
+    assert np.allclose(result_to_vector(smv, n), csr @ x)
+
+    plan = engine.compile(matmul_sql("m"))
+    print(f"  SMM attribute order: {list(plan.root.attrs)} "
+          f"(relaxed={plan.root.relaxed} -- MKL's i,k,j loop order)")
+    start = time.perf_counter()
+    smm = engine.query(matmul_sql("m"))
+    print(f"  SMM as SQL: {(time.perf_counter() - start) * 1000:.1f}ms, "
+          f"{smm.num_rows} output nonzeros")
+    assert np.allclose(result_to_dense(smm, n), (csr @ csr).toarray())
+    print("  verified against scipy: OK\n")
+
+
+def dense_demo() -> None:
+    print("== dense kernels route to the BLAS substrate ==")
+    n = 96
+    rng = np.random.default_rng(1)
+    dense = rng.normal(size=(n, n))
+    engine = LevelHeadedEngine()
+    register_dense(engine.catalog, "d", dense, domain="ddim")
+    register_vector(engine.catalog, "y", rng.normal(size=n), domain="ddim")
+
+    plan = engine.compile(matmul_sql("d"))
+    print(f"  DMM plan mode: {plan.mode} (einsum {plan.blas.einsum_spec})")
+    result = engine.query(matmul_sql("d"))
+    assert np.allclose(result_to_dense(result, n), dense @ dense)
+
+    dmv = engine.query(matvec_sql("d", "y"))
+    assert np.allclose(
+        result_to_vector(dmv, n), dense @ engine.table("y").column("v")
+    )
+    print("  DMM and DMV verified against numpy: OK")
+
+
+if __name__ == "__main__":
+    sparse_demo()
+    dense_demo()

@@ -1,0 +1,46 @@
+"""The Section VII application: SQL + feature encoding + model training.
+
+Reproduces the voter-classification pipeline: join voters with their
+precincts and filter in SQL, one-hot encode the categorical
+demographics, and train a logistic regression for five iterations --
+on LevelHeaded and on the three baseline pipelines of Figure 6,
+printing the per-phase timing decomposition.
+
+Run:  python examples/voter_classification.py [n_voters]
+"""
+
+import sys
+
+from repro.datasets import generate_voters
+from repro.ml import run_all_pipelines
+
+
+def main(n_voters: int = 30_000) -> None:
+    print(f"generating {n_voters} voters across {max(10, n_voters // 200)} precincts ...")
+    catalog = generate_voters(
+        n_voters=n_voters, n_precincts=max(10, n_voters // 200), seed=45
+    )
+
+    print("running the four Figure 6 pipelines (5 training iterations each)\n")
+    results = run_all_pipelines(catalog, iterations=5)
+
+    header = f"{'engine':<18} {'sql':>8} {'encode':>8} {'train':>8} {'total':>8} {'acc':>6}"
+    print(header)
+    print("-" * len(header))
+    best_total = min(r.total_seconds for r in results)
+    for r in sorted(results, key=lambda r: r.total_seconds):
+        print(
+            f"{r.engine:<18} {r.sql_seconds * 1000:>6.1f}ms {r.encode_seconds * 1000:>6.1f}ms "
+            f"{r.train_seconds * 1000:>6.1f}ms {r.total_seconds * 1000:>6.1f}ms {r.accuracy:>6.3f}"
+        )
+    print()
+    for r in results:
+        print(f"{r.engine}: {r.total_seconds / best_total:.2f}x of best")
+    print(
+        "\nall pipelines train the identical from-scratch model; the spread "
+        "comes from SQL processing and data transformation (the paper's point)."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 30_000)

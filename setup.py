@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment used for this reproduction lacks the ``wheel``
+package, so PEP 660 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) work with the legacy code path.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

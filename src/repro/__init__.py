@@ -1,0 +1,66 @@
+"""LevelHeaded reproduction: a unified WCOJ engine for BI and LA querying.
+
+Reproduces *LevelHeaded: A Unified Engine for Business Intelligence and
+Linear Algebra Querying* (Aberger, Lamb, Olukotun, Ré -- ICDE 2018).
+The engine executes both SQL-style business-intelligence queries and
+linear-algebra kernels through a single worst-case optimal join
+architecture; see DESIGN.md for the system inventory and EXPERIMENTS.md
+for the reproduced tables and figures.
+
+Quickstart::
+
+    from repro import LevelHeadedEngine, Schema, key, annotation
+
+    engine = LevelHeadedEngine()
+    engine.create_table(
+        Schema("matrix", [key("i", domain="dim"), key("j", domain="dim"),
+                          annotation("v")]),
+        i=[0, 0, 1], j=[0, 2, 0], v=[0.2, 0.4, 0.1],
+    )
+    result = engine.query(
+        "SELECT m1.i, m2.j, sum(m1.v * m2.v) AS v FROM matrix m1, matrix m2 "
+        "WHERE m1.j = m2.i GROUP BY m1.i, m2.j"
+    )
+"""
+
+from .core.engine import LevelHeadedEngine
+from .core.result import ResultTable
+from .errors import (
+    BindError,
+    ExecutionError,
+    OutOfMemoryBudgetError,
+    ParseError,
+    PlanningError,
+    ReproError,
+    SchemaError,
+    UnsupportedQueryError,
+)
+from .storage.catalog import Catalog
+from .storage.schema import AttrType, Attribute, Kind, Schema, annotation, key
+from .storage.table import Table
+from .xcution.plan import EngineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LevelHeadedEngine",
+    "ResultTable",
+    "EngineConfig",
+    "Catalog",
+    "Table",
+    "Schema",
+    "Attribute",
+    "AttrType",
+    "Kind",
+    "key",
+    "annotation",
+    "ReproError",
+    "ParseError",
+    "BindError",
+    "SchemaError",
+    "UnsupportedQueryError",
+    "PlanningError",
+    "ExecutionError",
+    "OutOfMemoryBudgetError",
+    "__version__",
+]

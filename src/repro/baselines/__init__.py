@@ -1,0 +1,21 @@
+"""Comparison engines for the paper's evaluation (Section VI).
+
+* :class:`PairwiseEngine` -- pairwise hash-join RDBMS; ``selinger``
+  planner models HyPer, ``fifo`` models the MonetDB-flavoured column
+  store.
+* :class:`NaiveWCOJEngine` -- LevelHeaded without the Section IV/V
+  optimizations (EmptyHeaded/LogicBlox stand-in).
+* :class:`LAPackage` -- direct scipy/numpy kernels (Intel MKL
+  stand-in).
+"""
+
+from .la_package import LAPackage
+from .naive_wcoj import NaiveWCOJEngine, naive_wcoj_config
+from .pairwise import PairwiseEngine
+
+__all__ = [
+    "PairwiseEngine",
+    "NaiveWCOJEngine",
+    "naive_wcoj_config",
+    "LAPackage",
+]

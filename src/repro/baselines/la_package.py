@@ -1,0 +1,52 @@
+"""The specialized LA package baseline (the Intel MKL comparator).
+
+Table II's "Intel MKL" column: a library that executes the four LA
+kernels directly on pre-loaded numeric buffers, with none of a query
+engine's overheads -- scipy's CSR kernels and numpy's BLAS-backed dense
+routines.  It has no SQL support, which is exactly the point of
+Figure 1's landscape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as sp
+
+
+class LAPackage:
+    """Direct sparse/dense kernels over pre-converted buffers."""
+
+    name = "la-package"
+
+    def __init__(self):
+        self._sparse: dict[str, sp.csr_matrix] = {}
+        self._dense: dict[str, np.ndarray] = {}
+        self._vectors: dict[str, np.ndarray] = {}
+
+    # -- loading (excluded from query timing, like all engines') --------------
+
+    def load_sparse(self, name: str, rows, cols, values, n: int) -> None:
+        coo = sp.coo_matrix((values, (rows, cols)), shape=(n, n))
+        self._sparse[name] = coo.tocsr()
+
+    def load_dense(self, name: str, array: np.ndarray) -> None:
+        self._dense[name] = np.ascontiguousarray(array, dtype=np.float64)
+
+    def load_vector(self, name: str, values: np.ndarray) -> None:
+        self._vectors[name] = np.ascontiguousarray(values, dtype=np.float64)
+
+    # -- kernels ---------------------------------------------------------------
+
+    def smv(self, matrix: str, vector: str) -> np.ndarray:
+        return self._sparse[matrix] @ self._vectors[vector]
+
+    def smm(self, matrix: str) -> sp.csr_matrix:
+        csr = self._sparse[matrix]
+        return csr @ csr
+
+    def dmv(self, matrix: str, vector: str) -> np.ndarray:
+        return self._dense[matrix] @ self._vectors[vector]
+
+    def dmm(self, matrix: str) -> np.ndarray:
+        dense = self._dense[matrix]
+        return dense @ dense

@@ -1,0 +1,36 @@
+"""An uncosted WCOJ configuration (EmptyHeaded/LogicBlox stand-in).
+
+The paper attributes the gap between LevelHeaded and earlier WCOJ
+systems to the optimizations of Sections IV and V.  This baseline is
+LevelHeaded with those optimizations off: no cost-based attribute
+ordering (it takes a worst-cost order an uncosted engine might pick),
+no relaxation, and no BLAS routing -- the Table II "LogicBlox" column
+and the Table III '-' ablations in one configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.engine import LevelHeadedEngine
+from ..storage.catalog import Catalog
+from ..xcution.plan import EngineConfig
+
+
+def naive_wcoj_config(memory_budget_bytes: Optional[int] = None) -> EngineConfig:
+    """The configuration an uncosted WCOJ engine corresponds to."""
+    return EngineConfig(
+        enable_attribute_ordering=False,
+        enable_relaxation=False,
+        enable_blas=False,
+        memory_budget_bytes=memory_budget_bytes,
+    )
+
+
+class NaiveWCOJEngine(LevelHeadedEngine):
+    """LevelHeaded minus the paper's optimizations."""
+
+    name = "naive-wcoj"
+
+    def __init__(self, catalog: Optional[Catalog] = None, memory_budget_bytes: Optional[int] = None):
+        super().__init__(catalog=catalog, config=naive_wcoj_config(memory_budget_bytes))

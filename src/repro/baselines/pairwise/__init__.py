@@ -1,0 +1,15 @@
+"""The pairwise-join relational baseline (HyPer/MonetDB stand-in)."""
+
+from .engine import PairwiseEngine
+from .planner import JoinGraph, plan_fifo, plan_selinger
+from .relation import ColumnRelation, group_aggregate, hash_join
+
+__all__ = [
+    "PairwiseEngine",
+    "ColumnRelation",
+    "hash_join",
+    "group_aggregate",
+    "JoinGraph",
+    "plan_selinger",
+    "plan_fifo",
+]

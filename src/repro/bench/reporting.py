@@ -1,0 +1,67 @@
+"""Paper-style result tables for the benchmark harness.
+
+Renders rows the way Table II does: the best engine's absolute time as
+the baseline and every engine as a relative factor (or ``oom``/``t/o``),
+and accumulates them into per-experiment report files.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+from .harness import Measurement, best_of
+
+
+def format_seconds(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.2f}ms"
+
+
+def render_table(title: str, header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width text table."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def fmt(cells):
+        return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    rule = "-+-".join("-" * w for w in widths)
+    lines = [title, fmt(header), rule]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def comparison_row(
+    workload: str, measurements: Dict[str, Measurement], engines: Sequence[str]
+) -> List[str]:
+    """One Table II-style row: workload, baseline time, relative factors."""
+    best = best_of(measurements)
+    cells = [workload, format_seconds(best)]
+    for engine in engines:
+        measurement = measurements.get(engine)
+        cells.append("-" if measurement is None else measurement.render_relative(best))
+    return cells
+
+
+class ReportLog:
+    """Accumulates experiment tables and writes them to a results dir."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self._tables: Dict[str, str] = {}
+
+    def add_table(self, name: str, text: str) -> None:
+        self._tables[name] = text
+
+    def flush(self) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        for name, text in self._tables.items():
+            path = os.path.join(self.directory, f"{name}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")

@@ -1,0 +1,162 @@
+"""Standalone experiment runner: the headline results without pytest.
+
+``python -m repro.bench.run_all [--quick]`` regenerates a compact
+version of the paper's evaluation -- Table II's BI and LA rows plus the
+Figure 6 pipeline -- printing the same paper-style tables the pytest
+benchmarks write to ``benchmarks/results/``.  Useful for a quick
+sanity pass on a new machine; the pytest suite remains the full,
+per-table reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional
+
+from ..baselines import LAPackage, NaiveWCOJEngine, PairwiseEngine
+from ..core.engine import LevelHeadedEngine
+from ..datasets import (
+    TPCH_QUERIES,
+    dense_matrix,
+    dense_vector,
+    generate_tpch,
+    generate_voters,
+    sparse_profile,
+)
+from ..la import matmul_sql, matvec_sql, register_coo, register_dense, register_vector
+from ..ml import run_all_pipelines
+from .harness import Measurement, run_guarded
+from .reporting import comparison_row, format_seconds, render_table
+
+BI_ENGINES = ["levelheaded", "hyper*", "monetdb*", "logicblox*"]
+LA_ENGINES = ["levelheaded", "mkl*", "hyper*", "logicblox*"]
+
+
+def run_bi(scale_factor: float, repeats: int, timeout: float, budget: int) -> str:
+    """Table II's BI side on generated TPC-H."""
+    catalog = generate_tpch(scale_factor=scale_factor, seed=2018)
+    engines = {
+        "levelheaded": LevelHeadedEngine(catalog),
+        "hyper*": PairwiseEngine(catalog, planner="selinger", memory_budget_bytes=budget),
+        "monetdb*": PairwiseEngine(catalog, planner="fifo", memory_budget_bytes=budget),
+        "logicblox*": NaiveWCOJEngine(catalog),
+    }
+    rows: List[List[str]] = []
+    for name, sql in TPCH_QUERIES.items():
+        measurements: Dict[str, Measurement] = {}
+        for engine_name, engine in engines.items():
+            measurements[engine_name] = run_guarded(
+                lambda e=engine: e.query(sql), repeats=repeats, timeout_seconds=timeout
+            )
+        rows.append(comparison_row(name, measurements, BI_ENGINES))
+    return render_table(
+        f"BI: TPC-H at SF {scale_factor}", ["query", "baseline"] + BI_ENGINES, rows
+    )
+
+
+def run_la(matrix_scale: float, dense_scale: float, repeats: int, timeout: float, budget: int) -> str:
+    """Table II's LA side: SMV + SMM on one profile, DMV + DMM dense."""
+    rows: List[List[str]] = []
+
+    (r, c, v), n = sparse_profile("nlp240", scale=matrix_scale, seed=2018)
+    catalog = LevelHeadedEngine().catalog
+    register_coo(catalog, "m", r, c, v, n=n, domain="dim")
+    register_vector(catalog, "x", dense_vector(n), domain="dim")
+    package = LAPackage()
+    package.load_sparse("m", r, c, v, n)
+    package.load_vector("x", dense_vector(n))
+    for kernel, sql, package_fn in (
+        ("SMV nlp240", matvec_sql("m", "x"), lambda: package.smv("m", "x")),
+        ("SMM nlp240", matmul_sql("m"), lambda: package.smm("m")),
+    ):
+        rows.append(
+            comparison_row(kernel, _la_measurements(catalog, package_fn, sql, repeats, timeout, budget), LA_ENGINES)
+        )
+
+    dense = dense_matrix("16384", scale=dense_scale, seed=2018)
+    catalog = LevelHeadedEngine().catalog
+    register_dense(catalog, "m", dense, domain="dim")
+    register_vector(catalog, "x", dense_vector(dense.shape[0]), domain="dim")
+    package = LAPackage()
+    package.load_dense("m", dense)
+    package.load_vector("x", dense_vector(dense.shape[0]))
+    for kernel, sql, package_fn in (
+        ("DMV 16384", matvec_sql("m", "x"), lambda: package.dmv("m", "x")),
+        ("DMM 16384", matmul_sql("m"), lambda: package.dmm("m")),
+    ):
+        rows.append(
+            comparison_row(kernel, _la_measurements(catalog, package_fn, sql, repeats, timeout, budget), LA_ENGINES)
+        )
+    return render_table("LA: kernels", ["kernel", "baseline"] + LA_ENGINES, rows)
+
+
+def _la_measurements(catalog, package_fn, sql, repeats, timeout, budget):
+    lh = LevelHeadedEngine(catalog)
+    plan = lh.compile(sql)
+    naive = NaiveWCOJEngine(catalog)
+    naive_plan = naive.compile(sql)
+    return {
+        "levelheaded": run_guarded(lambda: lh.execute(plan), repeats=repeats),
+        "mkl*": run_guarded(package_fn, repeats=repeats),
+        "hyper*": run_guarded(
+            lambda: PairwiseEngine(catalog, memory_budget_bytes=budget).query(sql),
+            repeats=1,
+            timeout_seconds=timeout,
+        ),
+        "logicblox*": run_guarded(
+            lambda: naive.execute(naive_plan), repeats=1, timeout_seconds=timeout
+        ),
+    }
+
+
+def run_application(n_voters: int, iterations: int) -> str:
+    """Figure 6's pipeline comparison."""
+    catalog = generate_voters(
+        n_voters=n_voters, n_precincts=max(10, n_voters // 200), seed=45
+    )
+    results = run_all_pipelines(catalog, iterations=iterations)
+    rows = [
+        [
+            r.engine,
+            format_seconds(r.sql_seconds),
+            format_seconds(r.encode_seconds),
+            format_seconds(r.train_seconds),
+            format_seconds(r.total_seconds),
+            f"{r.accuracy:.3f}",
+        ]
+        for r in sorted(results, key=lambda r: r.total_seconds)
+    ]
+    return render_table(
+        f"Application: voter classification ({n_voters} voters)",
+        ["engine", "sql", "encode", "train", "total", "accuracy"],
+        rows,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.bench.run_all")
+    parser.add_argument("--quick", action="store_true", help="tiny scales, 1 repeat")
+    parser.add_argument("--sf", type=float, default=None, help="TPC-H scale factor")
+    parser.add_argument("--matrix-scale", type=float, default=None)
+    parser.add_argument("--voters", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sf, mscale, dscale, voters, repeats = 0.001, 0.15, 0.4, 4000, 1
+    else:
+        sf, mscale, dscale, voters, repeats = 0.005, 0.5, 1.0, 40_000, 3
+    sf = args.sf if args.sf is not None else sf
+    mscale = args.matrix_scale if args.matrix_scale is not None else mscale
+    voters = args.voters if args.voters is not None else voters
+    timeout, budget = 60.0, 512 * 1024 * 1024
+
+    print(run_bi(sf, repeats, timeout, budget))
+    print()
+    print(run_la(mscale, dscale, repeats, timeout, budget))
+    print()
+    print(run_application(voters, iterations=5))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

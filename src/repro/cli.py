@@ -1,0 +1,123 @@
+"""A small SQL shell over a saved catalog.
+
+Usage::
+
+    python -m repro.cli DATA_DIR               # interactive shell
+    python -m repro.cli DATA_DIR -e "SELECT …" # one statement, then exit
+    python -m repro.cli DATA_DIR --explain -e "SELECT …"
+
+``DATA_DIR`` is a directory written by
+:func:`repro.storage.persist.save_catalog` (``schema.json`` plus
+``<table>.tbl`` files — dbgen-style).  Inside the shell, ``\\d`` lists
+tables, ``\\d name`` shows a schema, ``\\explain SELECT …`` prints the
+chosen plan, and ``\\q`` quits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .core.engine import LevelHeadedEngine
+from .errors import ReproError
+from .storage.persist import load_catalog
+
+
+def _describe_tables(engine: LevelHeadedEngine) -> str:
+    lines = []
+    for name in sorted(engine.catalog.names()):
+        table = engine.catalog.table(name)
+        lines.append(f"{name} ({table.num_rows} rows)")
+    return "\n".join(lines) if lines else "(no tables)"
+
+
+def _describe_schema(engine: LevelHeadedEngine, name: str) -> str:
+    table = engine.catalog.table(name)
+    lines = [f"table {name} ({table.num_rows} rows)"]
+    for attribute in table.schema.attributes:
+        domain = f" domain={attribute.domain_name}" if attribute.is_key else ""
+        lines.append(f"  {attribute.name}: {attribute.type.value} "
+                     f"[{attribute.kind.value}]{domain}")
+    return "\n".join(lines)
+
+
+def run_statement(engine: LevelHeadedEngine, sql: str, explain: bool = False) -> str:
+    """Execute one statement (or explain it) and render the output."""
+    if explain:
+        return engine.explain(sql)
+    start = time.perf_counter()
+    result = engine.query(sql)
+    elapsed = (time.perf_counter() - start) * 1000
+    return f"{result.to_text()}\n({result.num_rows} rows in {elapsed:.1f}ms)"
+
+
+def _handle_line(engine: LevelHeadedEngine, line: str) -> Optional[str]:
+    """One shell interaction; returns output text, or None to quit."""
+    stripped = line.strip()
+    if not stripped:
+        return ""
+    if stripped in ("\\q", "quit", "exit"):
+        return None
+    if stripped == "\\d":
+        return _describe_tables(engine)
+    if stripped.startswith("\\d "):
+        return _describe_schema(engine, stripped[3:].strip())
+    explain = False
+    if stripped.startswith("\\explain "):
+        explain = True
+        stripped = stripped[len("\\explain "):]
+    try:
+        return run_statement(engine, stripped, explain=explain)
+    except ReproError as exc:
+        return f"error: {exc}"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="SQL shell over a saved LevelHeaded catalog"
+    )
+    parser.add_argument("data_dir", help="directory written by save_catalog")
+    parser.add_argument(
+        "-e", "--execute", action="append", default=None,
+        help="execute this statement and exit (repeatable)",
+    )
+    parser.add_argument(
+        "--explain", action="store_true", help="explain instead of executing"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        engine = LevelHeadedEngine(load_catalog(args.data_dir))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.execute:
+        status = 0
+        for sql in args.execute:
+            try:
+                print(run_statement(engine, sql, explain=args.explain))
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                status = 1
+        return status
+
+    print(f"LevelHeaded shell -- {len(list(engine.catalog.names()))} tables "
+          "(\\d to list, \\q to quit)")
+    while True:
+        try:
+            line = input("lh> ")
+        except EOFError:
+            break
+        output = _handle_line(engine, line)
+        if output is None:
+            break
+        if output:
+            print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

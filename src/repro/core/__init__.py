@@ -1,0 +1,6 @@
+"""The engine's public core: :class:`LevelHeadedEngine` and results."""
+
+from .engine import LevelHeadedEngine
+from .result import ResultTable
+
+__all__ = ["LevelHeadedEngine", "ResultTable"]

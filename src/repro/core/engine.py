@@ -1,0 +1,200 @@
+"""The LevelHeaded engine: the library's main entry point.
+
+``LevelHeadedEngine`` ties the whole pipeline of Figure 2 together:
+ingest structured data (delimited files, column dicts, dataframes) into
+the catalog, then ``query(sql)`` parses, binds, translates to an AJAR
+hypergraph, picks a GHD and attribute orders, and executes the generic
+WCOJ plan (or the scan / BLAS fast paths), returning a result table.
+
+The :class:`~repro.xcution.plan.EngineConfig` toggles reproduce the
+paper's ablations: attribute elimination, cost-based attribute
+ordering, the relaxation rule, and BLAS routing can each be disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..query.translate import CompiledQuery, translate
+from ..sql.ast import ColumnRef
+from ..sql.binder import bind
+from ..sql.expressions import evaluate
+from ..sql.parser import parse
+from ..sql.result_clauses import make_result_resolver, result_row_index
+from ..storage.catalog import Catalog
+from ..storage.csv_loader import load_dataframe, load_table
+from ..storage.schema import Schema
+from ..storage.table import Table
+from ..xcution.plan import EngineConfig, PhysicalPlan, build_plan
+from ..xcution.yannakakis import RawResult, execute_plan
+from .result import ResultTable
+
+
+class LevelHeadedEngine:
+    """An in-memory WCOJ query engine for BI and LA workloads."""
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        config: Optional[EngineConfig] = None,
+    ):
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.config = config if config is not None else EngineConfig()
+
+    # -- data ingestion ---------------------------------------------------------
+
+    def register_table(self, table: Table) -> Table:
+        """Register an existing table with the engine's catalog."""
+        return self.catalog.register(table)
+
+    def create_table(self, schema: Schema, **columns) -> Table:
+        """Build a table from keyword columns and register it."""
+        return self.register_table(Table.from_columns(schema, **columns))
+
+    def load_csv(self, path: str, schema: Schema, delimiter: str = "|") -> Table:
+        """Ingest a delimited file (dbgen-style) and register it."""
+        return self.register_table(load_table(path, schema, delimiter=delimiter))
+
+    def from_dataframe(self, frame, schema: Optional[Schema] = None, name: str = "dataframe") -> Table:
+        """Ingest a Pandas-style dataframe (the paper's Python front-end)."""
+        return self.register_table(load_dataframe(frame, schema=schema, name=name))
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    # -- querying -----------------------------------------------------------------
+
+    def compile(self, sql: str, config: Optional[EngineConfig] = None) -> PhysicalPlan:
+        """Parse, bind, translate, and physically plan one query."""
+        compiled = translate(bind(parse(sql), self.catalog))
+        return build_plan(compiled, config or self.config)
+
+    def execute(self, plan: PhysicalPlan) -> ResultTable:
+        """Execute a compiled plan and decode its result."""
+        raw = execute_plan(plan)
+        return self._decode(plan.compiled, plan, raw)
+
+    def query(self, sql: str, config: Optional[EngineConfig] = None) -> ResultTable:
+        """Run one SQL query end to end."""
+        return self.execute(self.compile(sql, config))
+
+    def explain(self, sql: str, config: Optional[EngineConfig] = None) -> str:
+        """Describe the chosen plan: GHD, attribute orders, costs."""
+        plan = self.compile(sql, config)
+        return plan.explain()
+
+    def explain_analyze(self, sql: str, config: Optional[EngineConfig] = None) -> str:
+        """Execute the query and describe the plan plus executor counters.
+
+        The counters (intersections performed, values iterated in
+        Python loops, kernel invocations, ...) are deterministic, so
+        they support structural performance claims that wall-clock
+        times cannot.
+        """
+        from ..xcution.stats import ExecutionStats
+
+        plan = self.compile(sql, config)
+        stats = ExecutionStats()
+        raw = execute_plan(plan, stats=stats)
+        result = self._decode(plan.compiled, plan, raw)
+        return "\n".join(
+            [plan.explain(), stats.describe(), f"result rows: {result.num_rows}"]
+        )
+
+    def execute_with_stats(self, plan: PhysicalPlan):
+        """Execute a plan returning ``(result, ExecutionStats)``."""
+        from ..xcution.stats import ExecutionStats
+
+        stats = ExecutionStats()
+        raw = execute_plan(plan, stats=stats)
+        return self._decode(plan.compiled, plan, raw), stats
+
+    # -- result decoding -------------------------------------------------------------
+
+    def _decode(
+        self, compiled: CompiledQuery, plan: PhysicalPlan, raw: RawResult
+    ) -> ResultTable:
+        matrix = raw.matrix
+        # a grand aggregate over zero matching tuples still emits one row
+        if matrix.shape[0] == 0 and not raw.group_layout:
+            matrix = np.zeros((1, len(raw.agg_ids)))
+        n_rows = matrix.shape[0]
+
+        env: Dict[str, np.ndarray] = {}
+        for position, (kind, ref) in enumerate(raw.group_layout):
+            env[ref] = self._decode_component(
+                compiled, plan, raw, kind, ref, raw.key_columns[position]
+            )
+        count_ids = {a.id for a in compiled.aggregates if a.func == "count"}
+        for a_idx, agg_id in enumerate(raw.agg_ids):
+            column = matrix[:, a_idx]
+            if agg_id in count_ids:
+                column = np.rint(column).astype(np.int64)
+            env[agg_id] = column
+
+        def resolve(ref: ColumnRef):
+            try:
+                return env[ref.name]
+            except KeyError:
+                raise ExecutionError(f"unresolved output reference '{ref.name}'") from None
+
+        names: List[str] = []
+        columns: List[np.ndarray] = []
+        for name, expr in compiled.output_columns:
+            value = evaluate(expr, resolve)
+            arr = np.asarray(value)
+            if arr.ndim == 0:
+                arr = np.full(n_rows, value)
+            names.append(name)
+            columns.append(arr)
+
+        env_for_clauses = env
+        if compiled.row_multiplicity_aggregate is not None:
+            counts = np.rint(env[compiled.row_multiplicity_aggregate]).astype(np.int64)
+            columns = [np.repeat(column, counts) for column in columns]
+            env_for_clauses = {}  # group-level refs are gone post-expansion
+
+        if (
+            compiled.having is not None
+            or compiled.order_keys
+            or compiled.limit is not None
+        ):
+            outputs = dict(zip(names, columns))
+            n_final = int(columns[0].shape[0]) if columns else 0
+            index = result_row_index(
+                make_result_resolver(env_for_clauses, outputs),
+                n_final,
+                compiled.having,
+                compiled.order_keys,
+                compiled.limit,
+            )
+            if index is not None:
+                columns = [column[index] for column in columns]
+
+        return ResultTable(names, columns)
+
+    def _decode_component(self, compiled, plan, raw, kind, ref, column):
+        if kind == "vertex":
+            codes = np.asarray(column, dtype=np.int64)
+            if not raw.keys_are_codes:
+                return codes
+            vertex = compiled.bound.vertex(ref)
+            alias, attr_name = vertex.members[0]
+            table = compiled.bound.tables[alias]
+            dictionary = table._domain_dictionary(attr_name)
+            return dictionary.decode(codes)
+        # annotation component
+        if not raw.keys_are_codes:
+            return np.asarray(column)
+        dictionary = None
+        if plan.root is not None:
+            for fetcher in plan.root.group_fetchers + plan.root.deferred_fetchers:
+                if fetcher.ref_id == ref:
+                    dictionary = fetcher.dictionary
+                    break
+        if dictionary is not None:
+            return dictionary.decode(np.asarray(column, dtype=np.int64))
+        return np.asarray(column)

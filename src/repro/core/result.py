@@ -1,0 +1,86 @@
+"""Query results: decoded, named output columns.
+
+The input and output of every query is a table (Section III); a
+:class:`ResultTable` is the output side -- group keys decoded through
+their dictionaries plus aggregate columns, with the query's output
+expressions applied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+class ResultTable:
+    """An ordered set of named result columns."""
+
+    def __init__(self, names: Sequence[str], columns: Sequence[np.ndarray]):
+        if len(names) != len(columns):
+            raise ValueError("names/columns length mismatch")
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise ValueError("ragged result columns")
+        self.names = list(names)
+        self.columns: Dict[str, np.ndarray] = dict(zip(names, columns))
+        self.num_rows = lengths.pop() if lengths else 0
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def to_rows(self) -> List[Tuple]:
+        """All rows as tuples of Python scalars, in result order."""
+        arrays = [self.columns[n] for n in self.names]
+        return [
+            tuple(_to_python(arr[i]) for arr in arrays) for i in range(self.num_rows)
+        ]
+
+    def sorted_rows(self) -> List[Tuple]:
+        """Rows sorted lexicographically -- handy for order-insensitive tests."""
+        return sorted(self.to_rows(), key=lambda row: tuple(map(_sort_key, row)))
+
+    def to_dict(self) -> Dict[str, list]:
+        return {n: [_to_python(v) for v in self.columns[n]] for n in self.names}
+
+    def single_value(self) -> float:
+        """The lone cell of a 1x1 result (global aggregates)."""
+        if self.num_rows != 1 or len(self.names) != 1:
+            raise ValueError(
+                f"expected a 1x1 result, got {self.num_rows}x{len(self.names)}"
+            )
+        return _to_python(self.columns[self.names[0]][0])
+
+    def __repr__(self) -> str:
+        return f"ResultTable({self.names}, rows={self.num_rows})"
+
+    def to_text(self, limit: int = 20) -> str:
+        """A small fixed-width rendering for examples and debugging."""
+        header = " | ".join(self.names)
+        rule = "-" * len(header)
+        lines = [header, rule]
+        for row in self.to_rows()[:limit]:
+            lines.append(" | ".join(_render(v) for v in row))
+        if self.num_rows > limit:
+            lines.append(f"... ({self.num_rows} rows total)")
+        return "\n".join(lines)
+
+
+def _to_python(value):
+    return value.item() if hasattr(value, "item") else value
+
+
+def _sort_key(value):
+    # mixed str/number tuples sort by (type tag, value)
+    if isinstance(value, str):
+        return (1, value)
+    return (0, float(value))
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,41 @@
+"""Benchmark datasets: TPC-H, sparse/dense matrices, and voter data."""
+
+from . import matrices, tpch, voters
+from .matrices import (
+    DENSE_SIZES,
+    PROFILES,
+    cfd_banded,
+    dense_matrix,
+    dense_vector,
+    kkt_like,
+    sparse_profile,
+)
+from .tpch import TPCH_QUERIES, generate_tpch, table_sizes
+from .voters import (
+    CATEGORICAL_FEATURES,
+    NUMERIC_FEATURES,
+    TARGET,
+    VOTER_FEATURE_SQL,
+    generate_voters,
+)
+
+__all__ = [
+    "tpch",
+    "matrices",
+    "voters",
+    "generate_tpch",
+    "table_sizes",
+    "TPCH_QUERIES",
+    "PROFILES",
+    "DENSE_SIZES",
+    "cfd_banded",
+    "kkt_like",
+    "sparse_profile",
+    "dense_matrix",
+    "dense_vector",
+    "generate_voters",
+    "VOTER_FEATURE_SQL",
+    "CATEGORICAL_FEATURES",
+    "NUMERIC_FEATURES",
+    "TARGET",
+]

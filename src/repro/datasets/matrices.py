@@ -1,0 +1,124 @@
+"""Synthetic matrices matching the paper's benchmark profiles.
+
+The paper's sparse matrices come from the UF collection (unavailable
+offline); these generators match each matrix's *structural profile* --
+what matters for the engine's set layouts, intersection costs, and
+attribute-order effects (see DESIGN.md's substitution table):
+
+* **Harbor** (3D CFD, Charleston Harbor): ~46.8k rows, ~50 nnz/row,
+  banded/clustered -> ``cfd_banded`` with a narrow band.
+* **HV15R** (3D engine fan CFD): ~2M rows, ~140 nnz/row, banded ->
+  ``cfd_banded``, wider and denser rows.
+* **nlpkkt240** (symmetric indefinite KKT): ~28M rows, ~14 nnz/row,
+  symmetric with saddle-point block structure -> ``kkt_like``.
+
+Dense matrices are synthetic, as in the paper (8192/12288/16384 there,
+laptop-scaled 2:3:4 here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+CooTriples = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+@dataclass(frozen=True)
+class MatrixProfile:
+    """A named sparse-matrix profile at a laptop-friendly dimension."""
+
+    name: str
+    n: int
+    kind: str  # "cfd" | "kkt"
+    band: int
+    nnz_per_row: int
+
+
+#: laptop-scaled stand-ins for the paper's three sparse matrices.
+PROFILES = {
+    "harbor": MatrixProfile("harbor", n=1200, kind="cfd", band=80, nnz_per_row=50),
+    "hv15r": MatrixProfile("hv15r", n=2000, kind="cfd", band=240, nnz_per_row=60),
+    "nlp240": MatrixProfile("nlp240", n=3000, kind="kkt", band=60, nnz_per_row=14),
+}
+
+#: laptop-scaled dense dimensions matching the paper's 8192:12288:16384.
+DENSE_SIZES = {"8192": 128, "12288": 192, "16384": 256}
+
+
+def cfd_banded(n: int, band: int, nnz_per_row: int, seed: int = 0) -> CooTriples:
+    """A CFD-style banded matrix: diagonal plus clustered in-band entries.
+
+    Clustered columns mean trie sets at the second level are dense runs
+    -- the profile under which bitset layouts and the relaxed attribute
+    order pay off, as on Harbor/HV15R.
+    """
+    rng = np.random.default_rng(seed)
+    rows_list = [np.arange(n)]
+    cols_list = [np.arange(n)]
+    extras = max(0, nnz_per_row - 1)
+    if extras:
+        rows = np.repeat(np.arange(n), extras)
+        offsets = rng.integers(-band, band + 1, rows.size)
+        cols = np.clip(rows + offsets, 0, n - 1)
+        rows_list.append(rows)
+        cols_list.append(cols)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    flat = np.unique(rows.astype(np.int64) * n + cols)
+    rows, cols = flat // n, flat % n
+    values = rng.normal(size=rows.size)
+    return rows, cols, values
+
+
+def kkt_like(n: int, band: int, nnz_per_row: int, seed: int = 0) -> CooTriples:
+    """A symmetric KKT-style saddle-point matrix.
+
+    Block structure ``[[H, A^T], [A, 0]]``: a banded Hessian block on
+    the first ``m`` indices plus a sparse constraint block coupling the
+    two halves, symmetrized -- the scattered-column profile of
+    nlpkkt240 under which uint sets dominate.
+    """
+    rng = np.random.default_rng(seed)
+    m = (2 * n) // 3  # primal block size
+    # Hessian block: diagonal + banded entries in [0, m)
+    h_rows = np.repeat(np.arange(m), max(1, nnz_per_row // 2))
+    h_cols = np.clip(h_rows + rng.integers(-band, band + 1, h_rows.size), 0, m - 1)
+    # constraint block: each dual row couples random primal columns
+    a_rows = np.repeat(np.arange(m, n), max(1, nnz_per_row // 2))
+    a_cols = rng.integers(0, m, a_rows.size)
+    rows = np.concatenate([np.arange(n), h_rows, a_rows, a_cols])
+    cols = np.concatenate([np.arange(n), h_cols, a_cols, a_rows])
+    # symmetrize
+    all_rows = np.concatenate([rows, cols])
+    all_cols = np.concatenate([cols, rows])
+    flat = np.unique(all_rows.astype(np.int64) * n + all_cols)
+    rows, cols = flat // n, flat % n
+    values = rng.normal(size=rows.size)
+    return rows, cols, values
+
+
+def sparse_profile(name: str, scale: float = 1.0, seed: int = 0) -> Tuple[CooTriples, int]:
+    """COO triples + dimension for one named profile, optionally rescaled."""
+    profile = PROFILES[name]
+    n = max(64, int(profile.n * scale))
+    band = max(4, int(profile.band * scale))
+    if profile.kind == "cfd":
+        triples = cfd_banded(n, band, profile.nnz_per_row, seed=seed)
+    else:
+        triples = kkt_like(n, band, profile.nnz_per_row, seed=seed)
+    return triples, n
+
+
+def dense_matrix(size_label: str, scale: float = 1.0, seed: int = 0) -> np.ndarray:
+    """A synthetic dense matrix for one of the paper's size labels."""
+    n = max(16, int(DENSE_SIZES[size_label] * scale))
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, n))
+
+
+def dense_vector(n: int, seed: int = 1) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n)

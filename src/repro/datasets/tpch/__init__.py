@@ -1,0 +1,37 @@
+"""TPC-H: schemas, dbgen-like generator, and the benchmark queries."""
+
+from .generator import NATIONS, REGIONS, generate_tpch, partsupp_suppliers, table_sizes
+from .queries import (
+    EXTRA_QUERIES,
+    Q1,
+    Q3,
+    Q5,
+    Q6,
+    Q8,
+    Q9,
+    Q10,
+    Q11_NO_HAVING,
+    Q14,
+    TPCH_QUERIES,
+)
+from .schema import ALL_SCHEMAS
+
+__all__ = [
+    "generate_tpch",
+    "table_sizes",
+    "partsupp_suppliers",
+    "REGIONS",
+    "NATIONS",
+    "ALL_SCHEMAS",
+    "TPCH_QUERIES",
+    "EXTRA_QUERIES",
+    "Q11_NO_HAVING",
+    "Q14",
+    "Q1",
+    "Q3",
+    "Q5",
+    "Q6",
+    "Q8",
+    "Q9",
+    "Q10",
+]

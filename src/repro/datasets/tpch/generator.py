@@ -1,0 +1,269 @@
+"""A dbgen-like TPC-H data generator (scaled for a laptop).
+
+Generates all eight tables with the correct key structure, real
+region/nation names, dbgen's date ranges, and the value distributions
+the seven benchmark queries select on (mktsegments, part name color
+words, part types, return flags, discount/quantity ranges).  Row counts
+scale linearly with the scale factor exactly as dbgen's do; the paper's
+SF 1/10/100 map to laptop-sized fractions here (DESIGN.md).
+
+The ``lineitem.l_suppkey`` choice follows dbgen's invariant: every
+``(l_partkey, l_suppkey)`` pair exists in ``partsupp`` (Q9 depends on
+it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ...storage.catalog import Catalog
+from ...storage.schema import parse_date
+from ...storage.table import Table
+from . import schema as tpch_schema
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+#: the 25 TPC-H nations with their real region assignments.
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("RUSSIA", 3), ("SAUDI ARABIA", 4), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1), ("VIETNAM", 2),
+]
+
+MKT_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCTS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP JAR"]
+
+#: dbgen part-name color words (subset); 'green' matters for Q9's LIKE.
+COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cream", "cyan", "dark",
+    "green", "grey", "honeydew", "hot", "indian", "ivory", "khaki", "lace",
+    "lavender",
+]
+
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+START_DATE = parse_date("1992-01-01")
+END_DATE = parse_date("1998-08-02")
+CUTOFF_DATE = parse_date("1995-06-17")  # dbgen's currentdate for flags
+
+#: dbgen base row counts at SF 1.
+BASE_ROWS = {
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "orders": 1_500_000,
+}
+PARTSUPP_PER_PART = 4
+MAX_LINES_PER_ORDER = 7
+
+
+def table_sizes(scale_factor: float) -> Dict[str, int]:
+    """Row counts for one scale factor (lineitem is approximate)."""
+    sizes = {
+        name: max(10, int(base * scale_factor)) for name, base in BASE_ROWS.items()
+    }
+    sizes["nation"] = len(NATIONS)
+    sizes["region"] = len(REGIONS)
+    sizes["partsupp"] = sizes["part"] * PARTSUPP_PER_PART
+    sizes["lineitem"] = sizes["orders"] * (1 + MAX_LINES_PER_ORDER) // 2
+    return sizes
+
+
+def partsupp_suppliers(partkeys: np.ndarray, slot: np.ndarray, n_suppliers: int) -> np.ndarray:
+    """dbgen's invariant: the i-th supplier of part p, 0-based.
+
+    Deterministic so that lineitem can draw suppliers that are
+    guaranteed to exist in partsupp.
+    """
+    step = max(1, n_suppliers // PARTSUPP_PER_PART)
+    return (partkeys + slot * step) % n_suppliers
+
+
+def generate_tpch(
+    scale_factor: float = 0.01,
+    seed: int = 2018,
+    catalog: Optional[Catalog] = None,
+) -> Catalog:
+    """Generate all eight tables into a catalog."""
+    catalog = catalog if catalog is not None else Catalog()
+    rng = np.random.default_rng(seed)
+    sizes = table_sizes(scale_factor)
+    n_supp, n_cust, n_part, n_orders = (
+        sizes["supplier"], sizes["customer"], sizes["part"], sizes["orders"],
+    )
+
+    # -- region / nation ----------------------------------------------------
+    catalog.register(
+        Table.from_columns(
+            tpch_schema.REGION,
+            r_regionkey=np.arange(len(REGIONS)),
+            r_name=REGIONS,
+            r_comment=[f"region {name.lower()}" for name in REGIONS],
+        )
+    )
+    catalog.register(
+        Table.from_columns(
+            tpch_schema.NATION,
+            n_nationkey=np.arange(len(NATIONS)),
+            n_regionkey=np.array([r for _, r in NATIONS]),
+            n_name=[n for n, _ in NATIONS],
+            n_comment=[f"nation {n.lower()}" for n, _ in NATIONS],
+        )
+    )
+
+    # -- supplier -------------------------------------------------------------
+    supp_keys = np.arange(n_supp)
+    catalog.register(
+        Table.from_columns(
+            tpch_schema.SUPPLIER,
+            s_suppkey=supp_keys,
+            s_nationkey=rng.integers(0, len(NATIONS), n_supp),
+            s_name=[f"Supplier#{k:09d}" for k in supp_keys],
+            s_address=[f"addr-s{k}" for k in supp_keys],
+            s_phone=[f"{k % 34 + 10}-{k % 997:03d}-{k % 9973:04d}" for k in supp_keys],
+            s_acctbal=np.round(rng.uniform(-999.99, 9999.99, n_supp), 2),
+            s_comment=[f"supplier comment {k}" for k in supp_keys],
+        )
+    )
+
+    # -- customer -------------------------------------------------------------
+    cust_keys = np.arange(n_cust)
+    catalog.register(
+        Table.from_columns(
+            tpch_schema.CUSTOMER,
+            c_custkey=cust_keys,
+            c_nationkey=rng.integers(0, len(NATIONS), n_cust),
+            c_name=[f"Customer#{k:09d}" for k in cust_keys],
+            c_address=[f"addr-c{k}" for k in cust_keys],
+            c_phone=[f"{k % 34 + 10}-{k % 991:03d}-{k % 9967:04d}" for k in cust_keys],
+            c_acctbal=np.round(rng.uniform(-999.99, 9999.99, n_cust), 2),
+            c_mktsegment=np.array(MKT_SEGMENTS)[rng.integers(0, len(MKT_SEGMENTS), n_cust)],
+            c_comment=[f"customer comment {k}" for k in cust_keys],
+        )
+    )
+
+    # -- part ---------------------------------------------------------------------
+    part_keys = np.arange(n_part)
+    colors = np.array(COLORS)
+    name_picks = rng.integers(0, len(COLORS), size=(n_part, 3))
+    p_names = np.array(
+        [" ".join(colors[row]) for row in name_picks], dtype=np.str_
+    )
+    type_picks = (
+        rng.integers(0, len(TYPE_SYLLABLE_1), n_part),
+        rng.integers(0, len(TYPE_SYLLABLE_2), n_part),
+        rng.integers(0, len(TYPE_SYLLABLE_3), n_part),
+    )
+    p_types = np.array(
+        [
+            f"{TYPE_SYLLABLE_1[a]} {TYPE_SYLLABLE_2[b]} {TYPE_SYLLABLE_3[c]}"
+            for a, b, c in zip(*type_picks)
+        ],
+        dtype=np.str_,
+    )
+    p_retail = np.round(900 + (part_keys % 1000) + 0.01 * (part_keys % 100), 2)
+    catalog.register(
+        Table.from_columns(
+            tpch_schema.PART,
+            p_partkey=part_keys,
+            p_name=p_names,
+            p_mfgr=[f"Manufacturer#{k % 5 + 1}" for k in part_keys],
+            p_brand=[f"Brand#{k % 5 + 1}{k % 5 + 1}" for k in part_keys],
+            p_type=p_types,
+            p_size=rng.integers(1, 51, n_part),
+            p_container=np.array(CONTAINERS)[rng.integers(0, len(CONTAINERS), n_part)],
+            p_retailprice=p_retail,
+            p_comment=[f"part comment {k}" for k in part_keys],
+        )
+    )
+
+    # -- partsupp ---------------------------------------------------------------------
+    ps_part = np.repeat(part_keys, PARTSUPP_PER_PART)
+    ps_slot = np.tile(np.arange(PARTSUPP_PER_PART), n_part)
+    ps_supp = partsupp_suppliers(ps_part, ps_slot, n_supp)
+    catalog.register(
+        Table.from_columns(
+            tpch_schema.PARTSUPP,
+            ps_partkey=ps_part,
+            ps_suppkey=ps_supp,
+            ps_availqty=rng.integers(1, 10_000, ps_part.size),
+            ps_supplycost=np.round(rng.uniform(1.0, 1000.0, ps_part.size), 2),
+            ps_comment=[f"ps comment {i}" for i in range(ps_part.size)],
+        )
+    )
+
+    # -- orders ---------------------------------------------------------------------
+    order_keys = np.arange(n_orders)
+    o_dates = rng.integers(START_DATE, END_DATE - 121, n_orders)
+    catalog.register(
+        Table.from_columns(
+            tpch_schema.ORDERS,
+            o_orderkey=order_keys,
+            o_custkey=rng.integers(0, n_cust, n_orders),
+            o_orderstatus=np.array(["O", "F", "P"])[rng.integers(0, 3, n_orders)],
+            o_totalprice=np.round(rng.uniform(800.0, 500_000.0, n_orders), 2),
+            o_orderdate=o_dates,
+            o_orderpriority=np.array(ORDER_PRIORITIES)[
+                rng.integers(0, len(ORDER_PRIORITIES), n_orders)
+            ],
+            o_clerk=[f"Clerk#{k % 1000:09d}" for k in order_keys],
+            o_shippriority=np.zeros(n_orders, dtype=np.int64),
+            o_comment=[f"order comment {k}" for k in order_keys],
+        )
+    )
+
+    # -- lineitem ---------------------------------------------------------------------
+    lines_per_order = rng.integers(1, MAX_LINES_PER_ORDER + 1, n_orders)
+    l_orderkey = np.repeat(order_keys, lines_per_order)
+    n_lines = int(l_orderkey.size)
+    l_linenumber = np.concatenate([np.arange(1, c + 1) for c in lines_per_order])
+    l_partkey = rng.integers(0, n_part, n_lines)
+    l_suppkey = partsupp_suppliers(
+        l_partkey, rng.integers(0, PARTSUPP_PER_PART, n_lines), n_supp
+    )
+    l_quantity = rng.integers(1, 51, n_lines).astype(np.float64)
+    l_extendedprice = np.round(l_quantity * p_retail[l_partkey] / 10.0, 2)
+    l_discount = np.round(rng.integers(0, 11, n_lines) / 100.0, 2)
+    l_tax = np.round(rng.integers(0, 9, n_lines) / 100.0, 2)
+    l_shipdate = np.repeat(o_dates, lines_per_order) + rng.integers(1, 122, n_lines)
+    l_commitdate = np.repeat(o_dates, lines_per_order) + rng.integers(30, 91, n_lines)
+    l_receiptdate = l_shipdate + rng.integers(1, 31, n_lines)
+    returnable = l_receiptdate <= CUTOFF_DATE
+    flag_draw = rng.integers(0, 2, n_lines)
+    l_returnflag = np.where(returnable, np.where(flag_draw == 0, "R", "A"), "N").astype(np.str_)
+    l_linestatus = np.where(l_shipdate > CUTOFF_DATE, "O", "F").astype(np.str_)
+    catalog.register(
+        Table.from_columns(
+            tpch_schema.LINEITEM,
+            l_orderkey=l_orderkey,
+            l_partkey=l_partkey,
+            l_suppkey=l_suppkey,
+            l_linenumber=l_linenumber,
+            l_quantity=l_quantity,
+            l_extendedprice=l_extendedprice,
+            l_discount=l_discount,
+            l_tax=l_tax,
+            l_returnflag=l_returnflag,
+            l_linestatus=l_linestatus,
+            l_shipdate=l_shipdate,
+            l_commitdate=l_commitdate,
+            l_receiptdate=l_receiptdate,
+            l_shipinstruct=np.array(SHIP_INSTRUCTS)[rng.integers(0, len(SHIP_INSTRUCTS), n_lines)],
+            l_shipmode=np.array(SHIP_MODES)[rng.integers(0, len(SHIP_MODES), n_lines)],
+            l_comment=[f"line comment {i}" for i in range(n_lines)],
+        )
+    )
+    return catalog

@@ -1,0 +1,151 @@
+"""The seven TPC-H benchmark queries (Section VI-B1).
+
+Queries 1, 3, 5, 6, 8, 9 and 10 "exercise the core operations of BI
+querying and contain interesting join patterns (except 1 and 6)".  As
+in the paper they run without ORDER BY.  Q8 is written in the
+sum-of-products form the engine's Rule-3 decomposition accepts: the
+CASE factor references only the second nation alias and multiplies the
+lineitem volume (equivalent to the official nested formulation, which
+needs a subquery the SQL subset does not have).
+"""
+
+Q1 = """
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       avg(l_quantity) AS avg_qty,
+       avg(l_extendedprice) AS avg_price,
+       avg(l_discount) AS avg_disc,
+       count(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= date '1998-12-01' - interval '90' day
+GROUP BY l_returnflag, l_linestatus
+"""
+
+Q3 = """
+SELECT l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < date '1995-03-15'
+  AND l_shipdate > date '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+"""
+
+Q5 = """
+SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= date '1994-01-01'
+  AND o_orderdate < date '1995-01-01'
+GROUP BY n_name
+"""
+
+Q6 = """
+SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= date '1994-01-01'
+  AND l_shipdate < date '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24
+"""
+
+Q8 = """
+SELECT extract(year from o_orderdate) AS o_year,
+       sum(case when n2.n_name = 'BRAZIL' then 1 else 0 end
+           * l_extendedprice * (1 - l_discount))
+       / sum(l_extendedprice * (1 - l_discount)) AS mkt_share
+FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, region
+WHERE p_partkey = l_partkey
+  AND s_suppkey = l_suppkey
+  AND l_orderkey = o_orderkey
+  AND o_custkey = c_custkey
+  AND c_nationkey = n1.n_nationkey
+  AND n1.n_regionkey = r_regionkey
+  AND r_name = 'AMERICA'
+  AND s_nationkey = n2.n_nationkey
+  AND o_orderdate BETWEEN date '1995-01-01' AND date '1996-12-31'
+  AND p_type = 'ECONOMY ANODIZED STEEL'
+GROUP BY extract(year from o_orderdate)
+"""
+
+Q9 = """
+SELECT n_name, extract(year from o_orderdate) AS o_year,
+       sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity)
+           AS sum_profit
+FROM part, supplier, lineitem, partsupp, orders, nation
+WHERE s_suppkey = l_suppkey
+  AND ps_suppkey = l_suppkey
+  AND ps_partkey = l_partkey
+  AND p_partkey = l_partkey
+  AND o_orderkey = l_orderkey
+  AND s_nationkey = n_nationkey
+  AND p_name LIKE '%green%'
+GROUP BY n_name, extract(year from o_orderdate)
+"""
+
+Q10 = """
+SELECT c_custkey, c_name,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone, c_comment
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= date '1993-10-01'
+  AND o_orderdate < date '1994-01-01'
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+"""
+
+#: the paper's benchmark set, in Table II order.
+TPCH_QUERIES = {
+    "Q1": Q1,
+    "Q3": Q3,
+    "Q5": Q5,
+    "Q6": Q6,
+    "Q8": Q8,
+    "Q9": Q9,
+    "Q10": Q10,
+}
+
+# -- additional TPC-H queries the engine supports (not in the paper's
+#    benchmark set; used for extra cross-engine coverage) -------------------
+
+#: Q11 without its HAVING clause (the subset has no HAVING): important
+#: stock per part for one nation's suppliers.
+Q11_NO_HAVING = """
+SELECT ps_partkey, sum(ps_supplycost * ps_availqty) AS value
+FROM partsupp, supplier, nation
+WHERE ps_suppkey = s_suppkey
+  AND s_nationkey = n_nationkey
+  AND n_name = 'GERMANY'
+GROUP BY ps_partkey
+"""
+
+#: Q14 in the same sum-of-products form as Q8: promo revenue share.
+Q14 = """
+SELECT 100.00 * sum(case when p_type LIKE 'PROMO%' then 1 else 0 end
+                    * l_extendedprice * (1 - l_discount))
+       / sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= date '1995-09-01'
+  AND l_shipdate < date '1995-10-01'
+"""
+
+EXTRA_QUERIES = {
+    "Q11-lite": Q11_NO_HAVING,
+    "Q14": Q14,
+}

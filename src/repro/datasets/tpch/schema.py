@@ -1,0 +1,122 @@
+"""TPC-H schemas under LevelHeaded's key/annotation data model.
+
+Keys are the primary/foreign keys that partake in joins; every other
+attribute is an annotation (Section III-A).  Shared domains make
+foreign keys join-compatible (``c_custkey``/``o_custkey`` both live in
+``custkey``).
+"""
+
+from __future__ import annotations
+
+from ...storage.schema import AttrType, Schema, annotation, key
+
+REGION = Schema(
+    "region",
+    [
+        key("r_regionkey", domain="regionkey"),
+        annotation("r_name", AttrType.STRING),
+        annotation("r_comment", AttrType.STRING),
+    ],
+)
+
+NATION = Schema(
+    "nation",
+    [
+        key("n_nationkey", domain="nationkey"),
+        key("n_regionkey", domain="regionkey"),
+        annotation("n_name", AttrType.STRING),
+        annotation("n_comment", AttrType.STRING),
+    ],
+)
+
+SUPPLIER = Schema(
+    "supplier",
+    [
+        key("s_suppkey", domain="suppkey"),
+        key("s_nationkey", domain="nationkey"),
+        annotation("s_name", AttrType.STRING),
+        annotation("s_address", AttrType.STRING),
+        annotation("s_phone", AttrType.STRING),
+        annotation("s_acctbal", AttrType.DOUBLE),
+        annotation("s_comment", AttrType.STRING),
+    ],
+)
+
+CUSTOMER = Schema(
+    "customer",
+    [
+        key("c_custkey", domain="custkey"),
+        key("c_nationkey", domain="nationkey"),
+        annotation("c_name", AttrType.STRING),
+        annotation("c_address", AttrType.STRING),
+        annotation("c_phone", AttrType.STRING),
+        annotation("c_acctbal", AttrType.DOUBLE),
+        annotation("c_mktsegment", AttrType.STRING),
+        annotation("c_comment", AttrType.STRING),
+    ],
+)
+
+PART = Schema(
+    "part",
+    [
+        key("p_partkey", domain="partkey"),
+        annotation("p_name", AttrType.STRING),
+        annotation("p_mfgr", AttrType.STRING),
+        annotation("p_brand", AttrType.STRING),
+        annotation("p_type", AttrType.STRING),
+        annotation("p_size", AttrType.LONG),
+        annotation("p_container", AttrType.STRING),
+        annotation("p_retailprice", AttrType.DOUBLE),
+        annotation("p_comment", AttrType.STRING),
+    ],
+)
+
+PARTSUPP = Schema(
+    "partsupp",
+    [
+        key("ps_partkey", domain="partkey"),
+        key("ps_suppkey", domain="suppkey"),
+        annotation("ps_availqty", AttrType.LONG),
+        annotation("ps_supplycost", AttrType.DOUBLE),
+        annotation("ps_comment", AttrType.STRING),
+    ],
+)
+
+ORDERS = Schema(
+    "orders",
+    [
+        key("o_orderkey", domain="orderkey"),
+        key("o_custkey", domain="custkey"),
+        annotation("o_orderstatus", AttrType.STRING),
+        annotation("o_totalprice", AttrType.DOUBLE),
+        annotation("o_orderdate", AttrType.DATE),
+        annotation("o_orderpriority", AttrType.STRING),
+        annotation("o_clerk", AttrType.STRING),
+        annotation("o_shippriority", AttrType.LONG),
+        annotation("o_comment", AttrType.STRING),
+    ],
+)
+
+LINEITEM = Schema(
+    "lineitem",
+    [
+        key("l_orderkey", domain="orderkey"),
+        key("l_partkey", domain="partkey"),
+        key("l_suppkey", domain="suppkey"),
+        annotation("l_linenumber", AttrType.LONG),
+        annotation("l_quantity", AttrType.DOUBLE),
+        annotation("l_extendedprice", AttrType.DOUBLE),
+        annotation("l_discount", AttrType.DOUBLE),
+        annotation("l_tax", AttrType.DOUBLE),
+        annotation("l_returnflag", AttrType.STRING),
+        annotation("l_linestatus", AttrType.STRING),
+        annotation("l_shipdate", AttrType.DATE),
+        annotation("l_commitdate", AttrType.DATE),
+        annotation("l_receiptdate", AttrType.DATE),
+        annotation("l_shipinstruct", AttrType.STRING),
+        annotation("l_shipmode", AttrType.STRING),
+        annotation("l_comment", AttrType.STRING),
+    ],
+)
+
+ALL_SCHEMAS = [REGION, NATION, SUPPLIER, CUSTOMER, PART, PARTSUPP, ORDERS, LINEITEM]

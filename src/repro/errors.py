@@ -1,0 +1,64 @@
+"""Exception hierarchy for the LevelHeaded reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing parse errors from planning or resource errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(ReproError):
+    """A parsed query references unknown tables, columns, or types."""
+
+
+class SchemaError(ReproError):
+    """A table schema or ingested data violates the data model.
+
+    Examples: a key attribute with a non-integer type, an annotation
+    referenced as a join attribute, or mismatched column lengths.
+    """
+
+
+class UnsupportedQueryError(ReproError):
+    """The query is valid SQL but outside the supported subset.
+
+    LevelHeaded (the paper) supports a subset of SQL 2008; this
+    reproduction raises this error rather than silently computing a
+    wrong answer when a query falls outside that subset.
+    """
+
+
+class PlanningError(ReproError):
+    """The query compiler failed to produce a GHD-based plan."""
+
+
+class ExecutionError(ReproError):
+    """A physical plan failed during execution."""
+
+
+class OutOfMemoryBudgetError(ExecutionError):
+    """An operator exceeded the configured memory budget.
+
+    The paper reports 'oom' entries for engines whose pairwise join plans
+    materialize intermediates beyond physical memory (Table II).  Baseline
+    engines in this reproduction enforce an explicit budget so the same
+    failure mode is observable deterministically.
+    """
+
+    def __init__(self, message: str, requested_bytes: int = 0, budget_bytes: int = 0):
+        super().__init__(message)
+        self.requested_bytes = requested_bytes
+        self.budget_bytes = budget_bytes

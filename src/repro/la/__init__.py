@@ -1,0 +1,55 @@
+"""Linear algebra subsystem: matrices as annotated relations, the BLAS
+substrate, CSR conversion utilities, and the SMV/SMM/DMV/DMM kernels of
+Section VI-B2."""
+
+from . import blas
+from .kernels import (
+    frobenius_norm_sql,
+    matmul_sql,
+    matvec_sql,
+    run_matmul,
+    run_matvec,
+    vector_dot_sql,
+)
+from .matrix import (
+    ensure_dimension,
+    matrix_schema,
+    random_sparse_coo,
+    register_coo,
+    register_dense,
+    register_vector,
+    result_to_dense,
+    result_to_vector,
+    to_dense,
+    vector_schema,
+)
+from .semiring_ops import distances_to_target, semiring_matmul, semiring_matvec
+from .sparse import CSRMatrix, coo_to_csr, csr_matmul, csr_matvec, csr_to_dense
+
+__all__ = [
+    "blas",
+    "matrix_schema",
+    "vector_schema",
+    "ensure_dimension",
+    "register_coo",
+    "register_dense",
+    "register_vector",
+    "to_dense",
+    "result_to_dense",
+    "result_to_vector",
+    "random_sparse_coo",
+    "CSRMatrix",
+    "coo_to_csr",
+    "csr_matvec",
+    "csr_matmul",
+    "csr_to_dense",
+    "matvec_sql",
+    "matmul_sql",
+    "semiring_matmul",
+    "semiring_matvec",
+    "distances_to_target",
+    "run_matvec",
+    "run_matmul",
+    "frobenius_norm_sql",
+    "vector_dot_sql",
+]

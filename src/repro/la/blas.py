@@ -1,0 +1,78 @@
+"""The dense BLAS substrate (the reproduction's Intel MKL stand-in).
+
+The paper calls Intel MKL for the annotation processing of dense LA
+kernels because attribute elimination leaves each dense annotation in
+a BLAS-compatible buffer (Sections III-D and IV-A).  Here numpy's
+``dot``/``einsum`` -- which dispatch to the platform BLAS -- play MKL's
+role; see DESIGN.md's substitution table.  The engine treats these
+calls as opaque, exactly as LevelHeaded treats MKL.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+
+def gemv(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """Dense matrix-vector multiply (BLAS level 2)."""
+    if matrix.ndim != 2 or vector.ndim != 1 or matrix.shape[1] != vector.shape[0]:
+        raise ExecutionError(
+            f"gemv shape mismatch: {matrix.shape} x {vector.shape}"
+        )
+    return matrix @ vector
+
+
+def gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense matrix-matrix multiply (BLAS level 3)."""
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ExecutionError(f"gemm shape mismatch: {a.shape} x {b.shape}")
+    return a @ b
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> float:
+    """Dense dot product (BLAS level 1)."""
+    if a.shape != b.shape or a.ndim != 1:
+        raise ExecutionError(f"dot shape mismatch: {a.shape} x {b.shape}")
+    return float(np.dot(a, b))
+
+
+def contract(spec: str, operands: Sequence[np.ndarray]) -> np.ndarray:
+    """General sum-product contraction over dense buffers.
+
+    Two-operand matmul/matvec shapes take the explicit GEMM/GEMV entry
+    points; anything else falls through to ``einsum`` (still BLAS-backed
+    for the shapes the engine emits).
+    """
+    inputs, _, output = spec.partition("->")
+    specs = inputs.split(",")
+    if len(specs) != len(operands):
+        raise ExecutionError(f"contract spec '{spec}' expects {len(specs)} operands")
+    if len(operands) == 2:
+        a_spec, b_spec = specs
+        a, b = operands
+        if (
+            len(a_spec) == 2
+            and len(b_spec) == 2
+            and a_spec[1] == b_spec[0]
+            and output == a_spec[0] + b_spec[1]
+        ):
+            return gemm(a, b)
+        if (
+            len(a_spec) == 2
+            and len(b_spec) == 1
+            and a_spec[1] == b_spec[0]
+            and output == a_spec[0]
+        ):
+            return gemv(a, b)
+        if (
+            len(a_spec) == 1
+            and len(b_spec) == 1
+            and a_spec == b_spec
+            and output == ""
+        ):
+            return np.asarray(dot(a, b))
+    return np.einsum(spec, *operands)

@@ -1,0 +1,65 @@
+"""The four LA benchmark kernels as SQL (Section VI-B2).
+
+Matrix-vector and matrix-matrix multiplication are "simple to express
+using joins and aggregations in SQL and are the core operations for
+most machine learning algorithms".  Sparse kernels execute as pure
+aggregate-join queries; dense ones are routed to the BLAS substrate by
+the engine -- callers use the *same* SQL either way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a circular import (core.engine -> xcution -> la)
+    from ..core.engine import LevelHeadedEngine
+    from ..core.result import ResultTable
+
+
+def matvec_sql(matrix: str = "m", vector: str = "x") -> str:
+    """``y = A x`` as an aggregate-join (SMV / DMV)."""
+    return (
+        f"SELECT {matrix}.i, sum({matrix}.v * {vector}.v) AS v "
+        f"FROM {matrix}, {vector} AS {vector} "
+        f"WHERE {matrix}.j = {vector}.i GROUP BY {matrix}.i"
+    )
+
+
+def matmul_sql(a: str = "m", b: str | None = None) -> str:
+    """``C = A B`` as an aggregate-join (SMM / DMM).
+
+    Like the paper (and [41]) the benchmarks multiply a matrix by
+    itself, so ``b`` defaults to a second alias of ``a``.
+    """
+    if b is None or b == a:
+        return (
+            f"SELECT m1.i, m2.j, sum(m1.v * m2.v) AS v "
+            f"FROM {a} AS m1, {a} AS m2 WHERE m1.j = m2.i GROUP BY m1.i, m2.j"
+        )
+    return (
+        f"SELECT {a}.i, {b}.j, sum({a}.v * {b}.v) AS v "
+        f"FROM {a}, {b} WHERE {a}.j = {b}.i GROUP BY {a}.i, {b}.j"
+    )
+
+
+def run_matvec(engine: LevelHeadedEngine, matrix: str = "m", vector: str = "x") -> ResultTable:
+    """Execute SMV/DMV through the engine."""
+    return engine.query(matvec_sql(matrix, vector))
+
+
+def run_matmul(engine: LevelHeadedEngine, matrix: str = "m") -> ResultTable:
+    """Execute SMM/DMM (matrix times itself) through the engine."""
+    return engine.query(matmul_sql(matrix))
+
+
+def frobenius_norm_sql(matrix: str = "m") -> str:
+    """``||A||_F^2`` -- a scan-style LA aggregate."""
+    return f"SELECT sum({matrix}.v * {matrix}.v) AS norm2 FROM {matrix}"
+
+
+def vector_dot_sql(x: str = "x", y: str = "y") -> str:
+    """``x . y`` as a 1-attribute aggregate-join."""
+    return (
+        f"SELECT sum({x}.v * {y}.v) AS dot FROM {x}, {y} "
+        f"WHERE {x}.i = {y}.i"
+    )

@@ -1,0 +1,140 @@
+"""Matrices and vectors as annotated relations.
+
+A matrix is a table ``(i, j, v)`` whose keys share one *dimension
+domain* and whose value column is the annotation (Figure 3 of the
+paper); a vector is ``(i, v)``.  The helpers here register matrices in
+an engine's catalog from COO triples or dense arrays, anchoring the
+dimension domain with a range table so that (a) encoded indices are the
+raw indices and (b) completely dense matrices are detected for the
+icost-0 rule and BLAS routing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import SchemaError
+from ..storage.catalog import Catalog
+from ..storage.schema import Schema, annotation, key
+from ..storage.table import Table
+
+
+def matrix_schema(name: str, domain: str) -> Schema:
+    """Schema for a matrix relation over a shared dimension domain."""
+    return Schema(
+        name, [key("i", domain=domain), key("j", domain=domain), annotation("v")]
+    )
+
+
+def vector_schema(name: str, domain: str) -> Schema:
+    """Schema for a vector relation over the same dimension domain."""
+    return Schema(name, [key("i", domain=domain), annotation("v")])
+
+
+def ensure_dimension(catalog: Catalog, domain: str, n: int) -> None:
+    """Anchor ``domain`` with every index ``0..n-1``.
+
+    Registering the full range once keeps index encoding the identity
+    and makes dense-relation detection exact (a dense matrix has
+    ``n*n`` rows over an ``n``-sized domain).
+    """
+    anchor_name = f"__dim_{domain}"
+    if catalog.has_table(anchor_name):
+        return
+    catalog.register(
+        Table.from_columns(
+            Schema(anchor_name, [key("d", domain=domain)]), d=np.arange(n)
+        )
+    )
+
+
+def register_coo(
+    catalog: Catalog,
+    name: str,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    n: int,
+    domain: Optional[str] = None,
+) -> Table:
+    """Register a sparse matrix from COO triples."""
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    values = np.asarray(values, dtype=np.float64)
+    if not (rows.shape == cols.shape == values.shape):
+        raise SchemaError("COO arrays must have equal shapes")
+    if rows.size and (rows.max() >= n or cols.max() >= n or rows.min() < 0 or cols.min() < 0):
+        raise SchemaError(f"COO indices out of range for dimension {n}")
+    domain = domain or f"{name}_dim"
+    ensure_dimension(catalog, domain, n)
+    return catalog.register(
+        Table.from_columns(matrix_schema(name, domain), i=rows, j=cols, v=values)
+    )
+
+
+def register_dense(
+    catalog: Catalog, name: str, array: np.ndarray, domain: Optional[str] = None
+) -> Table:
+    """Register a dense square matrix (every cell stored)."""
+    array = np.asarray(array, dtype=np.float64)
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        raise SchemaError(f"expected a square matrix, got shape {array.shape}")
+    n = array.shape[0]
+    i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    return register_coo(catalog, name, i.ravel(), j.ravel(), array.ravel(), n, domain)
+
+
+def register_vector(
+    catalog: Catalog,
+    name: str,
+    values: np.ndarray,
+    domain: str,
+    indices: Optional[np.ndarray] = None,
+) -> Table:
+    """Register a vector over an existing dimension domain.
+
+    Dense when ``indices`` is omitted (one entry per domain index).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if indices is None:
+        indices = np.arange(values.size)
+    return catalog.register(
+        Table.from_columns(vector_schema(name, domain), i=indices, v=values)
+    )
+
+
+def to_dense(table: Table, n: int) -> np.ndarray:
+    """Materialize a matrix relation back to a dense array (tests/examples)."""
+    out = np.zeros((n, n))
+    out[table.column("i"), table.column("j")] = table.column("v")
+    return out
+
+
+def result_to_dense(result, n: int) -> np.ndarray:
+    """Materialize an ``(i, j, v)`` query result to a dense array."""
+    out = np.zeros((n, n))
+    for i, j, v in result.to_rows():
+        out[int(i), int(j)] = v
+    return out
+
+
+def result_to_vector(result, n: int) -> np.ndarray:
+    """Materialize an ``(i, v)`` query result to a dense vector."""
+    out = np.zeros(n)
+    for i, v in result.to_rows():
+        out[int(i)] = v
+    return out
+
+
+def random_sparse_coo(
+    n: int, nnz: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Uniform random COO triples (duplicates removed)."""
+    rows = rng.integers(0, n, size=nnz)
+    cols = rng.integers(0, n, size=nnz)
+    flat = np.unique(rows.astype(np.int64) * n + cols)
+    rows, cols = flat // n, flat % n
+    values = rng.normal(size=rows.size)
+    return rows, cols, values

@@ -1,0 +1,28 @@
+"""Machine learning on top of the engine (the Section VII extension)."""
+
+from .encoding import OneHotEncoder, build_feature_matrix, standardize
+from .logistic_regression import LogisticRegression, sigmoid
+from .pipeline import (
+    PIPELINES,
+    PipelineResult,
+    run_all_pipelines,
+    run_levelheaded_pipeline,
+    run_monetdb_sklearn_pipeline,
+    run_pandas_sklearn_pipeline,
+    run_spark_like_pipeline,
+)
+
+__all__ = [
+    "OneHotEncoder",
+    "build_feature_matrix",
+    "standardize",
+    "LogisticRegression",
+    "sigmoid",
+    "PipelineResult",
+    "PIPELINES",
+    "run_all_pipelines",
+    "run_levelheaded_pipeline",
+    "run_monetdb_sklearn_pipeline",
+    "run_pandas_sklearn_pipeline",
+    "run_spark_like_pipeline",
+]

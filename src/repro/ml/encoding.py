@@ -1,0 +1,87 @@
+"""Feature encoding: categorical one-hot + standardized numerics.
+
+The voter pipeline's second phase (Section VII).  Two paths exist on
+purpose: ``OneHotEncoder.fit`` derives categories from scratch with
+``np.unique`` (what a Pandas/Scikit-learn pipeline pays per run), while
+``from_dictionaries`` reuses the order-preserving dictionaries the
+storage engine already built at load time -- LevelHeaded's "use the
+trie-based data structure for all phases" advantage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..trie.dictionary import Dictionary
+
+
+class OneHotEncoder:
+    """One-hot encoding over named categorical columns."""
+
+    def __init__(self):
+        self.categories_: Dict[str, np.ndarray] = {}
+
+    def fit(self, columns: Dict[str, np.ndarray]) -> "OneHotEncoder":
+        for name, values in columns.items():
+            self.categories_[name] = np.unique(np.asarray(values))
+        return self
+
+    @classmethod
+    def from_dictionaries(cls, dictionaries: Dict[str, Dictionary]) -> "OneHotEncoder":
+        """Build the encoder from pre-existing column dictionaries."""
+        encoder = cls()
+        for name, dictionary in dictionaries.items():
+            encoder.categories_[name] = dictionary.values
+        return encoder
+
+    @property
+    def width(self) -> int:
+        return sum(c.size for c in self.categories_.values())
+
+    def transform(self, columns: Dict[str, np.ndarray]) -> np.ndarray:
+        """Encode columns to a dense 0/1 matrix, column blocks in fit order."""
+        if not self.categories_:
+            raise ValueError("encoder not fitted")
+        first = next(iter(columns.values()))
+        n = len(first)
+        out = np.zeros((n, self.width))
+        offset = 0
+        for name, categories in self.categories_.items():
+            values = np.asarray(columns[name])
+            codes = np.searchsorted(categories, values)
+            codes = np.clip(codes, 0, categories.size - 1)
+            valid = categories[codes] == values
+            out[np.arange(n)[valid], offset + codes[valid]] = 1.0
+            offset += categories.size
+        return out
+
+
+def standardize(values: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-variance scaling (constant columns become zeros)."""
+    arr = np.asarray(values, dtype=np.float64)
+    std = arr.std()
+    if std == 0:
+        return np.zeros_like(arr)
+    return (arr - arr.mean()) / std
+
+
+def build_feature_matrix(
+    columns: Dict[str, np.ndarray],
+    categorical: Sequence[str],
+    numeric: Sequence[str],
+    encoder: Optional[OneHotEncoder] = None,
+) -> Tuple[np.ndarray, OneHotEncoder]:
+    """Assemble [one-hot categoricals | standardized numerics | bias]."""
+    cat_columns = {name: np.asarray(columns[name]) for name in categorical}
+    if encoder is None:
+        encoder = OneHotEncoder().fit(cat_columns)
+    blocks: List[np.ndarray] = []
+    if categorical:
+        blocks.append(encoder.transform(cat_columns))
+    for name in numeric:
+        blocks.append(standardize(columns[name]).reshape(-1, 1))
+    n = len(next(iter(columns.values())))
+    blocks.append(np.ones((n, 1)))  # bias
+    return np.hstack(blocks), encoder

@@ -1,0 +1,79 @@
+"""Logistic regression, from scratch (the Section VII training phase).
+
+Full-batch gradient descent, matching the paper's protocol of training
+"a logistic regression model for five iterations".  Implemented on
+numpy only so every pipeline in Figure 6's comparison trains with the
+identical code -- the phases that differ across engines are SQL and
+encoding, not the model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z, dtype=np.float64)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    expz = np.exp(z[~positive])
+    out[~positive] = expz / (1.0 + expz)
+    return out
+
+
+class LogisticRegression:
+    """Binary logistic regression trained by full-batch gradient descent."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        iterations: int = 5,
+        l2: float = 0.0,
+    ):
+        if iterations < 1:
+            raise ValueError("iterations must be positive")
+        self.learning_rate = learning_rate
+        self.iterations = iterations
+        self.l2 = l2
+        self.weights: Optional[np.ndarray] = None
+        self.loss_history: List[float] = []
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if features.ndim != 2 or labels.shape != (features.shape[0],):
+            raise ValueError("features must be (n, d) and labels (n,)")
+        n, d = features.shape
+        self.weights = np.zeros(d)
+        self.loss_history = []
+        for _ in range(self.iterations):
+            probabilities = sigmoid(features @ self.weights)
+            gradient = features.T @ (probabilities - labels) / n
+            if self.l2:
+                gradient += self.l2 * self.weights
+            self.weights -= self.learning_rate * gradient
+            self.loss_history.append(self.log_loss(features, labels))
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise ValueError("model not fitted")
+        return sigmoid(np.asarray(features, dtype=np.float64) @ self.weights)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        return float(np.mean(self.predict(features) == np.asarray(labels)))
+
+    def log_loss(self, features: np.ndarray, labels: np.ndarray) -> float:
+        probabilities = np.clip(self.predict_proba(features), 1e-12, 1 - 1e-12)
+        labels = np.asarray(labels, dtype=np.float64)
+        return float(
+            -np.mean(
+                labels * np.log(probabilities)
+                + (1 - labels) * np.log(1 - probabilities)
+            )
+        )

@@ -1,0 +1,173 @@
+"""End-to-end SQL + encode + train pipelines (Section VII, Figure 6).
+
+The voter-classification application runs three phases: (1) SQL
+processing (join + filter into one feature set), (2) feature encoding
+of categorical variables, (3) training a logistic regression for five
+iterations.  Each engine configuration pays different costs:
+
+* ``levelheaded`` -- WCOJ SQL processing; the encode phase reuses the
+  storage engine's order-preserving dictionaries (no re-derivation of
+  categories: the paper's "trie-based data structure for all phases").
+* ``monetdb-sklearn`` -- pairwise column store (selinger planner) +
+  from-scratch category derivation.
+* ``pandas-sklearn`` -- FROM-order pairwise joins + from-scratch
+  encoding, plus a row-major materialization of the feature frame.
+* ``spark`` -- FROM-order pairwise joins + a serialize/deserialize
+  round-trip of the feature set (shuffle/IPC overhead stand-in) +
+  from-scratch encoding.
+
+All pipelines train with the identical from-scratch model, so the
+differences Figure 6 shows come from SQL processing and data
+transformation -- the paper's point.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..baselines.pairwise import PairwiseEngine
+from ..core.engine import LevelHeadedEngine
+from ..datasets.voters import (
+    CATEGORICAL_FEATURES,
+    NUMERIC_FEATURES,
+    TARGET,
+    VOTER_FEATURE_SQL,
+)
+from ..storage.catalog import Catalog
+from .encoding import OneHotEncoder, build_feature_matrix
+from .logistic_regression import LogisticRegression
+
+
+@dataclass
+class PipelineResult:
+    """Per-phase timings and model quality for one engine run."""
+
+    engine: str
+    sql_seconds: float
+    encode_seconds: float
+    train_seconds: float
+    n_rows: int
+    accuracy: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.sql_seconds + self.encode_seconds + self.train_seconds
+
+
+def _train(features: np.ndarray, labels: np.ndarray, iterations: int) -> LogisticRegression:
+    model = LogisticRegression(learning_rate=0.5, iterations=iterations)
+    return model.fit(features, labels)
+
+
+def _finish(engine_name, sql_s, encode_s, t_train0, model, features, labels) -> PipelineResult:
+    train_s = time.perf_counter() - t_train0
+    return PipelineResult(
+        engine=engine_name,
+        sql_seconds=sql_s,
+        encode_seconds=encode_s,
+        train_seconds=train_s,
+        n_rows=features.shape[0],
+        accuracy=model.accuracy(features, labels),
+    )
+
+
+def run_levelheaded_pipeline(
+    catalog: Catalog, iterations: int = 5, sql: str = VOTER_FEATURE_SQL
+) -> PipelineResult:
+    engine = LevelHeadedEngine(catalog)
+    t0 = time.perf_counter()
+    result = engine.query(sql)
+    sql_s = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    # Reuse the dictionaries built at load time: categories are already
+    # known, no np.unique pass over the feature set.
+    dictionaries = {}
+    for name in CATEGORICAL_FEATURES:
+        for table in catalog.tables.values():
+            if table.schema.has(name):
+                dictionaries[name] = table.string_dictionary(name)
+                break
+    encoder = OneHotEncoder.from_dictionaries(dictionaries)
+    columns = {name: result.column(name) for name in result.names}
+    features, _ = build_feature_matrix(
+        columns, CATEGORICAL_FEATURES, NUMERIC_FEATURES, encoder=encoder
+    )
+    labels = np.asarray(columns[TARGET], dtype=np.float64)
+    encode_s = time.perf_counter() - t1
+
+    t2 = time.perf_counter()
+    model = _train(features, labels, iterations)
+    return _finish("levelheaded", sql_s, encode_s, t2, model, features, labels)
+
+
+def _baseline_pipeline(
+    engine_name: str,
+    catalog: Catalog,
+    planner: str,
+    iterations: int,
+    sql: str,
+    materialize_rows: bool = False,
+    serialize_roundtrip: bool = False,
+) -> PipelineResult:
+    engine = PairwiseEngine(catalog, planner=planner)
+    t0 = time.perf_counter()
+    result = engine.query(sql)
+    columns = {name: result.column(name) for name in result.names}
+    if serialize_roundtrip:
+        # shuffle/IPC stand-in: the feature set crosses a process
+        # boundary in Spark-style engines
+        columns = pickle.loads(pickle.dumps(columns))
+    sql_s = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    if materialize_rows:
+        # dataframe-style row-major materialization before encoding
+        row_major = list(zip(*[columns[name] for name in result.names]))
+        columns = {
+            name: np.asarray([row[i] for row in row_major])
+            for i, name in enumerate(result.names)
+        }
+    features, _ = build_feature_matrix(
+        columns, CATEGORICAL_FEATURES, NUMERIC_FEATURES, encoder=None
+    )
+    labels = np.asarray(columns[TARGET], dtype=np.float64)
+    encode_s = time.perf_counter() - t1
+
+    t2 = time.perf_counter()
+    model = _train(features, labels, iterations)
+    return _finish(engine_name, sql_s, encode_s, t2, model, features, labels)
+
+
+def run_monetdb_sklearn_pipeline(catalog: Catalog, iterations: int = 5, sql: str = VOTER_FEATURE_SQL) -> PipelineResult:
+    return _baseline_pipeline("monetdb-sklearn", catalog, "selinger", iterations, sql)
+
+
+def run_pandas_sklearn_pipeline(catalog: Catalog, iterations: int = 5, sql: str = VOTER_FEATURE_SQL) -> PipelineResult:
+    return _baseline_pipeline(
+        "pandas-sklearn", catalog, "fifo", iterations, sql, materialize_rows=True
+    )
+
+
+def run_spark_like_pipeline(catalog: Catalog, iterations: int = 5, sql: str = VOTER_FEATURE_SQL) -> PipelineResult:
+    return _baseline_pipeline(
+        "spark", catalog, "fifo", iterations, sql, serialize_roundtrip=True
+    )
+
+
+PIPELINES: Dict[str, Callable[..., PipelineResult]] = {
+    "levelheaded": run_levelheaded_pipeline,
+    "monetdb-sklearn": run_monetdb_sklearn_pipeline,
+    "pandas-sklearn": run_pandas_sklearn_pipeline,
+    "spark": run_spark_like_pipeline,
+}
+
+
+def run_all_pipelines(catalog: Catalog, iterations: int = 5) -> List[PipelineResult]:
+    """Run every engine's pipeline (Figure 6's bars)."""
+    return [fn(catalog, iterations=iterations) for fn in PIPELINES.values()]

@@ -1,0 +1,35 @@
+"""The cost-based WCOJ optimizer (Section V).
+
+The first cost-based optimizer for generic worst-case optimal join
+attribute ordering: per-vertex intersection costs (icost, from the
+layout guesses of Observation 5.1) weighted by relation cardinality
+scores (Observation 5.2's heaviest-first rule), with the Section V-A2
+relaxation of the materialized-attributes-first constraint.
+"""
+
+from .attribute_order import OrderDecision, candidate_orders, choose_order, order_cost
+from .icost import (
+    ICOST,
+    guess_layouts,
+    multiway_icost,
+    pairwise_icost,
+    result_layout,
+    vertex_icost,
+)
+from .weights import relation_scores, vertex_weight, vertex_weights
+
+__all__ = [
+    "ICOST",
+    "pairwise_icost",
+    "multiway_icost",
+    "result_layout",
+    "guess_layouts",
+    "vertex_icost",
+    "relation_scores",
+    "vertex_weight",
+    "vertex_weights",
+    "OrderDecision",
+    "candidate_orders",
+    "choose_order",
+    "order_cost",
+]

@@ -1,0 +1,151 @@
+"""Cost-based attribute ordering for the generic WCOJ algorithm (Section V).
+
+For each GHD node the optimizer enumerates the attribute orders that
+satisfy LevelHeaded's ordering rules --
+
+* materialized (output) attributes come before projected-away ones,
+* materialized attributes respect one global ordering across nodes,
+* plus the Section V-A2 *relaxation*: the final materialized attribute
+  may be swapped behind the last projected-away attribute (introducing
+  a 1-attribute union) when that lowers the icost --
+
+and picks the order minimizing ``sum_i icost(v_i) * weight(v_i)``.
+This is the optimization that turns sparse matrix multiplication's
+out-of-memory ``[i,j,k]`` order into MKL's ``[i,k,j]`` loop order
+(Figure 5b) and is worth up to 8815x on TPC-H (Table III).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import PlanningError
+from ..query.hypergraph import Hyperedge
+from .icost import vertex_icost
+from .weights import vertex_weights
+
+
+@dataclass
+class OrderDecision:
+    """A chosen attribute order with its cost breakdown."""
+
+    order: Tuple[str, ...]
+    cost: int
+    #: True when the Section V-A2 relaxation fired: the penultimate
+    #: attribute is projected away and the last is materialized, so the
+    #: executor must run a 1-attribute union on the final attribute.
+    relaxed: bool
+    per_vertex: Dict[str, Tuple[int, int]] = field(default_factory=dict)  # v -> (icost, weight)
+
+    def describe(self) -> str:
+        parts = [
+            f"{v}(icost={c}, w={w})" for v, (c, w) in self.per_vertex.items()
+        ]
+        suffix = " [relaxed]" if self.relaxed else ""
+        return f"[{', '.join(self.order)}] cost={self.cost}{suffix}"
+
+
+def order_cost(
+    order: Sequence[str],
+    edges: Iterable[Hyperedge],
+    weights: Optional[Dict[str, int]] = None,
+) -> Tuple[int, Dict[str, Tuple[int, int]]]:
+    """cost = sum icost(v_i) * weight(v_i) for one attribute order."""
+    edge_list = list(edges)
+    if weights is None:
+        weights = vertex_weights(edge_list)
+    total = 0
+    breakdown: Dict[str, Tuple[int, int]] = {}
+    for position, vertex in enumerate(order):
+        icost = vertex_icost(vertex, order[:position], edge_list)
+        weight = weights.get(vertex, 0)
+        breakdown[vertex] = (icost, weight)
+        total += icost * weight
+    return total, breakdown
+
+
+def candidate_orders(
+    materialized: Sequence[str],
+    aggregated: Sequence[str],
+    fixed_materialized_order: Optional[Sequence[str]] = None,
+    allow_relaxation: bool = True,
+) -> List[Tuple[Tuple[str, ...], bool]]:
+    """All orders satisfying the rules; returns (order, relaxed) pairs.
+
+    ``fixed_materialized_order`` constrains the *relative* order of
+    materialized attributes (the global ordering rule): when given,
+    only the single permutation consistent with it is considered.
+    """
+    if fixed_materialized_order is not None:
+        rank = {v: i for i, v in enumerate(fixed_materialized_order)}
+        mat_perms = [tuple(sorted(materialized, key=lambda v: rank[v]))]
+    else:
+        mat_perms = [tuple(p) for p in itertools.permutations(materialized)]
+    agg_perms = [tuple(p) for p in itertools.permutations(aggregated)]
+
+    out: List[Tuple[Tuple[str, ...], bool]] = []
+    seen = set()
+    for mat in mat_perms:
+        for agg in agg_perms:
+            base = mat + agg
+            if base not in seen:
+                seen.add(base)
+                out.append((base, False))
+            # Relaxation: base orders ending [materialized, aggregated]
+            # may swap the final pair (the aggregated attribute then
+            # precedes the last materialized one).
+            if allow_relaxation and len(agg) == 1 and len(mat) >= 1:
+                relaxed = mat[:-1] + (agg[0], mat[-1])
+                if relaxed not in seen:
+                    seen.add(relaxed)
+                    out.append((relaxed, True))
+    return out
+
+
+def choose_order(
+    vertices: Sequence[str],
+    materialized: Sequence[str],
+    edges: Iterable[Hyperedge],
+    fixed_materialized_order: Optional[Sequence[str]] = None,
+    allow_relaxation: bool = True,
+    pick_worst: bool = False,
+) -> OrderDecision:
+    """Choose the attribute order for one GHD node.
+
+    ``pick_worst`` inverts the objective (used by the Table III
+    '-Attr. Ord.' ablation to model an uncosted EmptyHeaded-style
+    choice); relaxed orders are excluded there, as EmptyHeaded never
+    relaxes the materialized-first rule.
+    """
+    vertex_set = set(vertices)
+    materialized = [v for v in materialized if v in vertex_set]
+    aggregated = [v for v in vertices if v not in set(materialized)]
+    edge_list = [e for e in edges if set(e.vertices) & vertex_set]
+    weights = vertex_weights(edge_list)
+
+    best: Optional[OrderDecision] = None
+    for order, relaxed in candidate_orders(
+        materialized,
+        aggregated,
+        fixed_materialized_order=fixed_materialized_order,
+        allow_relaxation=allow_relaxation and not pick_worst,
+    ):
+        cost, breakdown = order_cost(order, edge_list, weights)
+        decision = OrderDecision(order, cost, relaxed, breakdown)
+        if best is None:
+            best = decision
+            continue
+        better = decision.cost < best.cost or (
+            decision.cost == best.cost and decision.order < best.order
+        )
+        if pick_worst:
+            better = decision.cost > best.cost or (
+                decision.cost == best.cost and decision.order > best.order
+            )
+        if better:
+            best = decision
+    if best is None:
+        raise PlanningError("no attribute order candidates (empty vertex set?)")
+    return best

@@ -1,0 +1,87 @@
+"""Intersection cost estimation (Section V-A).
+
+The generic WCOJ algorithm's bottleneck is set intersection, and the
+cost of an intersection depends on the operand layouts: Figure 5a shows
+bs∩bs is ~50x faster than uint∩uint at equal cardinality.  LevelHeaded
+therefore assigns
+
+    icost(bs ∩ bs) = 1,  icost(bs ∩ uint) = 10,  icost(uint ∩ uint) = 50.
+
+Tracking the layout of every set is too expensive at compile time, so
+Observation 5.1 guesses: the set at a trie's *first* level is likely a
+bitset (it holds a whole column) while deeper levels are likely uints.
+Multi-way intersections sum pairwise icosts with bitsets processed
+first; completely dense relations need no intersection at all and get
+icost 0.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..sets.layout import Layout
+
+ICOST = {
+    (Layout.BITSET, Layout.BITSET): 1,
+    (Layout.BITSET, Layout.UINT): 10,
+    (Layout.UINT, Layout.BITSET): 10,
+    (Layout.UINT, Layout.UINT): 50,
+}
+
+
+def pairwise_icost(a: Layout, b: Layout) -> int:
+    """icost of one pairwise intersection."""
+    return ICOST[(a, b)]
+
+
+def result_layout(a: Layout, b: Layout) -> Layout:
+    """Layout of an intersection result: uint unless both sides are bs."""
+    if a is Layout.BITSET and b is Layout.BITSET:
+        return Layout.BITSET
+    return Layout.UINT
+
+
+def multiway_icost(layouts: Sequence[Layout]) -> int:
+    """icost of intersecting N sets, bitsets first (Section V-A1).
+
+    Fewer than two operands need no intersection and cost 0.
+    """
+    ordered = sorted(layouts, key=lambda l: l is not Layout.BITSET)
+    if len(ordered) < 2:
+        return 0
+    total = 0
+    current = ordered[0]
+    for layout in ordered[1:]:
+        total += pairwise_icost(current, layout)
+        current = result_layout(current, layout)
+    return total
+
+
+def guess_layouts(
+    vertex: str,
+    order_so_far: Sequence[str],
+    edges: Iterable,
+) -> List[Layout]:
+    """Observation 5.1 layout guesses for the edges participating at ``vertex``.
+
+    ``edges`` are hyperedges containing ``vertex``; an edge whose trie
+    was already opened by an earlier vertex in the order sits below its
+    first level (uint), otherwise this is its first level (bs).  Fully
+    dense edges are excluded entirely -- intersecting with a complete
+    range is a no-op, which is how dense LA queries reach icost 0.
+    """
+    earlier = set(order_so_far)
+    layouts: List[Layout] = []
+    for edge in edges:
+        if vertex not in edge.vertex_set:
+            continue
+        if edge.fully_dense:
+            continue
+        opened = bool(earlier & edge.vertex_set)
+        layouts.append(Layout.UINT if opened else Layout.BITSET)
+    return layouts
+
+
+def vertex_icost(vertex: str, order_so_far: Sequence[str], edges: Iterable) -> int:
+    """icost assigned to ``vertex`` at its position in an attribute order."""
+    return multiway_icost(guess_layouts(vertex, order_so_far, edges))

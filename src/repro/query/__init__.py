@@ -1,0 +1,55 @@
+"""Query compilation: hypergraphs, AJAR translation, and GHD plans.
+
+Implements Sections II and IV of the paper: SQL queries become
+annotated hypergraphs (Rules 1-4), GHDs are enumerated and ranked by
+fractional hypertree width with the Section IV-B tie-break heuristics,
+and commutative semirings model the AJAR aggregation framework.
+"""
+
+from .agm import agm_bound, fractional_cover, fractional_cover_number
+from .decompose import choose_ghd, enumerate_ghds
+from .ghd import GHD, GHDNode, single_node_ghd
+from .hypergraph import Hyperedge, Hypergraph
+from .semiring import (
+    BY_NAME,
+    MAX_MIN,
+    MAX_PRODUCT,
+    MIN_PLUS,
+    SUM_PRODUCT,
+    Semiring,
+    check_semiring_axioms,
+)
+from .translate import (
+    AggregateSpec,
+    CompiledQuery,
+    GroupAnnotation,
+    SlotSpec,
+    Term,
+    translate,
+)
+
+__all__ = [
+    "Hypergraph",
+    "Hyperedge",
+    "GHD",
+    "GHDNode",
+    "single_node_ghd",
+    "enumerate_ghds",
+    "choose_ghd",
+    "agm_bound",
+    "fractional_cover",
+    "fractional_cover_number",
+    "Semiring",
+    "SUM_PRODUCT",
+    "MIN_PLUS",
+    "MAX_PRODUCT",
+    "MAX_MIN",
+    "BY_NAME",
+    "check_semiring_axioms",
+    "translate",
+    "CompiledQuery",
+    "SlotSpec",
+    "Term",
+    "AggregateSpec",
+    "GroupAnnotation",
+]

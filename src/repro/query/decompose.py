@@ -1,0 +1,191 @@
+"""GHD enumeration and selection (Sections II-C and IV-B).
+
+``enumerate_ghds`` generates valid decompositions whose bags are unions
+of edge vertex-sets (the standard practical search space), subject to a
+*root requirement*: the root bag must contain the query's output
+vertices and every vertex whose annotations the root node fetches --
+our execution model computes aggregates and group annotations at the
+root, with child nodes feeding it pre-aggregated intermediate
+relations (Yannakakis-style).
+
+``choose_ghd`` applies the paper's ordering: minimize FHW, then the
+four tie-break heuristics of Section IV-B (fewest nodes, smallest
+depth, fewest shared vertices, deepest selections).  Finally, chosen
+GHDs with FHW 1 are compressed into a single node (Section II-C).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import PlanningError
+from .ghd import GHD, GHDNode, single_node_ghd
+from .hypergraph import Hyperedge, Hypergraph
+
+#: candidate bags are unions of up to this many edge vertex-sets.
+MAX_BAG_UNION = 3
+#: enumeration cap: more than this many distinct GHDs is never useful
+#: for the tie-break heuristics.
+MAX_GHDS = 4000
+
+
+def enumerate_ghds(
+    hypergraph: Hypergraph,
+    required_root: Iterable[str] = (),
+    max_union: int = MAX_BAG_UNION,
+) -> List[GHD]:
+    """Enumerate valid GHDs; always includes the single-node fallback."""
+    required = frozenset(required_root) & hypergraph.vertex_set()
+    edges = tuple(hypergraph.edges)
+    results: List[GHD] = []
+    seen: set = set()
+
+    if edges:
+        for root in _decompose(edges, required, max_union, {}, [0]):
+            ghd = GHD(root=_clone(root), hypergraph=hypergraph)
+            sig = ghd.root.signature()
+            if sig in seen:
+                continue
+            seen.add(sig)
+            results.append(ghd)
+            if len(results) >= MAX_GHDS:
+                break
+
+    fallback = single_node_ghd(hypergraph)
+    if fallback.root.signature() not in seen:
+        results.append(fallback)
+    return results
+
+
+def _decompose(
+    edges: Tuple[Hyperedge, ...],
+    required: FrozenSet[str],
+    max_union: int,
+    memo: Dict,
+    budget: List[int],
+) -> List[GHDNode]:
+    """All decompositions of ``edges`` whose root bag contains ``required``."""
+    key = (frozenset(e.alias for e in edges), required)
+    if key in memo:
+        return memo[key]
+    memo[key] = []  # break cycles defensively
+    options: List[GHDNode] = []
+
+    for bag in _candidate_bags(edges, required, max_union):
+        covered = [e for e in edges if e.vertex_set <= bag]
+        if not covered:
+            continue
+        remaining = [e for e in edges if not (e.vertex_set <= bag)]
+        if not remaining:
+            options.append(GHDNode(bag=bag, edges=covered, children=[]))
+            continue
+        components = _components(remaining)
+        # Running intersection: a component's vertices shared with the
+        # bag must be carried by its child root.
+        child_option_lists: List[List[GHDNode]] = []
+        feasible = True
+        for component in components:
+            comp_vertices = frozenset().union(*(e.vertex_set for e in component))
+            interface = comp_vertices & bag
+            child_options = _decompose(
+                tuple(component), interface, max_union, memo, budget
+            )
+            if not child_options:
+                feasible = False
+                break
+            child_option_lists.append(child_options[:6])  # cap fan-out
+        if not feasible:
+            continue
+        for combo in itertools.product(*child_option_lists):
+            options.append(GHDNode(bag=bag, edges=covered, children=list(combo)))
+            budget[0] += 1
+            if budget[0] > MAX_GHDS * 4:
+                memo[key] = options
+                return options
+
+    memo[key] = options
+    return options
+
+
+def _candidate_bags(
+    edges: Sequence[Hyperedge], required: FrozenSet[str], max_union: int
+) -> List[FrozenSet[str]]:
+    all_vertices = frozenset().union(*(e.vertex_set for e in edges))
+    bags: set = set()
+    for size in range(1, min(max_union, len(edges)) + 1):
+        for combo in itertools.combinations(edges, size):
+            bag = frozenset().union(*(e.vertex_set for e in combo))
+            if required <= bag:
+                bags.add(bag)
+    if required <= all_vertices:
+        bags.add(all_vertices)
+    # Deterministic order: small bags first (they yield deeper, cheaper plans).
+    return sorted(bags, key=lambda b: (len(b), tuple(sorted(b))))
+
+
+def _components(edges: Sequence[Hyperedge]) -> List[List[Hyperedge]]:
+    remaining = list(edges)
+    components: List[List[Hyperedge]] = []
+    while remaining:
+        seed = remaining.pop(0)
+        group = [seed]
+        vertices = set(seed.vertices)
+        changed = True
+        while changed:
+            changed = False
+            rest = []
+            for edge in remaining:
+                if vertices & edge.vertex_set:
+                    group.append(edge)
+                    vertices |= edge.vertex_set
+                    changed = True
+                else:
+                    rest.append(edge)
+            remaining = rest
+        components.append(group)
+    return components
+
+
+def _clone(node: GHDNode) -> GHDNode:
+    return GHDNode(
+        bag=node.bag,
+        edges=list(node.edges),
+        children=[_clone(c) for c in node.children],
+    )
+
+
+def choose_ghd(
+    hypergraph: Hypergraph,
+    required_root: Iterable[str] = (),
+    candidates: Optional[List[GHD]] = None,
+) -> GHD:
+    """Pick the best decomposition (FHW, then heuristics 1-4).
+
+    The chosen plan is compressed to a single node when its FHW is 1
+    (Section II-C: such plans are equivalent to one WCOJ invocation).
+    """
+    if candidates is None:
+        candidates = enumerate_ghds(hypergraph, required_root)
+    if not candidates:
+        raise PlanningError("no GHD candidates produced")
+    valid = [g for g in candidates if g.is_valid()]
+    if not valid:
+        raise PlanningError("no valid GHD found (running intersection failed)")
+
+    def rank(ghd: GHD):
+        return (
+            round(ghd.fhw(), 6),
+            ghd.num_nodes,
+            ghd.depth,
+            ghd.shared_vertex_count(),
+            -ghd.selection_depth(),
+            ghd.root.signature(),  # total order for determinism
+        )
+
+    best = min(valid, key=rank)
+    if best.fhw() <= 1.0 + 1e-9 and best.num_nodes > 1:
+        compressed = single_node_ghd(hypergraph)
+        compressed._fhw = best.fhw()
+        return compressed
+    return best

@@ -1,0 +1,156 @@
+"""Generalized hypertree decompositions (Section II-B).
+
+A GHD is a tree of *bags* (vertex subsets) covering every hyperedge,
+with the running-intersection property.  Its fractional hypertree width
+(FHW) -- the maximum fractional edge cover number over its bags --
+bounds the worst-case runtime, so the compiler picks a GHD with minimal
+FHW and breaks ties with the heuristics of Section IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from .agm import fractional_cover_number
+from .hypergraph import Hyperedge, Hypergraph
+
+
+@dataclass
+class GHDNode:
+    """One bag of a GHD, with the edges assigned (covered) here."""
+
+    bag: FrozenSet[str]
+    edges: List[Hyperedge] = field(default_factory=list)
+    children: List["GHDNode"] = field(default_factory=list)
+
+    def walk(self) -> Iterator[Tuple["GHDNode", int]]:
+        """Yield (node, depth) pre-order."""
+        stack = [(self, 0)]
+        while stack:
+            node, depth = stack.pop()
+            yield node, depth
+            for child in node.children:
+                stack.append((child, depth + 1))
+
+    def signature(self) -> Tuple:
+        """Canonical form for deduplicating equivalent decompositions."""
+        child_sigs = tuple(sorted(c.signature() for c in self.children))
+        return (tuple(sorted(self.bag)), tuple(sorted(e.alias for e in self.edges)), child_sigs)
+
+
+@dataclass
+class GHD:
+    """A rooted decomposition of a query hypergraph."""
+
+    root: GHDNode
+    hypergraph: Hypergraph
+    _fhw: Optional[float] = None
+
+    def nodes(self) -> List[GHDNode]:
+        return [node for node, _ in self.root.walk()]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes())
+
+    @property
+    def depth(self) -> int:
+        """Longest root-to-leaf path length (single node -> 0)."""
+        return max(depth for _, depth in self.root.walk())
+
+    def width_of(self, node: GHDNode) -> float:
+        """Fractional edge cover number of one bag.
+
+        Per the paper, the cover may use *any* hypergraph edge whose
+        vertex set lies inside the bag, not just the edges assigned to
+        the node.
+        """
+        covering = [e for e in self.hypergraph.edges if e.vertex_set <= node.bag]
+        if not node.bag:
+            return 0.0
+        return fractional_cover_number(sorted(node.bag), covering)
+
+    def fhw(self) -> float:
+        """Fractional hypertree width: the maximum bag width."""
+        if self._fhw is None:
+            self._fhw = max(self.width_of(node) for node in self.nodes())
+        return self._fhw
+
+    def shared_vertex_count(self) -> int:
+        """Total vertices shared between adjacent bags (heuristic 3)."""
+        total = 0
+        for node, _ in self.root.walk():
+            for child in node.children:
+                total += len(node.bag & child.bag)
+        return total
+
+    def selection_depth(self) -> int:
+        """Sum of depths of equality-selected edges (heuristic 4)."""
+        total = 0
+        for node, depth in self.root.walk():
+            for edge in node.edges:
+                if edge.has_equality_selection:
+                    total += depth
+        return total
+
+    def is_valid(self) -> bool:
+        """Check edge coverage and the running-intersection property."""
+        nodes = self.nodes()
+        # every hyperedge inside some bag
+        for edge in self.hypergraph.edges:
+            if not any(edge.vertex_set <= node.bag for node in nodes):
+                return False
+        # every edge assigned exactly once, to a bag that contains it
+        assigned = [e.alias for node in nodes for e in node.edges]
+        if sorted(assigned) != sorted(e.alias for e in self.hypergraph.edges):
+            return False
+        for node in nodes:
+            for edge in node.edges:
+                if not edge.vertex_set <= node.bag:
+                    return False
+        # running intersection: nodes containing each vertex form a
+        # connected subtree.  Walk top-down: once a vertex disappears on
+        # a root-to-leaf path it may not reappear in that subtree.
+        return self._check_running_intersection(self.root, frozenset())
+
+    def _check_running_intersection(self, node: GHDNode, forbidden: FrozenSet[str]) -> bool:
+        if node.bag & forbidden:
+            return False
+        for child in node.children:
+            gone = node.bag - child.bag
+            # vertices present here but absent in the child are dead for
+            # the child's entire subtree, as are previously dead ones.
+            if not self._check_running_intersection(child, forbidden | gone):
+                return False
+        # Vertices appearing in two sibling subtrees but not in this bag
+        # also violate the property.
+        seen: Dict[str, int] = {}
+        for idx, child in enumerate(node.children):
+            for vertex in _subtree_vertices(child):
+                if vertex in node.bag:
+                    continue
+                if vertex in seen and seen[vertex] != idx:
+                    return False
+                seen[vertex] = idx
+        return True
+
+    def describe(self) -> str:
+        lines = []
+        for node, depth in sorted(self.root.walk(), key=lambda p: p[1]):
+            edges = ", ".join(e.alias for e in node.edges)
+            lines.append("  " * depth + f"[{', '.join(sorted(node.bag))}] <- {edges}")
+        return "\n".join(lines)
+
+
+def _subtree_vertices(node: GHDNode) -> FrozenSet[str]:
+    out = set(node.bag)
+    for child in node.children:
+        out |= _subtree_vertices(child)
+    return frozenset(out)
+
+
+def single_node_ghd(hypergraph: Hypergraph) -> GHD:
+    """The trivial decomposition: one bag holding every vertex."""
+    root = GHDNode(bag=frozenset(hypergraph.vertices), edges=list(hypergraph.edges))
+    return GHD(root=root, hypergraph=hypergraph)

@@ -1,0 +1,39 @@
+"""Set layouts and intersection kernels (Sections III-B and V-A).
+
+LevelHeaded tries store each level's sets either as sorted uint arrays
+(sparse) or packed bitsets (dense); the cost model in
+:mod:`repro.optimizer.icost` is derived from the relative speeds of the
+three intersection kernels implemented here.
+"""
+
+from .bitset import BitSet, popcount64
+from .layout import DENSITY_FACTOR, MIN_BITSET_CARDINALITY, Layout, choose_layout
+from .ops import (
+    Set,
+    difference,
+    from_unsorted,
+    intersect,
+    intersect_many,
+    make_set,
+    union,
+    union_many,
+)
+from .uintset import UintSet
+
+__all__ = [
+    "BitSet",
+    "UintSet",
+    "Set",
+    "Layout",
+    "choose_layout",
+    "DENSITY_FACTOR",
+    "MIN_BITSET_CARDINALITY",
+    "popcount64",
+    "make_set",
+    "from_unsorted",
+    "intersect",
+    "intersect_many",
+    "union",
+    "union_many",
+    "difference",
+]

@@ -1,0 +1,196 @@
+"""Dense set layout: a packed 64-bit-word bit vector over a value range."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layout import Layout
+
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+
+
+def popcount64(words: np.ndarray) -> np.ndarray:
+    """Vectorized population count for an array of ``uint64`` words."""
+    x = words.copy()
+    x -= (x >> np.uint64(1)) & _M1
+    x = (x & _M2) + ((x >> np.uint64(2)) & _M2)
+    x = (x + (x >> np.uint64(4))) & _M4
+    # The multiply intentionally wraps modulo 2**64 (SWAR horizontal sum).
+    with np.errstate(over="ignore"):
+        return (x * _H01) >> np.uint64(56)
+
+
+class BitSet:
+    """An immutable dense set stored as a bit vector.
+
+    ``base`` is the value of bit 0 (always 64-aligned) and ``words`` holds
+    the packed membership bits.  Dense trie levels use this layout; the
+    bs/bs and bs/uint intersections it enables are respectively ~50x and
+    ~5x cheaper than uint/uint at equal cardinality, which is the origin
+    of the paper's icost constants (Figure 5a, Section V-A1).
+    """
+
+    __slots__ = ("base", "words", "_cardinality", "_rank_prefix")
+
+    layout = Layout.BITSET
+
+    def __init__(self, base: int, words: np.ndarray, cardinality: int | None = None):
+        if base % 64 != 0:
+            raise ValueError("bitset base must be 64-aligned")
+        if words.dtype != np.uint64:
+            words = words.astype(np.uint64)
+        self.base = int(base)
+        self.words = words
+        self._cardinality = cardinality
+        self._rank_prefix: np.ndarray | None = None
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "BitSet":
+        """Build a bitset from a sorted, duplicate-free ``uint32`` array."""
+        arr = np.asarray(values, dtype=np.uint64)
+        if arr.size == 0:
+            return cls(0, np.zeros(0, dtype=np.uint64), 0)
+        base = int(arr[0]) & ~63
+        offsets = arr - np.uint64(base)
+        n_words = (int(offsets[-1]) >> 6) + 1
+        words = np.zeros(n_words, dtype=np.uint64)
+        word_idx = (offsets >> np.uint64(6)).astype(np.int64)
+        bit_idx = offsets & np.uint64(63)
+        np.bitwise_or.at(words, word_idx, np.uint64(1) << bit_idx)
+        return cls(base, words, int(arr.size))
+
+    @classmethod
+    def full_range(cls, start: int, stop: int) -> "BitSet":
+        """Build a bitset holding every value in ``[start, stop)``.
+
+        Completely dense trie levels (dense matrices, Section V-A1's
+        icost-0 special case) use this constructor.
+        """
+        if stop <= start:
+            return cls(0, np.zeros(0, dtype=np.uint64), 0)
+        base = start & ~63
+        n_words = ((stop - 1 - base) >> 6) + 1
+        words = np.full(n_words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+        lead = start - base
+        if lead:
+            words[0] &= np.uint64(0xFFFFFFFFFFFFFFFF) << np.uint64(lead)
+        tail = (stop - base) & 63
+        if tail:
+            words[-1] &= ~(np.uint64(0xFFFFFFFFFFFFFFFF) << np.uint64(tail))
+        return cls(base, words, stop - start)
+
+    @classmethod
+    def empty(cls) -> "BitSet":
+        return cls(0, np.zeros(0, dtype=np.uint64), 0)
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def cardinality(self) -> int:
+        if self._cardinality is None:
+            self._cardinality = int(popcount64(self.words).sum())
+        return self._cardinality
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    def __bool__(self) -> bool:
+        return self.cardinality > 0
+
+    def is_empty(self) -> bool:
+        """Cheap emptiness test (no popcount)."""
+        if self._cardinality is not None:
+            return self._cardinality == 0
+        return not self.words.any()
+
+    def approx_cardinality(self) -> int:
+        """An upper bound cheap enough for operand ordering."""
+        if self._cardinality is not None:
+            return self._cardinality
+        return int(self.words.size) * 64
+
+    def __iter__(self):
+        return iter(self.to_array())
+
+    def __eq__(self, other) -> bool:
+        if not hasattr(other, "to_array"):
+            return NotImplemented
+        return np.array_equal(self.to_array(), other.to_array())
+
+    def __hash__(self):
+        raise TypeError("BitSet is unhashable")
+
+    def __repr__(self) -> str:
+        return f"BitSet(base={self.base}, words={self.words.size}, n={self.cardinality})"
+
+    # -- queries -----------------------------------------------------------
+
+    def to_array(self) -> np.ndarray:
+        """Return the sorted member values as a ``uint32`` array."""
+        if self.words.size == 0:
+            return np.empty(0, dtype=np.uint32)
+        bits = np.unpackbits(self.words.view(np.uint8), bitorder="little")
+        return (np.flatnonzero(bits) + self.base).astype(np.uint32)
+
+    @property
+    def min_value(self) -> int:
+        arr = self.to_array()
+        if arr.size == 0:
+            raise ValueError("empty set has no minimum")
+        return int(arr[0])
+
+    @property
+    def max_value(self) -> int:
+        arr = self.to_array()
+        if arr.size == 0:
+            raise ValueError("empty set has no maximum")
+        return int(arr[-1])
+
+    def contains(self, value: int) -> bool:
+        off = int(value) - self.base
+        if off < 0 or (off >> 6) >= self.words.size:
+            return False
+        return bool((self.words[off >> 6] >> np.uint64(off & 63)) & np.uint64(1))
+
+    def contains_many(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized membership test; returns a boolean mask."""
+        probe = np.asarray(values, dtype=np.int64) - self.base
+        out = np.zeros(probe.shape, dtype=bool)
+        in_range = (probe >= 0) & ((probe >> 6) < self.words.size)
+        off = probe[in_range]
+        hit = (self.words[off >> 6] >> (off & 63).astype(np.uint64)) & np.uint64(1)
+        out[in_range] = hit.astype(bool)
+        return out
+
+    def _prefix(self) -> np.ndarray:
+        """Exclusive prefix sum of per-word popcounts (rank support)."""
+        if self._rank_prefix is None:
+            counts = popcount64(self.words)
+            prefix = np.zeros(self.words.size, dtype=np.int64)
+            np.cumsum(counts[:-1], out=prefix[1:])
+            self._rank_prefix = prefix
+        return self._rank_prefix
+
+    def rank(self, value: int) -> int:
+        """Return the 0-based position of ``value`` within the set."""
+        if not self.contains(value):
+            raise KeyError(f"value {value} not in set")
+        off = int(value) - self.base
+        word, bit = off >> 6, off & 63
+        low = int(self.words[word]) & ((1 << bit) - 1)
+        return int(self._prefix()[word]) + low.bit_count()
+
+    def rank_many(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rank`; all ``values`` must be members."""
+        off = np.asarray(values, dtype=np.int64) - self.base
+        word = off >> 6
+        bit = (off & 63).astype(np.uint64)
+        low = self.words[word] & ((np.uint64(1) << bit) - np.uint64(1))
+        return self._prefix()[word] + popcount64(low).astype(np.int64)
+
+    def select(self, mask: np.ndarray) -> "BitSet":
+        """Return the subset of members where ``mask`` (aligned) is True."""
+        return BitSet.from_values(self.to_array()[mask])

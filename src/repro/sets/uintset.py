@@ -1,0 +1,130 @@
+"""Sparse set layout: a sorted array of unsigned 32-bit integers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layout import Layout
+
+_EMPTY = np.empty(0, dtype=np.uint32)
+
+
+class UintSet:
+    """An immutable sorted set of ``uint32`` values.
+
+    This is LevelHeaded's sparse layout: values are stored as a sorted,
+    duplicate-free ``numpy`` array.  Membership and rank queries use
+    binary search; intersections use a probe of the smaller side into
+    the larger side (see :mod:`repro.sets.ops`).
+    """
+
+    __slots__ = ("values",)
+
+    layout = Layout.UINT
+
+    def __init__(self, values: np.ndarray):
+        """Wrap ``values``, which must already be sorted and unique.
+
+        Use :meth:`from_unsorted` when the input may contain duplicates
+        or be out of order.
+        """
+        if values.dtype != np.uint32:
+            values = values.astype(np.uint32)
+        self.values = values
+
+    @classmethod
+    def from_unsorted(cls, values: np.ndarray) -> "UintSet":
+        """Build a set from an arbitrary array of non-negative integers."""
+        arr = np.asarray(values)
+        if arr.size == 0:
+            return cls(_EMPTY)
+        return cls(np.unique(arr).astype(np.uint32))
+
+    @classmethod
+    def empty(cls) -> "UintSet":
+        return cls(_EMPTY)
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def cardinality(self) -> int:
+        return int(self.values.size)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __bool__(self) -> bool:
+        return self.values.size > 0
+
+    def is_empty(self) -> bool:
+        return self.values.size == 0
+
+    def approx_cardinality(self) -> int:
+        return int(self.values.size)
+
+    def __eq__(self, other) -> bool:
+        if not hasattr(other, "to_array"):
+            return NotImplemented
+        return np.array_equal(self.values, other.to_array())
+
+    def __hash__(self):  # sets are compared by content, not hashed
+        raise TypeError("UintSet is unhashable")
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(v) for v in self.values[:6])
+        suffix = ", ..." if self.values.size > 6 else ""
+        return f"UintSet([{preview}{suffix}], n={self.values.size})"
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def min_value(self) -> int:
+        if self.values.size == 0:
+            raise ValueError("empty set has no minimum")
+        return int(self.values[0])
+
+    @property
+    def max_value(self) -> int:
+        if self.values.size == 0:
+            raise ValueError("empty set has no maximum")
+        return int(self.values[-1])
+
+    def to_array(self) -> np.ndarray:
+        """Return the sorted member values as a ``uint32`` array."""
+        return self.values
+
+    def contains(self, value: int) -> bool:
+        idx = np.searchsorted(self.values, np.uint32(value))
+        return bool(idx < self.values.size and self.values[idx] == value)
+
+    def contains_many(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized membership test; returns a boolean mask."""
+        probe = np.asarray(values, dtype=np.uint32)
+        idx = np.searchsorted(self.values, probe)
+        mask = idx < self.values.size
+        out = np.zeros(probe.shape, dtype=bool)
+        out[mask] = self.values[idx[mask]] == probe[mask]
+        return out
+
+    def rank(self, value: int) -> int:
+        """Return the 0-based position of ``value`` within the set.
+
+        Ranks are how the trie maps a set element to its child node id,
+        so callers must only pass values known to be members.
+        """
+        idx = int(np.searchsorted(self.values, np.uint32(value)))
+        if idx >= self.values.size or self.values[idx] != value:
+            raise KeyError(f"value {value} not in set")
+        return idx
+
+    def rank_many(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rank`; all ``values`` must be members."""
+        probe = np.asarray(values, dtype=np.uint32)
+        return np.searchsorted(self.values, probe).astype(np.int64)
+
+    def select(self, mask: np.ndarray) -> "UintSet":
+        """Return the subset of members where ``mask`` (aligned) is True."""
+        return UintSet(self.values[mask])

@@ -1,0 +1,72 @@
+"""SQL front-end: lexer, parser, expression evaluation, and binding.
+
+Implements the SQL 2008 subset of Section III-A.  ``parse`` produces an
+AST, ``bind`` resolves it against a catalog into a :class:`BoundQuery`
+whose join vertices feed the hypergraph translation of Section IV-A.
+"""
+
+from .ast import (
+    AGGREGATE_FUNCS,
+    AggCall,
+    Between,
+    BinOp,
+    BoolOp,
+    CaseExpr,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InList,
+    Like,
+    Literal,
+    NotOp,
+    OrderKey,
+    SelectItem,
+    SelectStmt,
+    TableRef,
+    UnaryOp,
+    collect_aggregates,
+    collect_columns,
+    contains_aggregate,
+    walk,
+)
+from .binder import BoundQuery, JoinVertex, bind
+from .expressions import evaluate, extract_date_part, like_mask
+from .lexer import Token, TokenStream, tokenize
+from .parser import parse
+
+__all__ = [
+    "parse",
+    "bind",
+    "BoundQuery",
+    "JoinVertex",
+    "evaluate",
+    "extract_date_part",
+    "like_mask",
+    "tokenize",
+    "Token",
+    "TokenStream",
+    "AGGREGATE_FUNCS",
+    "AggCall",
+    "Between",
+    "BinOp",
+    "BoolOp",
+    "CaseExpr",
+    "ColumnRef",
+    "Comparison",
+    "Expr",
+    "FuncCall",
+    "InList",
+    "Like",
+    "Literal",
+    "NotOp",
+    "OrderKey",
+    "SelectItem",
+    "SelectStmt",
+    "TableRef",
+    "UnaryOp",
+    "collect_aggregates",
+    "collect_columns",
+    "contains_aggregate",
+    "walk",
+]

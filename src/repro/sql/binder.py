@@ -1,0 +1,382 @@
+"""Name resolution and semantic analysis of parsed queries.
+
+The binder resolves table aliases against the catalog, qualifies every
+column reference, validates the key/annotation discipline of the data
+model (only keys join, only annotations aggregate -- Section III-A),
+partitions the WHERE conjuncts into equi-join conditions and per-table
+filters, and unions join-connected key columns into *join vertices*,
+the attribute equivalence classes that become hypergraph vertices
+(Rule 1 of Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import BindError, UnsupportedQueryError
+from ..storage.catalog import Catalog
+from ..storage.schema import Kind
+from ..storage.table import Table
+from .ast import (
+    AggCall,
+    Between,
+    BinOp,
+    BoolOp,
+    CaseExpr,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InList,
+    Like,
+    Literal,
+    NotOp,
+    OrderKey,
+    SelectItem,
+    SelectStmt,
+    UnaryOp,
+    collect_columns,
+    contains_aggregate,
+)
+
+
+@dataclass
+class JoinVertex:
+    """An equivalence class of equi-joined key columns (one hypergraph vertex)."""
+
+    name: str
+    members: List[Tuple[str, str]]  # (alias, attribute name)
+    domain: str
+
+    def aliases(self) -> List[str]:
+        return [alias for alias, _ in self.members]
+
+
+@dataclass
+class BoundQuery:
+    """A fully resolved query, ready for hypergraph translation."""
+
+    stmt: SelectStmt
+    tables: Dict[str, Table]  # alias -> table, in FROM order
+    vertices: List[JoinVertex]
+    vertex_of: Dict[Tuple[str, str], str]  # (alias, attr) -> vertex name
+    filters: Dict[str, List[Expr]]  # alias -> single-table predicates
+    select_items: List[SelectItem]  # qualified
+    group_by: List[Expr]  # qualified
+    has_equality_selection: Dict[str, bool] = field(default_factory=dict)
+    #: post-aggregation clauses; ``having``/order expressions are
+    #: qualified, except bare references to select-item aliases which
+    #: stay unqualified (they resolve against the output columns).
+    having: Optional[Expr] = None
+    order_by: List = field(default_factory=list)  # List[OrderKey]
+    limit: Optional[int] = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        return any(contains_aggregate(item.expr) for item in self.select_items)
+
+    def vertex(self, name: str) -> JoinVertex:
+        for vertex in self.vertices:
+            if vertex.name == name:
+                return vertex
+        raise KeyError(name)
+
+    def alias_keys(self, alias: str) -> List[str]:
+        """In-query key attributes of ``alias`` in schema order."""
+        table = self.tables[alias]
+        return [
+            attr for attr in table.schema.key_names if (alias, attr) in self.vertex_of
+        ]
+
+    def edge_vertices(self, alias: str) -> Tuple[str, ...]:
+        """The hypergraph vertices of ``alias``'s edge, in schema key order."""
+        return tuple(self.vertex_of[(alias, attr)] for attr in self.alias_keys(alias))
+
+
+def bind(stmt: SelectStmt, catalog: Catalog) -> BoundQuery:
+    """Resolve and validate ``stmt`` against ``catalog``."""
+    tables = _resolve_tables(stmt, catalog)
+    qualify = _make_qualifier(tables)
+
+    select_items = [SelectItem(qualify(item.expr), item.alias) for item in stmt.items]
+    group_by = [qualify(expr) for expr in stmt.group_by]
+    where = [qualify(expr) for expr in stmt.where]
+
+    join_pairs, filters = _classify_where(where, tables)
+    vertices, vertex_of = _build_vertices(
+        join_pairs, tables, select_items, group_by, filters
+    )
+    _validate_output_shape(select_items, group_by)
+
+    output_aliases = {item.output_name for item in select_items}
+    qualify_output = _make_qualifier(tables, passthrough=output_aliases)
+    having = None
+    if stmt.having is not None:
+        if not group_by and not any(
+            contains_aggregate(item.expr) for item in select_items
+        ):
+            raise BindError("HAVING requires GROUP BY or aggregates")
+        having = qualify_output(stmt.having)
+    order_by = [
+        OrderKey(qualify_output(key_.expr), key_.descending)
+        for key_ in stmt.order_by
+    ]
+
+    has_eq = {alias: _has_equality_filter(preds) for alias, preds in filters.items()}
+    return BoundQuery(
+        stmt=stmt,
+        tables=tables,
+        vertices=vertices,
+        vertex_of=vertex_of,
+        filters=filters,
+        select_items=select_items,
+        group_by=group_by,
+        has_equality_selection=has_eq,
+        having=having,
+        order_by=order_by,
+        limit=stmt.limit,
+    )
+
+
+# -- table and column resolution ---------------------------------------------
+
+
+def _resolve_tables(stmt: SelectStmt, catalog: Catalog) -> Dict[str, Table]:
+    tables: Dict[str, Table] = {}
+    for ref in stmt.tables:
+        if ref.alias in tables:
+            raise BindError(f"duplicate table alias '{ref.alias}'")
+        if not catalog.has_table(ref.table):
+            raise BindError(f"unknown table '{ref.table}'")
+        tables[ref.alias] = catalog.table(ref.table)
+    return tables
+
+
+def _make_qualifier(tables: Dict[str, Table], passthrough=frozenset()):
+    def resolve_ref(ref: ColumnRef) -> ColumnRef:
+        if ref.qualifier is None and ref.name in passthrough:
+            return ref  # a select-item alias: resolves against the output
+        if ref.qualifier is not None:
+            if ref.qualifier not in tables:
+                raise BindError(f"unknown table alias '{ref.qualifier}'")
+            if not tables[ref.qualifier].schema.has(ref.name):
+                raise BindError(
+                    f"table '{ref.qualifier}' has no column '{ref.name}'"
+                )
+            return ref
+        owners = [alias for alias, t in tables.items() if t.schema.has(ref.name)]
+        if not owners:
+            raise BindError(f"unknown column '{ref.name}'")
+        if len(owners) > 1:
+            raise BindError(f"ambiguous column '{ref.name}' (in {owners})")
+        return ColumnRef(owners[0], ref.name)
+
+    def qualify(expr: Expr) -> Expr:
+        return _rewrite(expr, resolve_ref)
+
+    return qualify
+
+
+def _rewrite(expr: Expr, on_column) -> Expr:
+    """Rebuild an expression tree, transforming every ColumnRef."""
+    if isinstance(expr, ColumnRef):
+        return on_column(expr)
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _rewrite(expr.left, on_column), _rewrite(expr.right, on_column))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _rewrite(expr.operand, on_column))
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.name, tuple(_rewrite(a, on_column) for a in expr.args))
+    if isinstance(expr, AggCall):
+        arg = None if expr.arg is None else _rewrite(expr.arg, on_column)
+        return AggCall(expr.func, arg)
+    if isinstance(expr, CaseExpr):
+        whens = tuple(
+            (_rewrite(c, on_column), _rewrite(r, on_column)) for c, r in expr.whens
+        )
+        else_ = None if expr.else_ is None else _rewrite(expr.else_, on_column)
+        return CaseExpr(whens, else_)
+    if isinstance(expr, Comparison):
+        return Comparison(
+            expr.op, _rewrite(expr.left, on_column), _rewrite(expr.right, on_column)
+        )
+    if isinstance(expr, Between):
+        return Between(
+            _rewrite(expr.expr, on_column),
+            _rewrite(expr.low, on_column),
+            _rewrite(expr.high, on_column),
+            expr.negated,
+        )
+    if isinstance(expr, InList):
+        return InList(_rewrite(expr.expr, on_column), expr.values, expr.negated)
+    if isinstance(expr, Like):
+        return Like(_rewrite(expr.expr, on_column), expr.pattern, expr.negated)
+    if isinstance(expr, BoolOp):
+        return BoolOp(expr.op, tuple(_rewrite(o, on_column) for o in expr.operands))
+    if isinstance(expr, NotOp):
+        return NotOp(_rewrite(expr.operand, on_column))
+    raise UnsupportedQueryError(f"cannot bind {type(expr).__name__}")
+
+
+# -- WHERE classification ------------------------------------------------------
+
+
+def _classify_where(where, tables):
+    """Split conjuncts into key equi-join pairs and per-alias filters."""
+    join_pairs: List[Tuple[Tuple[str, str], Tuple[str, str]]] = []
+    filters: Dict[str, List[Expr]] = {alias: [] for alias in tables}
+    for predicate in where:
+        pair = _as_join_condition(predicate, tables)
+        if pair is not None:
+            join_pairs.append(pair)
+            continue
+        aliases = {ref.qualifier for ref in collect_columns(predicate)}
+        if len(aliases) == 0:
+            raise UnsupportedQueryError(f"constant predicate not supported: {predicate}")
+        if len(aliases) > 1:
+            raise UnsupportedQueryError(
+                f"non-equi-join predicate across tables not supported: {predicate}"
+            )
+        filters[aliases.pop()].append(predicate)
+    return join_pairs, filters
+
+
+def _as_join_condition(predicate, tables):
+    if not isinstance(predicate, Comparison) or predicate.op != "=":
+        return None
+    left, right = predicate.left, predicate.right
+    if not (isinstance(left, ColumnRef) and isinstance(right, ColumnRef)):
+        return None
+    if left.qualifier == right.qualifier:
+        return None
+    left_attr = tables[left.qualifier].schema.attribute(left.name)
+    right_attr = tables[right.qualifier].schema.attribute(right.name)
+    if left_attr.kind is Kind.KEY and right_attr.kind is Kind.KEY:
+        if left_attr.domain_name != right_attr.domain_name:
+            raise BindError(
+                f"cannot join '{left}' with '{right}': key domains differ "
+                f"({left_attr.domain_name} vs {right_attr.domain_name}); declare a "
+                "shared domain on both key attributes"
+            )
+        return ((left.qualifier, left.name), (right.qualifier, right.name))
+    if left_attr.kind is Kind.KEY or right_attr.kind is Kind.KEY:
+        raise BindError(
+            f"cannot join key with annotation: {predicate} "
+            "(only keys may partake in joins)"
+        )
+    raise UnsupportedQueryError(
+        f"equality between annotations of different tables not supported: {predicate}"
+    )
+
+
+# -- join vertices ---------------------------------------------------------------
+
+
+def _build_vertices(join_pairs, tables, select_items, group_by, filters):
+    """Union-find over key columns; every in-query key becomes a vertex."""
+    parent: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    def find(x):
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def add(member):
+        alias, attr_name = member
+        attribute = tables[alias].schema.attribute(attr_name)
+        if attribute.kind is not Kind.KEY:
+            return False
+        if member not in parent:
+            parent[member] = member
+        return True
+
+    for left, right in join_pairs:
+        add(left)
+        add(right)
+        left_root, right_root = find(left), find(right)
+        if left_root != right_root:
+            parent[left_root] = right_root
+
+    # Rule 1: every key referenced anywhere in the query is a vertex.
+    referenced: List[ColumnRef] = []
+    for item in select_items:
+        referenced.extend(collect_columns(item.expr))
+    for expr in group_by:
+        referenced.extend(collect_columns(expr))
+    for predicates in filters.values():
+        for predicate in predicates:
+            referenced.extend(collect_columns(predicate))
+    for ref in referenced:
+        add((ref.qualifier, ref.name))
+
+    classes: Dict[Tuple[str, str], List[Tuple[str, str]]] = {}
+    for member in parent:
+        classes.setdefault(find(member), []).append(member)
+
+    vertices: List[JoinVertex] = []
+    vertex_of: Dict[Tuple[str, str], str] = {}
+    used_names: Dict[str, int] = {}
+    for root in sorted(classes, key=lambda m: (m[0], m[1])):
+        members = sorted(classes[root])
+        domain = tables[members[0][0]].schema.attribute(members[0][1]).domain_name
+        base = _suffix_name(members)
+        count = used_names.get(base, 0)
+        used_names[base] = count + 1
+        name = base if count == 0 else f"{base}_{count + 1}"
+        vertex = JoinVertex(name, members, domain)
+        vertices.append(vertex)
+        for member in members:
+            vertex_of[member] = name
+    return vertices, vertex_of
+
+
+def _suffix_name(members) -> str:
+    """Readable vertex name: the common suffix of member column names.
+
+    TPC-H columns share suffixes (``c_custkey``/``o_custkey`` ->
+    ``custkey``); otherwise the first member's column name is used.
+    """
+    suffixes = {attr.split("_", 1)[1] if "_" in attr else attr for _, attr in members}
+    if len(suffixes) == 1:
+        return suffixes.pop()
+    return members[0][1]
+
+
+# -- output validation -----------------------------------------------------------
+
+
+def _validate_output_shape(select_items, group_by):
+    has_aggregates = any(contains_aggregate(item.expr) for item in select_items)
+    group_strings = {str(expr) for expr in group_by}
+    for item in select_items:
+        if contains_aggregate(item.expr):
+            continue
+        if group_by and str(item.expr) not in group_strings:
+            raise BindError(
+                f"non-aggregate select item '{item.expr}' missing from GROUP BY"
+            )
+        if not group_by and has_aggregates:
+            raise BindError(
+                f"select item '{item.expr}' mixes with aggregates but no GROUP BY"
+            )
+    for expr in group_by:
+        if contains_aggregate(expr):
+            raise BindError("aggregates are not allowed in GROUP BY")
+
+
+def _has_equality_filter(predicates) -> bool:
+    for predicate in predicates:
+        if isinstance(predicate, Comparison) and predicate.op == "=":
+            return True
+        if isinstance(predicate, InList) and not predicate.negated:
+            return True
+        if isinstance(predicate, Like) and not predicate.negated:
+            if "%" not in predicate.pattern and "_" not in predicate.pattern:
+                return True
+    return False

@@ -1,0 +1,389 @@
+"""Recursive-descent parser for the supported SQL 2008 subset.
+
+The subset matches what the paper's engine accepts (Section III-A):
+SELECT with expressions/aliases, FROM with table aliases (self-joins),
+a conjunctive WHERE of equi-joins and filter predicates (comparisons,
+BETWEEN, IN, [NOT] LIKE, date and interval literals), GROUP BY, the
+aggregates SUM/COUNT/AVG/MIN/MAX, CASE WHEN, and EXTRACT.  HAVING,
+ORDER BY, and LIMIT are supported as post-aggregation result operators
+(the paper's TPC-H runs omit ORDER BY, and the benchmark queries here
+do too).  Subqueries, outer joins, and DISTINCT are rejected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ParseError, UnsupportedQueryError
+from ..storage.schema import parse_date
+from .ast import (
+    AGGREGATE_FUNCS,
+    AggCall,
+    Between,
+    BinOp,
+    BoolOp,
+    CaseExpr,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InList,
+    Like,
+    Literal,
+    NotOp,
+    OrderKey,
+    SelectItem,
+    SelectStmt,
+    TableRef,
+    UnaryOp,
+)
+from .lexer import TokenStream, tokenize
+
+_COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+_INTERVAL_UNITS = {"day": 1, "month": 30, "year": 365}
+
+
+def parse(sql: str) -> SelectStmt:
+    """Parse one SELECT statement."""
+    stream = TokenStream(tokenize(sql))
+    stmt = _parse_select(stream)
+    if not stream.at_end():
+        token = stream.peek()
+        raise ParseError(f"unexpected trailing input: {token.value!r}", token.position)
+    return stmt
+
+
+def _parse_select(ts: TokenStream) -> SelectStmt:
+    ts.expect_keyword("select")
+    if ts.accept_keyword("distinct"):
+        raise UnsupportedQueryError("SELECT DISTINCT is not supported")
+    items = [_parse_select_item(ts)]
+    while ts.accept_op(","):
+        items.append(_parse_select_item(ts))
+
+    ts.expect_keyword("from")
+    tables = [_parse_table_ref(ts)]
+    join_conjuncts: List[Expr] = []
+    while True:
+        if ts.accept_op(","):
+            tables.append(_parse_table_ref(ts))
+            continue
+        if ts.peek().is_keyword("join") or ts.peek().is_keyword("inner"):
+            ts.accept_keyword("inner")
+            ts.expect_keyword("join")
+            tables.append(_parse_table_ref(ts))
+            ts.expect_keyword("on")
+            # JOIN ... ON folds into the conjunctive WHERE.
+            join_conjuncts.extend(_split_conjuncts(_parse_bool_expr(ts)))
+            continue
+        break
+
+    where: List[Expr] = join_conjuncts
+    if ts.accept_keyword("where"):
+        where.extend(_split_conjuncts(_parse_bool_expr(ts)))
+
+    group_by: List[Expr] = []
+    if ts.accept_keyword("group"):
+        ts.expect_keyword("by")
+        group_by.append(_parse_expr(ts))
+        while ts.accept_op(","):
+            group_by.append(_parse_expr(ts))
+
+    having = None
+    if ts.accept_keyword("having"):
+        having = _parse_bool_expr(ts)
+
+    order_by: List[OrderKey] = []
+    if ts.accept_keyword("order"):
+        ts.expect_keyword("by")
+        order_by.append(_parse_order_key(ts))
+        while ts.accept_op(","):
+            order_by.append(_parse_order_key(ts))
+
+    limit = None
+    if ts.accept_keyword("limit"):
+        token = ts.peek()
+        if token.kind != "NUMBER" or "." in token.value:
+            raise ParseError("LIMIT requires an integer", token.position)
+        ts.next()
+        limit = int(token.value)
+
+    return SelectStmt(
+        items=items,
+        tables=tables,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        limit=limit,
+    )
+
+
+def _parse_order_key(ts: TokenStream) -> OrderKey:
+    expr = _parse_expr(ts)
+    descending = False
+    if ts.peek().kind == "IDENT" and ts.peek().value in ("asc", "desc"):
+        descending = ts.next().value == "desc"
+    return OrderKey(expr, descending)
+
+
+def _parse_select_item(ts: TokenStream) -> SelectItem:
+    expr = _parse_expr(ts)
+    alias = None
+    if ts.accept_keyword("as"):
+        alias = ts.expect_ident().value
+    elif ts.peek().kind == "IDENT":
+        alias = ts.next().value
+    return SelectItem(expr, alias)
+
+
+def _parse_table_ref(ts: TokenStream) -> TableRef:
+    name = ts.expect_ident().value
+    alias = name
+    if ts.accept_keyword("as"):
+        alias = ts.expect_ident().value
+    elif ts.peek().kind == "IDENT":
+        alias = ts.next().value
+    return TableRef(name, alias)
+
+
+def _split_conjuncts(expr: Expr) -> List[Expr]:
+    if isinstance(expr, BoolOp) and expr.op == "and":
+        out: List[Expr] = []
+        for operand in expr.operands:
+            out.extend(_split_conjuncts(operand))
+        return out
+    return [expr]
+
+
+# -- boolean expressions -----------------------------------------------------
+
+
+def _parse_bool_expr(ts: TokenStream) -> Expr:
+    return _parse_or(ts)
+
+
+def _parse_or(ts: TokenStream) -> Expr:
+    operands = [_parse_and(ts)]
+    while ts.accept_keyword("or"):
+        operands.append(_parse_and(ts))
+    if len(operands) == 1:
+        return operands[0]
+    return BoolOp("or", tuple(operands))
+
+
+def _parse_and(ts: TokenStream) -> Expr:
+    operands = [_parse_not(ts)]
+    while ts.accept_keyword("and"):
+        operands.append(_parse_not(ts))
+    if len(operands) == 1:
+        return operands[0]
+    return BoolOp("and", tuple(operands))
+
+
+def _parse_not(ts: TokenStream) -> Expr:
+    if ts.accept_keyword("not"):
+        return NotOp(_parse_not(ts))
+    return _parse_predicate(ts)
+
+
+def _parse_predicate(ts: TokenStream) -> Expr:
+    left = _parse_expr(ts)
+    token = ts.peek()
+    if token.kind == "OP" and token.value in _COMPARISON_OPS:
+        op = ts.next().value
+        if op == "!=":
+            op = "<>"
+        right = _parse_expr(ts)
+        return Comparison(op, left, right)
+    negated = False
+    if token.is_keyword("not"):
+        ts.next()
+        negated = True
+        token = ts.peek()
+    if token.is_keyword("between"):
+        ts.next()
+        low = _parse_expr(ts)
+        ts.expect_keyword("and")
+        high = _parse_expr(ts)
+        return Between(left, low, high, negated=negated)
+    if token.is_keyword("in"):
+        ts.next()
+        ts.expect_op("(")
+        values = [_parse_literal_strict(ts)]
+        while ts.accept_op(","):
+            values.append(_parse_literal_strict(ts))
+        ts.expect_op(")")
+        return InList(left, tuple(values), negated=negated)
+    if token.is_keyword("like"):
+        ts.next()
+        pattern = ts.peek()
+        if pattern.kind != "STRING":
+            raise ParseError("LIKE requires a string pattern", pattern.position)
+        ts.next()
+        return Like(left, pattern.value, negated=negated)
+    if token.is_keyword("is"):
+        raise UnsupportedQueryError("IS [NOT] NULL is not supported (no NULLs)")
+    if negated:
+        raise ParseError("expected BETWEEN/IN/LIKE after NOT", token.position)
+    return left
+
+
+def _parse_literal_strict(ts: TokenStream) -> Literal:
+    expr = _parse_expr(ts)
+    if not isinstance(expr, Literal):
+        raise UnsupportedQueryError("IN lists may only contain literals")
+    return expr
+
+
+# -- arithmetic expressions ----------------------------------------------------
+
+
+def _parse_expr(ts: TokenStream) -> Expr:
+    return _parse_additive(ts)
+
+
+def _parse_additive(ts: TokenStream) -> Expr:
+    left = _parse_multiplicative(ts)
+    while True:
+        if ts.accept_op("+"):
+            left = BinOp("+", left, _parse_multiplicative(ts))
+        elif ts.accept_op("-"):
+            left = BinOp("-", left, _parse_multiplicative(ts))
+        else:
+            return left
+
+
+def _parse_multiplicative(ts: TokenStream) -> Expr:
+    left = _parse_unary(ts)
+    while True:
+        if ts.accept_op("*"):
+            left = BinOp("*", left, _parse_unary(ts))
+        elif ts.accept_op("/"):
+            left = BinOp("/", left, _parse_unary(ts))
+        else:
+            return left
+
+
+def _parse_unary(ts: TokenStream) -> Expr:
+    if ts.accept_op("-"):
+        return UnaryOp("-", _parse_unary(ts))
+    if ts.accept_op("+"):
+        return _parse_unary(ts)
+    return _parse_primary(ts)
+
+
+def _parse_primary(ts: TokenStream) -> Expr:
+    token = ts.peek()
+
+    if token.kind == "NUMBER":
+        ts.next()
+        value = float(token.value) if "." in token.value else int(token.value)
+        return Literal(value, "number")
+
+    if token.kind == "STRING":
+        ts.next()
+        return Literal(token.value, "string")
+
+    if token.is_keyword("date"):
+        ts.next()
+        text = ts.peek()
+        if text.kind != "STRING":
+            raise ParseError("DATE requires a 'YYYY-MM-DD' string", text.position)
+        ts.next()
+        try:
+            ordinal = parse_date(text.value)
+        except ValueError as exc:
+            raise ParseError(f"bad date literal: {text.value}", text.position) from exc
+        return Literal(ordinal, "date")
+
+    if token.is_keyword("interval"):
+        ts.next()
+        amount = ts.peek()
+        if amount.kind == "STRING":
+            ts.next()
+            quantity = int(amount.value)
+        elif amount.kind == "NUMBER":
+            ts.next()
+            quantity = int(amount.value)
+        else:
+            raise ParseError("INTERVAL requires a quantity", amount.position)
+        unit = ts.peek()
+        if unit.kind != "KEYWORD" or unit.value not in _INTERVAL_UNITS:
+            raise ParseError("INTERVAL unit must be DAY/MONTH/YEAR", unit.position)
+        ts.next()
+        return Literal(quantity * _INTERVAL_UNITS[unit.value], "interval")
+
+    if token.is_keyword("case"):
+        return _parse_case(ts)
+
+    if token.is_keyword("extract"):
+        ts.next()
+        ts.expect_op("(")
+        part = ts.peek()
+        if part.kind != "KEYWORD" or part.value not in ("year", "month", "day"):
+            raise ParseError("EXTRACT part must be YEAR/MONTH/DAY", part.position)
+        ts.next()
+        ts.expect_keyword("from")
+        inner = _parse_expr(ts)
+        ts.expect_op(")")
+        return FuncCall(f"extract_{part.value}", (inner,))
+
+    if token.kind == "KEYWORD" and token.value in AGGREGATE_FUNCS:
+        ts.next()
+        ts.expect_op("(")
+        if token.value == "count" and ts.accept_op("*"):
+            ts.expect_op(")")
+            return AggCall("count", None)
+        if ts.accept_keyword("distinct"):
+            raise UnsupportedQueryError("aggregate DISTINCT is not supported")
+        inner = _parse_expr(ts)
+        ts.expect_op(")")
+        return AggCall(token.value, inner)
+
+    if token.is_keyword("year"):
+        ts.next()
+        ts.expect_op("(")
+        inner = _parse_expr(ts)
+        ts.expect_op(")")
+        return FuncCall("extract_year", (inner,))
+
+    if token.kind == "IDENT":
+        ts.next()
+        if ts.accept_op("("):
+            args = []
+            if not ts.accept_op(")"):
+                args.append(_parse_expr(ts))
+                while ts.accept_op(","):
+                    args.append(_parse_expr(ts))
+                ts.expect_op(")")
+            return FuncCall(token.value, tuple(args))
+        if ts.accept_op("."):
+            column = ts.expect_ident().value
+            return ColumnRef(token.value, column)
+        return ColumnRef(None, token.value)
+
+    if token.kind == "OP" and token.value == "(":
+        ts.next()
+        inner = _parse_bool_expr(ts)
+        ts.expect_op(")")
+        return inner
+
+    raise ParseError(f"unexpected token {token.value!r}", token.position)
+
+
+def _parse_case(ts: TokenStream) -> Expr:
+    ts.expect_keyword("case")
+    whens: List[Tuple[Expr, Expr]] = []
+    while ts.accept_keyword("when"):
+        condition = _parse_bool_expr(ts)
+        ts.expect_keyword("then")
+        result = _parse_expr(ts)
+        whens.append((condition, result))
+    if not whens:
+        raise ParseError("CASE requires at least one WHEN", ts.peek().position)
+    else_ = None
+    if ts.accept_keyword("else"):
+        else_ = _parse_expr(ts)
+    ts.expect_keyword("end")
+    return CaseExpr(tuple(whens), else_)

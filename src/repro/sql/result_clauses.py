@@ -1,0 +1,79 @@
+"""Post-aggregation result operators: HAVING, ORDER BY, LIMIT.
+
+These act on the final result columns, after grouping and output
+expression evaluation, so they are shared verbatim by the WCOJ engine
+and the pairwise baseline.  Sorting is stable and supports mixed
+numeric/string keys via factorized sort codes (descending negates the
+codes, preserving stability).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from .ast import Expr
+from .expressions import evaluate
+
+
+def _sort_codes(values: np.ndarray, descending: bool) -> np.ndarray:
+    """Factorize values into integer codes usable by lexsort."""
+    arr = np.asarray(values)
+    _uniques, codes = np.unique(arr, return_inverse=True)
+    return -codes if descending else codes
+
+
+def result_row_index(
+    resolve: Callable,
+    n_rows: int,
+    having: Optional[Expr],
+    order_keys: Sequence[Tuple[Expr, bool]],
+    limit: Optional[int],
+) -> Optional[np.ndarray]:
+    """The row selection/order the clauses imply, or None for identity.
+
+    ``resolve`` maps column references (aggregate/group refs and output
+    aliases) to full-length result arrays.
+    """
+    if having is None and not order_keys and limit is None:
+        return None
+    index = np.arange(n_rows)
+    if having is not None:
+        mask = np.asarray(evaluate(having, resolve), dtype=bool)
+        if mask.ndim == 0:
+            mask = np.full(n_rows, bool(mask))
+        index = index[mask]
+    if order_keys:
+        code_columns = []
+        for expr, descending in order_keys:
+            values = np.asarray(evaluate(expr, resolve))
+            if values.ndim == 0:
+                values = np.full(n_rows, values)
+            code_columns.append(_sort_codes(values, descending)[index])
+        # lexsort treats the LAST key as primary; reverse for SQL order
+        index = index[np.lexsort(tuple(reversed(code_columns)))]
+    if limit is not None:
+        index = index[: max(0, limit)]
+    return index
+
+
+def make_result_resolver(env: dict, outputs: dict) -> Callable:
+    """Resolver for HAVING/ORDER BY: internal refs first, then aliases."""
+
+    def resolve(ref):
+        if ref.qualifier is None:
+            if ref.name in env:
+                return env[ref.name]
+            if ref.name in outputs:
+                return outputs[ref.name]
+        text = str(ref)
+        if text in env:
+            return env[text]
+        raise ExecutionError(
+            f"ORDER BY/HAVING reference '{ref}' is neither an output column "
+            "nor a group/aggregate of this query"
+        )
+
+    return resolve

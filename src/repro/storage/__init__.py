@@ -1,0 +1,51 @@
+"""Storage engine: the key/annotation data model, tables, and catalog.
+
+Implements Sections III-A and III-B of the paper: schemas classify
+attributes as keys (trie levels, joinable) or annotations (columnar
+buffers, aggregatable); tables build tries per key order on demand with
+attribute elimination; the catalog shares key-domain dictionaries
+across tables so encoded keys are join-compatible.
+"""
+
+from .catalog import Catalog
+from .csv_loader import load_dataframe, load_table, write_table
+from .persist import load_catalog, load_schemas, save_catalog
+from .schema import (
+    KEY_TYPES,
+    AttrType,
+    Attribute,
+    Kind,
+    Schema,
+    annotation,
+    coerce_column,
+    format_date,
+    key,
+    parse_date,
+)
+from .stats import TableStats, cardinality_score, collect_stats
+from .table import AnnotationRequest, Table
+
+__all__ = [
+    "Catalog",
+    "Table",
+    "AnnotationRequest",
+    "Schema",
+    "Attribute",
+    "AttrType",
+    "Kind",
+    "KEY_TYPES",
+    "key",
+    "annotation",
+    "coerce_column",
+    "parse_date",
+    "format_date",
+    "load_table",
+    "write_table",
+    "load_dataframe",
+    "save_catalog",
+    "load_catalog",
+    "load_schemas",
+    "TableStats",
+    "collect_stats",
+    "cardinality_score",
+]

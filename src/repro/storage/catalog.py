@@ -1,0 +1,90 @@
+"""The catalog: registered tables and shared key-domain dictionaries.
+
+Key attributes that join with one another must agree on their encoded
+values, so the catalog maintains one order-preserving dictionary per
+key *domain* (e.g. ``custkey``), extended as tables register.  Extending
+a dictionary re-codes existing values, so registration bumps a domain
+version and invalidates cached tries built against older codes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from ..errors import SchemaError
+from ..trie import Dictionary
+from .table import Table
+
+
+class Catalog:
+    """A named collection of tables sharing key-domain dictionaries."""
+
+    def __init__(self):
+        self.tables: Dict[str, Table] = {}
+        self._domains: Dict[str, Dictionary] = {}
+        self._versions: Dict[str, int] = {}
+
+    def register(self, table: Table) -> Table:
+        """Register ``table``, extending the dictionaries of its key domains."""
+        if table.name in self.tables:
+            raise SchemaError(f"table '{table.name}' already registered")
+        for attr in table.schema.attributes:
+            if not attr.is_key:
+                continue
+            domain = attr.domain_name
+            column = table.columns[attr.name]
+            existing = self._domains.get(domain)
+            if existing is None:
+                self._domains[domain] = Dictionary.build(column)
+                self._versions[domain] = 0
+            else:
+                extended = existing.extend(column)
+                if extended.size != existing.size:
+                    self._domains[domain] = extended
+                    self._versions[domain] = self._versions.get(domain, 0) + 1
+                    self._invalidate_domain_users(domain)
+        table.catalog = self
+        self.tables[table.name] = table
+        return table
+
+    def _invalidate_domain_users(self, domain: str) -> None:
+        for table in self.tables.values():
+            if any(
+                a.is_key and a.domain_name == domain for a in table.schema.attributes
+            ):
+                table.invalidate_tries()
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"no table named '{name}'") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    def domain_dictionary(self, domain: str) -> Dictionary:
+        d = self._domains.get(domain)
+        if d is None:
+            # A domain no registered key uses yet: empty dictionary.
+            d = Dictionary.build(np.empty(0, dtype=np.int64))
+            self._domains[domain] = d
+            self._versions[domain] = 0
+        return d
+
+    def domain_size(self, domain: str) -> int:
+        return self.domain_dictionary(domain).size
+
+    def domain_version(self, domain: str) -> int:
+        return self._versions.get(domain, 0)
+
+    def names(self) -> Iterable[str]:
+        return self.tables.keys()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def __repr__(self) -> str:
+        return f"Catalog(tables={sorted(self.tables)})"

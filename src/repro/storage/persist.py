@@ -1,0 +1,102 @@
+"""Catalog persistence: schemas + delimited files on disk.
+
+LevelHeaded ingests structured data from delimited files (Section III);
+this module round-trips whole catalogs the same way dbgen lays TPC-H
+out: one ``<table>.tbl`` per relation plus a ``schema.json`` describing
+attribute types, key/annotation kinds, and shared key domains.  Tries
+are rebuilt lazily after loading (they are derived state).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from ..errors import SchemaError
+from .catalog import Catalog
+from .csv_loader import load_table, write_table
+from .schema import Attribute, AttrType, Kind, Schema
+
+SCHEMA_FILE = "schema.json"
+
+
+def _attribute_to_dict(attribute: Attribute) -> Dict:
+    out = {
+        "name": attribute.name,
+        "type": attribute.type.value,
+        "kind": attribute.kind.value,
+    }
+    if attribute.domain is not None:
+        out["domain"] = attribute.domain
+    return out
+
+
+def _attribute_from_dict(data: Dict) -> Attribute:
+    try:
+        return Attribute(
+            name=data["name"],
+            type=AttrType(data["type"]),
+            kind=Kind(data["kind"]),
+            domain=data.get("domain"),
+        )
+    except (KeyError, ValueError) as exc:
+        raise SchemaError(f"malformed attribute entry: {data}") from exc
+
+
+def save_catalog(catalog: Catalog, directory: str, delimiter: str = "|") -> None:
+    """Write every table of ``catalog`` to ``directory``.
+
+    Produces ``schema.json`` plus one delimited ``<name>.tbl`` per
+    table, in a format ``load_catalog`` (and dbgen-style tooling) can
+    read back.
+    """
+    os.makedirs(directory, exist_ok=True)
+    manifest: List[Dict] = []
+    for name in sorted(catalog.names()):
+        table = catalog.table(name)
+        manifest.append(
+            {
+                "name": name,
+                "attributes": [
+                    _attribute_to_dict(a) for a in table.schema.attributes
+                ],
+            }
+        )
+        write_table(table, os.path.join(directory, f"{name}.tbl"), delimiter=delimiter)
+    with open(os.path.join(directory, SCHEMA_FILE), "w", encoding="utf-8") as handle:
+        json.dump({"delimiter": delimiter, "tables": manifest}, handle, indent=2)
+
+
+def load_catalog(directory: str) -> Catalog:
+    """Load a catalog previously written by :func:`save_catalog`."""
+    schema_path = os.path.join(directory, SCHEMA_FILE)
+    if not os.path.exists(schema_path):
+        raise SchemaError(f"no {SCHEMA_FILE} in {directory}")
+    with open(schema_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    delimiter = manifest.get("delimiter", "|")
+    catalog = Catalog()
+    for entry in manifest.get("tables", []):
+        schema = Schema(
+            entry["name"],
+            [_attribute_from_dict(a) for a in entry["attributes"]],
+        )
+        path = os.path.join(directory, f"{entry['name']}.tbl")
+        catalog.register(load_table(path, schema, delimiter=delimiter))
+    return catalog
+
+
+def load_schemas(directory: str) -> Dict[str, Schema]:
+    """Read just the schemas of a saved catalog (no data)."""
+    schema_path = os.path.join(directory, SCHEMA_FILE)
+    if not os.path.exists(schema_path):
+        raise SchemaError(f"no {SCHEMA_FILE} in {directory}")
+    with open(schema_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    return {
+        entry["name"]: Schema(
+            entry["name"], [_attribute_from_dict(a) for a in entry["attributes"]]
+        )
+        for entry in manifest.get("tables", [])
+    }

@@ -1,0 +1,39 @@
+"""Table statistics summaries for the optimizer and EXPLAIN output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from .table import Table
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Cardinality statistics for one table.
+
+    The cost-based optimizer only needs relation cardinalities
+    (Section V-B's scores) plus key-uniqueness for the translator's
+    multiplicity rules; distinct counts are included for EXPLAIN.
+    """
+
+    name: str
+    num_rows: int
+    key_distinct: Dict[Tuple[str, ...], int]
+
+
+def collect_stats(table: Table, key_groups: Sequence[Sequence[str]] = ()) -> TableStats:
+    """Summarize ``table``, optionally pre-computing distinct counts."""
+    distinct = {tuple(g): table.distinct_count(tuple(g)) for g in key_groups}
+    return TableStats(table.name, table.num_rows, distinct)
+
+
+def cardinality_score(table_rows: int, heaviest_rows: int) -> int:
+    """The paper's relation score: ceil(|r| / |r_heavy| * 100).
+
+    Scores are relative to the highest-cardinality relation in the
+    query (Section V-B) and feed the attribute weights.
+    """
+    if heaviest_rows <= 0:
+        return 0
+    return -(-table_rows * 100 // heaviest_rows)  # ceiling division

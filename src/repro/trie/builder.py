@@ -1,0 +1,215 @@
+"""Trie construction from encoded key columns and annotation columns.
+
+The builder sorts rows lexicographically by the key attributes, derives
+the distinct-prefix structure of every level in vectorized passes, picks
+a physical layout per set, and pre-aggregates annotation values over
+duplicate key prefixes with a per-annotation combine function (the
+semiring-sum pre-aggregation that makes aggregate-join queries over
+annotated relations correct when eliminated key attributes collapse
+duplicates -- Sections II-C and IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import SchemaError
+from ..sets.layout import DENSITY_FACTOR, MIN_BITSET_CARDINALITY, Layout
+from .dictionary import Dictionary
+from .trie import Annotation, Trie, TrieLevel
+
+#: combine functions accepted for duplicate key prefixes.
+COMBINES = ("sum", "first", "min", "max", "count")
+
+
+@dataclass
+class AnnotationSpec:
+    """Request to attach one annotation buffer while building a trie.
+
+    ``level`` is the 0-based trie level the annotation hangs off (it must
+    be functionally determined by the first ``level + 1`` key attributes,
+    or ``combine`` must make the collapse sound).  ``combine`` states how
+    duplicate rows for one node merge: ``sum``/``min``/``max`` for
+    aggregated annotations, ``first`` for functionally-dependent metadata
+    (Rule 4's container M), and ``count`` for tuple multiplicities.
+    """
+
+    name: str
+    values: Optional[np.ndarray]
+    level: int
+    combine: str = "sum"
+    dictionary: Optional[Dictionary] = None
+
+    def __post_init__(self):
+        if self.combine not in COMBINES:
+            raise SchemaError(f"unknown combine '{self.combine}'")
+        if self.values is None and self.combine != "count":
+            raise SchemaError(f"annotation '{self.name}' has no values")
+
+
+def _choose_layouts(flat_values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Vectorized per-parent layout choice (density heuristic)."""
+    counts = np.diff(offsets)
+    layouts = np.zeros(counts.size, dtype=np.uint8)
+    nonempty = counts > 0
+    if not nonempty.any():
+        return layouts
+    first = flat_values[offsets[:-1][nonempty]].astype(np.int64)
+    last = flat_values[(offsets[1:][nonempty] - 1)].astype(np.int64)
+    card = counts[nonempty]
+    dense = (card >= MIN_BITSET_CARDINALITY) & ((last - first + 1) <= card * DENSITY_FACTOR)
+    layouts[nonempty] = dense.astype(np.uint8)
+    return layouts
+
+
+def _combine_groups(values: np.ndarray, starts: np.ndarray, n_rows: int, combine: str) -> np.ndarray:
+    """Collapse sorted rows into one value per group (group starts given)."""
+    if combine == "first":
+        return values[starts]
+    if combine == "count":
+        ends = np.append(starts[1:], n_rows)
+        return (ends - starts).astype(np.int64)
+    if combine == "sum":
+        acc = values
+        if np.issubdtype(values.dtype, np.integer):
+            acc = values.astype(np.int64)
+        elif values.dtype != np.float64:
+            acc = values.astype(np.float64)
+        return np.add.reduceat(acc, starts)
+    if combine == "min":
+        return np.minimum.reduceat(values, starts)
+    if combine == "max":
+        return np.maximum.reduceat(values, starts)
+    raise SchemaError(f"unknown combine '{combine}'")
+
+
+def build_trie(
+    key_columns: Sequence[np.ndarray],
+    key_attrs: Sequence[str],
+    annotations: Sequence[AnnotationSpec] = (),
+    domain_sizes: Sequence[int] | None = None,
+    force_layout: Layout | None = None,
+) -> Trie:
+    """Build a trie over encoded (uint32) key columns.
+
+    ``key_columns`` are parallel arrays of dictionary codes, one per key
+    attribute in trie-level order.  ``domain_sizes`` (dictionary sizes
+    per level) enable the completely-dense-level detection used by the
+    optimizer's icost-0 rule and the BLAS routing.
+    """
+    if not key_columns:
+        raise SchemaError("a trie needs at least one key attribute")
+    if len(key_columns) != len(key_attrs):
+        raise SchemaError("key_columns and key_attrs length mismatch")
+    n_rows = int(key_columns[0].size)
+    for col in key_columns:
+        if col.size != n_rows:
+            raise SchemaError("key columns must have equal length")
+    for spec in annotations:
+        if spec.values is not None and spec.values.size != n_rows:
+            raise SchemaError(f"annotation '{spec.name}' length mismatch")
+        if not 0 <= spec.level < len(key_columns):
+            raise SchemaError(f"annotation '{spec.name}' level out of range")
+
+    cols = [np.ascontiguousarray(c, dtype=np.uint32) for c in key_columns]
+    if n_rows == 0:
+        return _empty_trie(key_attrs, annotations, domain_sizes, len(cols))
+
+    order = np.lexsort(tuple(reversed(cols)))
+    cols = [c[order] for c in cols]
+
+    # new_prefix[i] marks rows starting a new distinct prefix of length i+1.
+    levels: list[TrieLevel] = []
+    dense_flags: list[bool] = []
+    new_prefix = np.zeros(n_rows, dtype=bool)
+    new_prefix[0] = True
+    parent_ids = np.zeros(n_rows, dtype=np.int64)  # node id at previous level
+    n_parents = 1
+    starts_per_level: list[np.ndarray] = []
+    node_ids_per_level: list[np.ndarray] = []
+    for depth, col in enumerate(cols):
+        changed = np.zeros(n_rows, dtype=bool)
+        changed[0] = True
+        changed[1:] = col[1:] != col[:-1]
+        new_prefix = new_prefix | changed
+        starts = np.flatnonzero(new_prefix)
+        flat_values = col[starts]
+        parents_of_nodes = parent_ids[starts]
+        counts = np.bincount(parents_of_nodes, minlength=n_parents)
+        offsets = np.zeros(n_parents + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        if force_layout is not None:
+            layouts = np.full(n_parents, 1 if force_layout is Layout.BITSET else 0, np.uint8)
+        else:
+            layouts = _choose_layouts(flat_values, offsets)
+        levels.append(TrieLevel(flat_values, offsets, layouts))
+        dense_flags.append(
+            _level_is_complete(flat_values, offsets, None if domain_sizes is None else domain_sizes[depth])
+        )
+        node_ids = np.cumsum(new_prefix) - 1  # node id at this level, per row
+        starts_per_level.append(starts)
+        node_ids_per_level.append(node_ids)
+        parent_ids = node_ids
+        n_parents = int(flat_values.size)
+
+    built_annotations = {}
+    for spec in annotations:
+        starts = starts_per_level[spec.level]
+        vals = None if spec.values is None else spec.values[order]
+        collapsed = _combine_groups(
+            vals if vals is not None else np.empty(0), starts, n_rows, spec.combine
+        )
+        built_annotations[spec.name] = Annotation(
+            spec.name, spec.level, collapsed, dictionary=spec.dictionary
+        )
+
+    return Trie(
+        key_attrs=tuple(key_attrs),
+        levels=levels,
+        annotations=built_annotations,
+        dense_levels=tuple(dense_flags),
+        domain_sizes=tuple(domain_sizes) if domain_sizes is not None else (),
+    )
+
+
+def _level_is_complete(flat_values: np.ndarray, offsets: np.ndarray, domain: Optional[int]) -> bool:
+    """True when every parent's set is exactly ``[0, domain)``."""
+    if domain is None or domain == 0:
+        return False
+    n_parents = offsets.size - 1
+    if flat_values.size != n_parents * domain:
+        return False
+    if not np.all(np.diff(offsets) == domain):
+        return False
+    expected = np.tile(np.arange(domain, dtype=np.uint32), n_parents)
+    return bool(np.array_equal(flat_values, expected))
+
+
+def _empty_trie(key_attrs, annotations, domain_sizes, arity) -> Trie:
+    levels = [
+        TrieLevel(
+            np.empty(0, dtype=np.uint32),
+            np.zeros(2 if depth == 0 else 1, dtype=np.int64),
+            np.zeros(1 if depth == 0 else 0, dtype=np.uint8),
+        )
+        for depth in range(arity)
+    ]
+    built = {
+        spec.name: Annotation(
+            spec.name,
+            spec.level,
+            np.empty(0, dtype=np.int64 if spec.combine == "count" else np.float64),
+            dictionary=spec.dictionary,
+        )
+        for spec in annotations
+    }
+    return Trie(
+        key_attrs=tuple(key_attrs),
+        levels=levels,
+        annotations=built,
+        dense_levels=tuple(False for _ in range(arity)),
+        domain_sizes=tuple(domain_sizes) if domain_sizes is not None else (),
+    )

@@ -1,0 +1,117 @@
+"""Order-preserving dictionary encoding for trie keys and string values.
+
+Trie levels hold order-preserved, dictionary-encoded unsigned integers
+(Section III-B).  Encoding is order preserving so that range predicates
+on encoded values are equivalent to predicates on the raw values, and a
+single dictionary is shared by every attribute drawn from the same key
+*domain* (e.g. ``custkey`` in both ``customer`` and ``orders``) so that
+encoded values are join-compatible across tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import SchemaError
+
+
+class Dictionary:
+    """A bidirectional, order-preserving value <-> code mapping.
+
+    Codes are ``0 .. size-1`` assigned in sorted value order.  Values may
+    be integers, floats, strings, or dates-as-ordinals -- anything numpy
+    can sort -- but one dictionary holds a single homogeneous type.
+    """
+
+    __slots__ = ("values", "_is_identity")
+
+    def __init__(self, sorted_values: np.ndarray):
+        self.values = sorted_values
+        self._is_identity = bool(
+            sorted_values.size
+            and np.issubdtype(sorted_values.dtype, np.integer)
+            and sorted_values[0] == 0
+            and sorted_values[-1] == sorted_values.size - 1
+        )
+
+    @classmethod
+    def build(cls, values: Sequence) -> "Dictionary":
+        """Build a dictionary over the distinct values of ``values``."""
+        arr = np.asarray(values)
+        if arr.size == 0:
+            return cls(arr)
+        return cls(np.unique(arr))
+
+    @property
+    def size(self) -> int:
+        return int(self.values.size)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def extend(self, values: Sequence) -> "Dictionary":
+        """Return a dictionary additionally covering ``values``.
+
+        Extension keeps the order-preserving property but *re-codes*
+        existing values, so catalogs must extend a domain dictionary
+        before any trie over that domain is built.
+        """
+        arr = np.asarray(values)
+        if arr.size == 0:
+            return self
+        if self.values.size == 0:
+            return Dictionary.build(arr)
+        return Dictionary(np.union1d(self.values, arr))
+
+    def encode(self, values: Sequence) -> np.ndarray:
+        """Encode raw values to codes; unknown values raise SchemaError."""
+        arr = np.asarray(values)
+        if self._is_identity and np.issubdtype(arr.dtype, np.integer):
+            if arr.size and (arr.min() < 0 or arr.max() >= self.size):
+                raise SchemaError("value outside identity dictionary range")
+            return arr.astype(np.uint32)
+        codes = np.searchsorted(self.values, arr)
+        in_range = codes < self.values.size
+        if not in_range.all() or not (self.values[codes[in_range]] == arr[in_range]).all():
+            raise SchemaError("value not present in dictionary")
+        return codes.astype(np.uint32)
+
+    def try_encode_scalar(self, value) -> Optional[int]:
+        """Encode one value, or return None if it is not in the domain.
+
+        Used for constant predicates (``r_name = 'ASIA'``): an absent
+        constant means an empty selection, not an error.
+        """
+        if self.values.size == 0:
+            return None
+        try:
+            arr = np.asarray([value], dtype=self.values.dtype)
+        except (ValueError, TypeError):
+            return None
+        code = int(np.searchsorted(self.values, arr[0]))
+        if code < self.values.size and self.values[code] == arr[0]:
+            return code
+        return None
+
+    def encode_bound(self, value, side: str) -> int:
+        """Encode a comparison bound for range predicates on codes.
+
+        Returns the smallest code whose value is ``>= value`` when
+        ``side == 'lower'`` and the largest code whose value is
+        ``<= value`` + 1 when ``side == 'upper'`` (i.e. an exclusive
+        upper code), so ``lower <= code < upper`` mirrors the raw-value
+        range thanks to order preservation.
+        """
+        if side not in ("lower", "upper"):
+            raise ValueError("side must be 'lower' or 'upper'")
+        kind = "left" if side == "lower" else "right"
+        return int(np.searchsorted(self.values, value, side=kind))
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Decode codes back to raw values."""
+        arr = np.asarray(codes, dtype=np.int64)
+        if self._is_identity:
+            return arr.copy()
+        return self.values[arr]

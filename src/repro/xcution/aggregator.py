@@ -1,0 +1,153 @@
+"""Grouped aggregation state for the join executor.
+
+The executor walks full attribute assignments and feeds per-group
+contribution vectors (one entry per aggregate) into a
+:class:`GroupAggregator`.  SUM/COUNT aggregates accumulate by addition,
+MIN/MAX by elementwise min/max -- i.e. the additive operator of the
+slot's semiring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import OutOfMemoryBudgetError
+
+#: check the memory budget every this many new groups.
+_BUDGET_CHECK_EVERY = 65536
+
+
+class GroupAggregator:
+    """Accumulates aggregate vectors keyed by group tuples."""
+
+    def __init__(
+        self,
+        agg_funcs: Sequence[str],
+        memory_budget_bytes: Optional[int] = None,
+        group_width: int = 0,
+    ):
+        self.agg_funcs = tuple(agg_funcs)
+        self.n_aggs = len(agg_funcs)
+        self._sum_mask = np.array([f in ("sum", "count") for f in agg_funcs])
+        self._min_mask = np.array([f == "min" for f in agg_funcs])
+        self._max_mask = np.array([f == "max" for f in agg_funcs])
+        self._all_additive = bool(self._sum_mask.all()) if self.n_aggs else True
+        self.groups: Dict[Tuple, np.ndarray] = {}
+        #: columnar batches of groups known to be unique (fast path for
+        #: large materialized outputs like SMM): (key columns, matrix).
+        self._batches: List[Tuple[List[np.ndarray], np.ndarray]] = []
+        self._batch_rows = 0
+        self._budget = memory_budget_bytes
+        self._group_width = group_width
+        self._since_check = 0
+
+    def add(self, key: Tuple, contribution: np.ndarray) -> None:
+        """Merge one contribution vector into ``key``'s accumulator."""
+        existing = self.groups.get(key)
+        if existing is None:
+            self.groups[key] = np.array(contribution, dtype=np.float64)
+            self._since_check += 1
+            if self._since_check >= _BUDGET_CHECK_EVERY:
+                self._check_budget()
+        elif self._all_additive:
+            existing += contribution
+        else:
+            existing[self._sum_mask] += contribution[self._sum_mask]
+            if self._min_mask.any():
+                existing[self._min_mask] = np.minimum(
+                    existing[self._min_mask], contribution[self._min_mask]
+                )
+            if self._max_mask.any():
+                existing[self._max_mask] = np.maximum(
+                    existing[self._max_mask], contribution[self._max_mask]
+                )
+
+    def add_batch_unique(
+        self, prefix: Tuple, keys: np.ndarray, matrix: np.ndarray
+    ) -> None:
+        """Bulk-add groups ``prefix + (k,)`` known not to repeat.
+
+        The executor uses this when the group key consists solely of
+        materialized join attributes: trie distinctness guarantees each
+        full assignment (and thus each group) is produced exactly once,
+        so no dictionary merge is needed.
+        """
+        if keys.size == 0:
+            return
+        columns = [np.full(keys.size, part, dtype=np.int64) for part in prefix]
+        columns.append(keys)
+        self.add_batch_unique_columns(columns, matrix)
+
+    def add_batch_unique_columns(
+        self, columns: List[np.ndarray], matrix: np.ndarray
+    ) -> None:
+        """Bulk-add fully columnar unique groups (flat-kernel output)."""
+        n = int(matrix.shape[0])
+        if n == 0:
+            return
+        if len(columns) != self._group_width:
+            raise ValueError("batch key width does not match the group layout")
+        self._batches.append((columns, matrix))
+        self._batch_rows += n
+        self._since_check += n
+        if self._since_check >= _BUDGET_CHECK_EVERY:
+            self._check_budget()
+
+    def merge(self, other: "GroupAggregator") -> None:
+        """Fold another aggregator in (parfor partial results)."""
+        for key, value in other.groups.items():
+            self.add(key, value)
+        self._batches.extend(other._batches)
+        self._batch_rows += other._batch_rows
+
+    def _check_budget(self) -> None:
+        self._since_check = 0
+        if self._budget is None:
+            return
+        # rough accounting: key tuple + float vector per group
+        per_group = 64 + 8 * (self._group_width + self.n_aggs)
+        used = per_group * (len(self.groups) + self._batch_rows)
+        if used > self._budget:
+            raise OutOfMemoryBudgetError(
+                f"aggregation state exceeded memory budget "
+                f"({used} > {self._budget} bytes, "
+                f"{len(self.groups) + self._batch_rows} groups)",
+                requested_bytes=used,
+                budget_bytes=self._budget,
+            )
+
+    def __len__(self) -> int:
+        return len(self.groups) + self._batch_rows
+
+    def result_arrays(self) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Return (columnar group-key arrays, matrix of aggregate values)."""
+        width = self._group_width
+        dict_keys = list(self.groups.keys())
+        columns: List[np.ndarray] = []
+        matrices: List[np.ndarray] = []
+        if dict_keys:
+            key_cols = [
+                np.array([key[i] for key in dict_keys]) for i in range(width)
+            ]
+            matrices.append(np.vstack([self.groups[k] for k in dict_keys]))
+        else:
+            key_cols = [np.empty(0, dtype=np.int64) for _ in range(width)]
+        if self._batches:
+            batch_cols: List[List[np.ndarray]] = [[] for _ in range(width)]
+            for columns, matrix in self._batches:
+                for i in range(width):
+                    batch_cols[i].append(columns[i])
+                matrices.append(matrix)
+            key_cols = [
+                np.concatenate(
+                    ([key_cols[i]] if key_cols[i].size else []) + batch_cols[i]
+                )
+                for i in range(width)
+            ]
+        if not matrices:
+            return [np.empty(0, dtype=np.int64) for _ in range(width)], np.zeros(
+                (0, self.n_aggs)
+            )
+        return key_cols, np.vstack(matrices) if len(matrices) > 1 else matrices[0]

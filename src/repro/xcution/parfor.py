@@ -1,0 +1,44 @@
+"""The ``parfor`` operator: parallel iteration over the outermost loop.
+
+LevelHeaded parallelizes the generic WCOJ algorithm by naively
+splitting the outermost ``for`` over set values across cores
+(Section III-D).  In this pure-Python reproduction the workers are
+threads (numpy kernels release the GIL; Python-level interpretation
+does not), so ``parallel=True`` is about exercising the execution
+structure, not about wall-clock speedups -- see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator, List, TypeVar
+
+T = TypeVar("T")
+
+
+def chunk_slices(total: int, chunks: int) -> List[slice]:
+    """Split ``range(total)`` into at most ``chunks`` contiguous slices."""
+    if total <= 0:
+        return []
+    chunks = max(1, min(chunks, total))
+    base, extra = divmod(total, chunks)
+    slices = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
+
+
+def parfor_chunks(worker: Callable[[slice], T], total: int, num_threads: int) -> Iterator[T]:
+    """Run ``worker`` over contiguous chunks of ``range(total)`` in parallel."""
+    slices = chunk_slices(total, num_threads)
+    if len(slices) <= 1:
+        for sl in slices:
+            yield worker(sl)
+        return
+    with ThreadPoolExecutor(max_workers=len(slices)) as pool:
+        futures = [pool.submit(worker, sl) for sl in slices]
+        for future in futures:
+            yield future.result()

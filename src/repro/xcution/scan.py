@@ -1,0 +1,98 @@
+"""The scan-aggregate path for queries without join keys (TPC-H Q1/Q6).
+
+No hypergraph vertices means no trie traversal: filters become one row
+mask, GROUP BY expressions are evaluated row-wise, and aggregates
+reduce over sorted group runs.  Attribute elimination shows up here as
+"only touch the referenced columns" -- the Table III ablation forces a
+pass over every column instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..sql.expressions import evaluate
+from .plan import ScanPlan
+
+
+def execute_scan(plan: ScanPlan) -> Tuple[List[np.ndarray], np.ndarray]:
+    """Run a scan plan; returns (columnar group keys, aggregate matrix).
+
+    Group key columns hold *raw* values (strings, years, ...), unlike
+    the join path's dictionary codes.
+    """
+    table = plan.table
+
+    if plan.touch_all_columns:
+        # -Attr.Elim ablation: force memory traffic over the full width.
+        for column in table.columns.values():
+            column.copy()
+
+    def resolve(ref):
+        return table.columns[ref.name]
+
+    mask = None
+    for predicate in plan.filters:
+        value = np.asarray(evaluate(predicate, resolve), dtype=bool)
+        mask = value if mask is None else (mask & value)
+
+    def masked(values):
+        arr = np.asarray(values)
+        if arr.ndim == 0:
+            arr = np.full(table.num_rows, arr)
+        return arr if mask is None else arr[mask]
+
+    n_rows = int(mask.sum()) if mask is not None else table.num_rows
+    slot_rows: Dict[str, np.ndarray] = {}
+    for slot_id, (expr, combine) in plan.slot_exprs.items():
+        if expr is None:  # count-style slot
+            slot_rows[slot_id] = np.ones(n_rows)
+        else:
+            slot_rows[slot_id] = masked(evaluate(expr, resolve)).astype(np.float64)
+
+    group_columns = [masked(evaluate(g.expr, resolve)) for g in plan.group_exprs]
+
+    if group_columns:
+        if n_rows == 0:
+            return [col[:0] for col in group_columns], np.zeros(
+                (0, len(plan.aggregates))
+            )
+        stacked = np.rec.fromarrays(group_columns)
+        unique_rows, inverse = np.unique(stacked, return_inverse=True)
+        n_groups = unique_rows.size
+        order = np.argsort(inverse, kind="stable")
+        sorted_inverse = inverse[order]
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], sorted_inverse[1:] != sorted_inverse[:-1]))
+        )
+        key_columns = [unique_rows[name] for name in unique_rows.dtype.names]
+    else:
+        n_groups = 1 if n_rows > 0 else 0
+        order = np.arange(n_rows)
+        boundaries = np.array([0], dtype=np.int64) if n_rows else np.empty(0, np.int64)
+        key_columns = []
+
+    matrix = np.zeros((n_groups, len(plan.aggregates)))
+    for a_idx, agg in enumerate(plan.aggregates):
+        if agg.func in ("min", "max"):
+            rows = slot_rows[agg.minmax_slot][order]
+            if n_groups:
+                reducer = np.minimum if agg.func == "min" else np.maximum
+                matrix[:, a_idx] = reducer.reduceat(rows, boundaries)
+            continue
+        total = np.zeros(n_rows)
+        for coefficient, slot_ids in agg.terms:
+            product = np.full(n_rows, coefficient)
+            for slot_id in slot_ids:
+                product = product * slot_rows[slot_id]
+            total += product
+        if n_groups:
+            matrix[:, a_idx] = np.add.reduceat(total[order], boundaries)
+
+    # A global aggregate over an empty selection still yields one row of
+    # zeros (documented divergence from SQL NULL semantics: no NULLs).
+    if not plan.group_exprs and n_groups == 0:
+        matrix = np.zeros((1, len(plan.aggregates)))
+    return key_columns, matrix

@@ -1,0 +1,201 @@
+"""Tests for the baseline engines, including cross-engine agreement."""
+
+import numpy as np
+import pytest
+
+from repro import LevelHeadedEngine
+from repro.baselines import LAPackage, NaiveWCOJEngine, PairwiseEngine
+from repro.baselines.pairwise import ColumnRelation, hash_join
+from repro.errors import OutOfMemoryBudgetError, UnsupportedQueryError
+from repro.la import matmul_sql, matvec_sql, random_sparse_coo, register_coo, register_vector
+from tests.conftest import make_matrix_catalog, make_mini_tpch
+from tests.test_engine import Q5_SQL
+
+# ---------------------------------------------------------------------------
+# relational operators
+# ---------------------------------------------------------------------------
+
+
+def _relation(**cols):
+    arrays = {k: np.asarray(v) for k, v in cols.items()}
+    n = len(next(iter(arrays.values())))
+    return ColumnRelation(columns=arrays, num_rows=n)
+
+
+def test_hash_join_basic():
+    left = _relation(**{"a.k": [1, 2, 2, 3], "a.v": [10, 20, 21, 30]})
+    right = _relation(**{"b.k": [2, 3, 4], "b.w": [200, 300, 400]})
+    out = hash_join(left, right, ["a.k"], ["b.k"])
+    assert out.num_rows == 3
+    rows = sorted(zip(out.columns["a.k"], out.columns["a.v"], out.columns["b.w"]))
+    assert rows == [(2, 20, 200), (2, 21, 200), (3, 30, 300)]
+
+
+def test_hash_join_composite_keys():
+    left = _relation(**{"a.x": [1, 1, 2], "a.y": [5, 6, 5], "a.v": [1, 2, 3]})
+    right = _relation(**{"b.x": [1, 2], "b.y": [6, 5], "b.w": [10, 20]})
+    out = hash_join(left, right, ["a.x", "a.y"], ["b.x", "b.y"])
+    rows = sorted(zip(out.columns["a.v"], out.columns["b.w"]))
+    assert rows == [(2, 10), (3, 20)]
+
+
+def test_hash_join_empty_side():
+    left = _relation(**{"a.k": np.array([], dtype=np.int64)})
+    right = _relation(**{"b.k": [1, 2]})
+    assert hash_join(left, right, ["a.k"], ["b.k"]).num_rows == 0
+
+
+def test_hash_join_memory_budget_oom():
+    n = 200
+    left = _relation(**{"a.k": np.zeros(n, dtype=np.int64)})
+    right = _relation(**{"b.k": np.zeros(n, dtype=np.int64)})
+    with pytest.raises(OutOfMemoryBudgetError):
+        hash_join(left, right, ["a.k"], ["b.k"], memory_budget_bytes=1000)
+
+
+# ---------------------------------------------------------------------------
+# pairwise engine correctness (vs brute force through LevelHeaded tests)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def tpch_catalog():
+    return make_mini_tpch()
+
+
+CROSS_CHECK_QUERIES = [
+    "SELECT c_name, sum(o_totalprice) AS t FROM customer, orders "
+    "WHERE c_custkey = o_custkey GROUP BY c_name",
+    Q5_SQL,
+    "SELECT count(*) AS n FROM orders, lineitem WHERE o_orderkey = l_orderkey",
+    "SELECT l_suppkey, sum(l_quantity) AS q FROM lineitem GROUP BY l_suppkey",
+    "SELECT sum(l_extendedprice * l_discount) AS rev FROM lineitem "
+    "WHERE l_quantity < 8",
+    "SELECT extract(year from o_orderdate) AS y, avg(o_totalprice) AS t "
+    "FROM orders GROUP BY extract(year from o_orderdate)",
+    "SELECT c_custkey, c_name FROM customer, orders WHERE c_custkey = o_custkey",
+]
+
+
+@pytest.mark.parametrize("planner", ["selinger", "fifo"])
+@pytest.mark.parametrize("sql", CROSS_CHECK_QUERIES, ids=range(len(CROSS_CHECK_QUERIES)))
+def test_pairwise_agrees_with_levelheaded(tpch_catalog, planner, sql):
+    lh = LevelHeadedEngine(tpch_catalog)
+    pw = PairwiseEngine(tpch_catalog, planner=planner)
+    lh_rows = lh.query(sql).sorted_rows()
+    pw_rows = pw.query(sql).sorted_rows()
+    assert len(lh_rows) == len(pw_rows)
+    for a, b in zip(lh_rows, pw_rows):
+        assert a == pytest.approx(b)
+
+
+def test_pairwise_matmul_agrees(tpch_catalog):
+    catalog = make_matrix_catalog()
+    lh = LevelHeadedEngine(catalog)
+    pw = PairwiseEngine(catalog)
+    sql = matmul_sql("matrix")
+    assert lh.query(sql).sorted_rows() == pytest.approx(pw.query(sql).sorted_rows())
+
+
+def test_pairwise_planner_orders_small_first(tpch_catalog):
+    pw = PairwiseEngine(tpch_catalog, planner="selinger")
+    order = pw.join_order(Q5_SQL)
+    # region (after its equality filter: 1 row) should come before lineitem
+    assert order.index("region") < order.index("lineitem")
+
+
+def test_pairwise_fifo_order_is_from_order(tpch_catalog):
+    pw = PairwiseEngine(tpch_catalog, planner="fifo")
+    order = pw.join_order(
+        "SELECT count(*) AS n FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+    )
+    assert order == ["orders", "lineitem"]
+
+
+def test_pairwise_rejects_cross_product(tpch_catalog):
+    pw = PairwiseEngine(tpch_catalog)
+    with pytest.raises(UnsupportedQueryError):
+        pw.query("SELECT count(*) AS n FROM customer, region")
+
+
+def test_pairwise_unknown_planner(tpch_catalog):
+    with pytest.raises(ValueError):
+        PairwiseEngine(tpch_catalog, planner="quantum")
+
+
+def test_pairwise_oom_on_smm_with_budget():
+    """The Table II shape: pairwise SMM blows the memory budget."""
+    rng = np.random.default_rng(0)
+    n, nnz = 300, 9000
+    rows, cols, vals = random_sparse_coo(n, nnz, rng)
+    lh = LevelHeadedEngine()
+    register_coo(lh.catalog, "m", rows, cols, vals, n=n, domain="dim")
+    pw = PairwiseEngine(lh.catalog, memory_budget_bytes=1_000_000)
+    with pytest.raises(OutOfMemoryBudgetError):
+        pw.query(matmul_sql("m"))
+    # LevelHeaded handles the same query within the same budget
+    from repro import EngineConfig
+
+    lh_budgeted = LevelHeadedEngine(
+        lh.catalog, config=EngineConfig(memory_budget_bytes=50_000_000)
+    )
+    assert lh_budgeted.query(matmul_sql("m")).num_rows > 0
+
+
+# ---------------------------------------------------------------------------
+# naive WCOJ baseline
+# ---------------------------------------------------------------------------
+
+
+def test_naive_wcoj_correct_but_costlier(tpch_catalog):
+    naive = NaiveWCOJEngine(tpch_catalog)
+    tuned = LevelHeadedEngine(tpch_catalog)
+    assert naive.query(Q5_SQL).sorted_rows() == pytest.approx(
+        tuned.query(Q5_SQL).sorted_rows()
+    )
+    naive_cost = naive.compile(Q5_SQL).root.decision.cost
+    tuned_cost = tuned.compile(Q5_SQL).root.decision.cost
+    assert naive_cost >= tuned_cost
+
+
+def test_naive_wcoj_no_blas():
+    import numpy as np
+
+    from repro.la import register_dense
+
+    naive = NaiveWCOJEngine()
+    register_dense(naive.catalog, "m", np.eye(4), domain="dim")
+    assert naive.compile(matmul_sql("m")).mode == "join"
+
+
+# ---------------------------------------------------------------------------
+# LA package baseline
+# ---------------------------------------------------------------------------
+
+
+def test_la_package_kernels_match_engine():
+    rng = np.random.default_rng(12)
+    n, nnz = 25, 120
+    rows, cols, vals = random_sparse_coo(n, nnz, rng)
+    x = rng.normal(size=n)
+    dense = rng.normal(size=(n, n))
+
+    pkg = LAPackage()
+    pkg.load_sparse("m", rows, cols, vals, n)
+    pkg.load_vector("x", x)
+    pkg.load_dense("d", dense)
+
+    engine = LevelHeadedEngine()
+    register_coo(engine.catalog, "m", rows, cols, vals, n=n, domain="dim")
+    register_vector(engine.catalog, "x", x, domain="dim")
+
+    from repro.la import result_to_dense, result_to_vector
+
+    assert np.allclose(
+        result_to_vector(engine.query(matvec_sql("m", "x")), n), pkg.smv("m", "x")
+    )
+    assert np.allclose(
+        result_to_dense(engine.query(matmul_sql("m")), n), pkg.smm("m").toarray()
+    )
+    assert np.allclose(pkg.dmm("d"), dense @ dense)
+    assert np.allclose(pkg.dmv("d", "x"), dense @ x)

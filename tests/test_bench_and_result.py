@@ -1,0 +1,160 @@
+"""Tests for the bench harness, reporting, and the result table."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import ResultTable
+from repro.bench import (
+    Measurement,
+    ReportLog,
+    best_of,
+    comparison_row,
+    format_seconds,
+    measure,
+    render_table,
+    run_guarded,
+)
+from repro.errors import OutOfMemoryBudgetError
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+
+
+def test_measure_protocol_drops_extremes():
+    calls = []
+
+    def fn():
+        calls.append(1)
+
+    seconds = measure(fn, repeats=7, warmup=1)
+    assert seconds >= 0
+    assert len(calls) == 8  # 1 warmup + 7 timed
+
+
+def test_run_guarded_ok():
+    m = run_guarded(lambda: None, repeats=2)
+    assert m.ok and m.seconds is not None
+
+
+def test_run_guarded_oom():
+    def boom():
+        raise OutOfMemoryBudgetError("too big")
+
+    m = run_guarded(boom)
+    assert m.label == "oom" and not m.ok
+
+
+def test_run_guarded_timeout():
+    def slow():
+        time.sleep(0.05)
+
+    m = run_guarded(slow, timeout_seconds=0.01)
+    assert m.label == "t/o"
+    assert m.seconds >= 0.05
+
+
+def test_measurement_render_relative():
+    assert Measurement("ok", 0.2).render_relative(0.1) == "2.00x"
+    assert Measurement("oom").render_relative(0.1) == "oom"
+    assert Measurement("ok", 0.25).render_relative(None) == "250.00ms"
+
+
+def test_best_of():
+    measurements = {
+        "a": Measurement("ok", 0.5),
+        "b": Measurement("oom"),
+        "c": Measurement("ok", 0.2),
+    }
+    assert best_of(measurements) == 0.2
+    assert best_of({"x": Measurement("oom")}) is None
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+
+def test_format_seconds():
+    assert format_seconds(None) == "-"
+    assert format_seconds(2.5) == "2.50s"
+    assert format_seconds(0.0123) == "12.30ms"
+
+
+def test_render_table_alignment():
+    text = render_table("title", ["a", "bb"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert lines[0] == "title"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_comparison_row():
+    measurements = {
+        "fast": Measurement("ok", 0.1),
+        "slow": Measurement("ok", 1.0),
+        "dead": Measurement("oom"),
+    }
+    row = comparison_row("Q1", measurements, ["fast", "slow", "dead", "absent"])
+    assert row[0] == "Q1"
+    assert row[1] == "100.00ms"
+    assert row[2] == "1.00x"
+    assert row[3] == "10.00x"
+    assert row[4] == "oom"
+    assert row[5] == "-"
+
+
+def test_report_log_writes_files(tmp_path):
+    log = ReportLog(str(tmp_path / "results"))
+    log.add_table("exp1", "hello")
+    log.flush()
+    assert (tmp_path / "results" / "exp1.txt").read_text() == "hello\n"
+
+
+# ---------------------------------------------------------------------------
+# ResultTable
+# ---------------------------------------------------------------------------
+
+
+def _table():
+    return ResultTable(
+        ["name", "value"],
+        [np.array(["b", "a"]), np.array([2.0, 1.0])],
+    )
+
+
+def test_result_table_basics():
+    t = _table()
+    assert len(t) == 2
+    assert t.names == ["name", "value"]
+    assert list(t.column("value")) == [2.0, 1.0]
+    assert t.to_rows() == [("b", 2.0), ("a", 1.0)]
+    assert t.sorted_rows() == [("a", 1.0), ("b", 2.0)]
+    assert t.to_dict() == {"name": ["b", "a"], "value": [2.0, 1.0]}
+
+
+def test_result_table_single_value():
+    t = ResultTable(["s"], [np.array([42.0])])
+    assert t.single_value() == 42.0
+    with pytest.raises(ValueError):
+        _table().single_value()
+
+
+def test_result_table_to_text_truncates():
+    t = ResultTable(["x"], [np.arange(30)])
+    text = t.to_text(limit=5)
+    assert "30 rows total" in text
+
+
+def test_result_table_validation():
+    with pytest.raises(ValueError):
+        ResultTable(["a"], [np.array([1]), np.array([2])])
+    with pytest.raises(ValueError):
+        ResultTable(["a", "b"], [np.array([1]), np.array([1, 2])])
+
+
+def test_result_table_mixed_sort_keys():
+    t = ResultTable(["k"], [np.array([3, 1, 2])])
+    assert t.sorted_rows() == [(1,), (2,), (3,)]

@@ -1,0 +1,260 @@
+"""Tests for the TPC-H generator, matrix profiles, voters, and ML stack.
+
+The heavyweight integration test here is engine agreement: every
+benchmark TPC-H query must produce identical results from LevelHeaded
+and the pairwise baseline on generated data.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LevelHeadedEngine
+from repro.baselines import PairwiseEngine
+from repro.datasets import (
+    CATEGORICAL_FEATURES,
+    NUMERIC_FEATURES,
+    TPCH_QUERIES,
+    dense_matrix,
+    generate_tpch,
+    generate_voters,
+    sparse_profile,
+    table_sizes,
+)
+from repro.datasets.matrices import PROFILES
+from repro.datasets.tpch import NATIONS, REGIONS, partsupp_suppliers
+from repro.ml import (
+    LogisticRegression,
+    OneHotEncoder,
+    build_feature_matrix,
+    run_all_pipelines,
+    run_levelheaded_pipeline,
+    sigmoid,
+    standardize,
+)
+
+SF = 0.002  # tiny but non-trivial: ~3k orders, ~12k lineitems
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return generate_tpch(scale_factor=SF, seed=7)
+
+
+# ---------------------------------------------------------------------------
+# TPC-H generator
+# ---------------------------------------------------------------------------
+
+
+def test_table_sizes_scale_linearly():
+    small, large = table_sizes(0.01), table_sizes(0.1)
+    assert large["orders"] == 10 * small["orders"]
+    assert small["nation"] == 25 and small["region"] == 5
+    assert small["partsupp"] == 4 * small["part"]
+
+
+def test_generator_row_counts(tpch):
+    sizes = table_sizes(SF)
+    assert tpch.table("orders").num_rows == sizes["orders"]
+    assert tpch.table("customer").num_rows == sizes["customer"]
+    assert tpch.table("nation").num_rows == 25
+    lineitem = tpch.table("lineitem")
+    assert 1 * sizes["orders"] <= lineitem.num_rows <= 7 * sizes["orders"]
+
+
+def test_generator_referential_integrity(tpch):
+    lineitem = tpch.table("lineitem")
+    orders = tpch.table("orders")
+    assert set(np.unique(lineitem.column("l_orderkey"))) <= set(
+        orders.column("o_orderkey").tolist()
+    )
+    # dbgen invariant: every (l_partkey, l_suppkey) exists in partsupp
+    partsupp = tpch.table("partsupp")
+    ps_pairs = set(
+        zip(partsupp.column("ps_partkey").tolist(), partsupp.column("ps_suppkey").tolist())
+    )
+    li_pairs = set(
+        zip(lineitem.column("l_partkey").tolist(), lineitem.column("l_suppkey").tolist())
+    )
+    assert li_pairs <= ps_pairs
+
+
+def test_generator_partsupp_suppliers_distinct():
+    parts = np.repeat(np.arange(10), 4)
+    slots = np.tile(np.arange(4), 10)
+    supps = partsupp_suppliers(parts, slots, 40)
+    for p in range(10):
+        assert len(set(supps[parts == p].tolist())) == 4
+
+
+def test_generator_value_domains(tpch):
+    assert list(tpch.table("region").column("r_name")) == REGIONS
+    assert list(tpch.table("nation").column("n_name")) == [n for n, _ in NATIONS]
+    discounts = tpch.table("lineitem").column("l_discount")
+    assert discounts.min() >= 0.0 and discounts.max() <= 0.10
+    flags = set(np.unique(tpch.table("lineitem").column("l_returnflag")).tolist())
+    assert flags <= {"R", "A", "N"}
+
+
+def test_generator_selectivities_nonzero(tpch):
+    part = tpch.table("part")
+    green = np.char.find(part.column("p_name"), "green") >= 0
+    assert green.any()
+    econ = part.column("p_type") == "ECONOMY ANODIZED STEEL"
+    assert econ.any()
+    segment = tpch.table("customer").column("c_mktsegment") == "BUILDING"
+    assert segment.any()
+
+
+def test_generator_deterministic():
+    a = generate_tpch(scale_factor=0.001, seed=42)
+    b = generate_tpch(scale_factor=0.001, seed=42)
+    assert np.array_equal(
+        a.table("lineitem").column("l_extendedprice"),
+        b.table("lineitem").column("l_extendedprice"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# the big one: every TPC-H benchmark query agrees across engines
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", list(TPCH_QUERIES))
+def test_tpch_queries_agree_across_engines(tpch, name):
+    sql = TPCH_QUERIES[name]
+    lh_rows = LevelHeadedEngine(tpch).query(sql).sorted_rows()
+    pw_rows = PairwiseEngine(tpch).query(sql).sorted_rows()
+    assert len(lh_rows) > 0, f"{name} returned no rows at SF {SF}"
+    assert len(lh_rows) == len(pw_rows)
+    for a, b in zip(lh_rows, pw_rows):
+        assert a == pytest.approx(b, rel=1e-9, abs=1e-7)
+
+
+# ---------------------------------------------------------------------------
+# matrix profiles
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", list(PROFILES))
+def test_sparse_profiles_shape(name):
+    (rows, cols, vals), n = sparse_profile(name, scale=0.25, seed=1)
+    assert rows.size == cols.size == vals.size > n  # more than the diagonal
+    assert rows.max() < n and cols.max() < n
+    per_row = rows.size / n
+    assert 2 <= per_row <= PROFILES[name].nnz_per_row + 1
+
+
+def test_kkt_profile_symmetric():
+    (rows, cols, _vals), n = sparse_profile("nlp240", scale=0.2, seed=2)
+    entries = set(zip(rows.tolist(), cols.tolist()))
+    assert all((c, r) in entries for r, c in entries)
+
+
+def test_dense_matrix_sizes():
+    assert dense_matrix("8192", scale=1.0).shape == (128, 128)
+    assert dense_matrix("16384", scale=0.5).shape == (128, 128)
+
+
+# ---------------------------------------------------------------------------
+# ML: encoding and logistic regression
+# ---------------------------------------------------------------------------
+
+
+def test_one_hot_encoder_roundtrip():
+    enc = OneHotEncoder().fit({"color": np.array(["r", "g", "b", "g"])})
+    out = enc.transform({"color": np.array(["g", "r"])})
+    assert out.shape == (2, 3)
+    assert out.sum() == 2
+    # order-preserving categories: b, g, r
+    assert out[0, 1] == 1 and out[1, 2] == 1
+
+
+def test_one_hot_unseen_value_encodes_to_zero():
+    enc = OneHotEncoder().fit({"c": np.array(["a", "b"])})
+    out = enc.transform({"c": np.array(["z"])})
+    assert out.sum() == 0
+
+
+def test_one_hot_unfitted_raises():
+    with pytest.raises(ValueError):
+        OneHotEncoder().transform({"c": np.array(["a"])})
+
+
+def test_standardize():
+    out = standardize(np.array([1.0, 2.0, 3.0]))
+    assert out.mean() == pytest.approx(0.0)
+    assert out.std() == pytest.approx(1.0)
+    assert np.all(standardize(np.ones(5)) == 0)
+
+
+def test_build_feature_matrix_width():
+    columns = {
+        "cat": np.array(["a", "b", "a"]),
+        "num": np.array([1.0, 2.0, 3.0]),
+    }
+    features, enc = build_feature_matrix(columns, ["cat"], ["num"])
+    assert features.shape == (3, 2 + 1 + 1)  # 2 categories + numeric + bias
+    assert np.all(features[:, -1] == 1.0)
+
+
+def test_sigmoid_stable():
+    z = np.array([-1000.0, 0.0, 1000.0])
+    out = sigmoid(z)
+    assert out[0] == pytest.approx(0.0)
+    assert out[1] == pytest.approx(0.5)
+    assert out[2] == pytest.approx(1.0)
+
+
+def test_logistic_regression_learns_separable():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(400, 2))
+    y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+    features = np.hstack([x, np.ones((400, 1))])
+    model = LogisticRegression(learning_rate=1.0, iterations=50).fit(features, y)
+    assert model.accuracy(features, y) > 0.95
+    assert model.loss_history[-1] < model.loss_history[0]
+
+
+def test_logistic_regression_validation():
+    with pytest.raises(ValueError):
+        LogisticRegression(iterations=0)
+    model = LogisticRegression()
+    with pytest.raises(ValueError):
+        model.fit(np.zeros((3, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        model.predict(np.zeros((1, 2)))
+
+
+# ---------------------------------------------------------------------------
+# voters + pipelines
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def voters():
+    return generate_voters(n_voters=4000, n_precincts=40, seed=9)
+
+
+def test_voter_generator_shape(voters):
+    assert voters.table("voters").num_rows == 4000
+    assert voters.table("precincts").num_rows == 40
+    voted = voters.table("voters").column("v_voted")
+    assert 0.1 < voted.mean() < 0.95
+
+
+def test_levelheaded_pipeline_trains(voters):
+    result = run_levelheaded_pipeline(voters, iterations=5)
+    assert result.n_rows > 0
+    assert result.accuracy > 0.55  # better than chance on the planted signal
+    assert result.total_seconds > 0
+
+
+def test_all_pipelines_agree_on_rows_and_learn(voters):
+    results = run_all_pipelines(voters, iterations=5)
+    assert {r.engine for r in results} == {
+        "levelheaded", "monetdb-sklearn", "pandas-sklearn", "spark",
+    }
+    row_counts = {r.n_rows for r in results}
+    assert len(row_counts) == 1  # every pipeline sees the same feature set
+    for r in results:
+        assert r.accuracy > 0.55

@@ -1,0 +1,228 @@
+"""Tests for the LA subsystem: matrices, CSR conversion, BLAS, kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse as sp
+
+from repro import EngineConfig, LevelHeadedEngine, SchemaError
+from repro.la import (
+    blas,
+    coo_to_csr,
+    csr_matmul,
+    csr_matvec,
+    csr_to_dense,
+    ensure_dimension,
+    frobenius_norm_sql,
+    matmul_sql,
+    matvec_sql,
+    random_sparse_coo,
+    register_coo,
+    register_dense,
+    register_vector,
+    result_to_dense,
+    result_to_vector,
+    run_matmul,
+    run_matvec,
+    to_dense,
+    vector_dot_sql,
+)
+from repro.errors import ExecutionError
+
+# ---------------------------------------------------------------------------
+# matrix registration
+# ---------------------------------------------------------------------------
+
+
+def test_register_coo_and_to_dense():
+    engine = LevelHeadedEngine()
+    rows, cols, vals = [0, 1, 3], [2, 0, 1], [1.5, 2.5, 3.5]
+    table = register_coo(engine.catalog, "m", rows, cols, vals, n=4)
+    dense = to_dense(table, 4)
+    assert dense[0, 2] == 1.5 and dense[3, 1] == 3.5
+    assert dense.sum() == pytest.approx(7.5)
+
+
+def test_register_coo_bounds_check():
+    engine = LevelHeadedEngine()
+    with pytest.raises(SchemaError):
+        register_coo(engine.catalog, "m", [5], [0], [1.0], n=4)
+
+
+def test_register_dense_requires_square():
+    engine = LevelHeadedEngine()
+    with pytest.raises(SchemaError):
+        register_dense(engine.catalog, "m", np.zeros((2, 3)))
+
+
+def test_dimension_anchor_makes_encoding_identity():
+    engine = LevelHeadedEngine()
+    register_coo(engine.catalog, "m", [3], [1], [1.0], n=8, domain="dim")
+    assert engine.catalog.domain_size("dim") == 8
+    ensure_dimension(engine.catalog, "dim", 8)  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# CSR conversion (the Table IV substrate)
+# ---------------------------------------------------------------------------
+
+
+def test_coo_to_csr_matches_scipy():
+    rng = np.random.default_rng(7)
+    rows, cols, vals = random_sparse_coo(50, 300, rng)
+    ours = coo_to_csr(rows, cols, vals, (50, 50))
+    theirs = sp.coo_matrix((vals, (rows, cols)), shape=(50, 50)).tocsr()
+    assert np.array_equal(ours.indptr, theirs.indptr)
+    assert np.array_equal(ours.indices, theirs.indices)
+    assert np.allclose(ours.data, theirs.data)
+
+
+def test_coo_to_csr_sums_duplicates():
+    csr = coo_to_csr([0, 0], [1, 1], [2.0, 3.0], (2, 2))
+    assert csr.nnz == 1
+    assert csr.data[0] == pytest.approx(5.0)
+
+
+def test_coo_to_csr_out_of_bounds():
+    with pytest.raises(SchemaError):
+        coo_to_csr([5], [0], [1.0], (2, 2))
+
+
+def test_csr_matvec_matches_scipy():
+    rng = np.random.default_rng(8)
+    rows, cols, vals = random_sparse_coo(40, 200, rng)
+    x = rng.normal(size=40)
+    ours = csr_matvec(coo_to_csr(rows, cols, vals, (40, 40)), x)
+    theirs = sp.coo_matrix((vals, (rows, cols)), shape=(40, 40)).tocsr() @ x
+    assert np.allclose(ours, theirs)
+
+
+def test_csr_matmul_matches_scipy():
+    rng = np.random.default_rng(9)
+    rows, cols, vals = random_sparse_coo(30, 150, rng)
+    csr = coo_to_csr(rows, cols, vals, (30, 30))
+    ours = csr_to_dense(csr_matmul(csr, csr))
+    theirs = (
+        sp.coo_matrix((vals, (rows, cols)), shape=(30, 30)).tocsr() ** 2
+    ).toarray()
+    assert np.allclose(ours, theirs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 9), st.integers(0, 9), st.floats(-5, 5, allow_nan=False)
+        ),
+        max_size=40,
+    )
+)
+def test_property_csr_roundtrip(entries):
+    rows = np.array([e[0] for e in entries], dtype=np.int64)
+    cols = np.array([e[1] for e in entries], dtype=np.int64)
+    vals = np.array([e[2] for e in entries])
+    csr = coo_to_csr(rows, cols, vals, (10, 10))
+    dense = np.zeros((10, 10))
+    np.add.at(dense, (rows, cols), vals)
+    assert np.allclose(csr_to_dense(csr), dense)
+
+
+# ---------------------------------------------------------------------------
+# BLAS substrate
+# ---------------------------------------------------------------------------
+
+
+def test_blas_gemm_gemv_dot():
+    rng = np.random.default_rng(10)
+    a, b = rng.normal(size=(4, 4)), rng.normal(size=(4, 4))
+    x = rng.normal(size=4)
+    assert np.allclose(blas.gemm(a, b), a @ b)
+    assert np.allclose(blas.gemv(a, x), a @ x)
+    assert blas.dot(x, x) == pytest.approx(float(x @ x))
+
+
+def test_blas_shape_errors():
+    with pytest.raises(ExecutionError):
+        blas.gemm(np.zeros((2, 3)), np.zeros((2, 3)))
+    with pytest.raises(ExecutionError):
+        blas.gemv(np.zeros((2, 3)), np.zeros(2))
+    with pytest.raises(ExecutionError):
+        blas.dot(np.zeros(2), np.zeros(3))
+
+
+def test_blas_contract_dispatch():
+    rng = np.random.default_rng(11)
+    a, b = rng.normal(size=(3, 3)), rng.normal(size=(3, 3))
+    x = rng.normal(size=3)
+    assert np.allclose(blas.contract("ab,bc->ac", [a, b]), a @ b)
+    assert np.allclose(blas.contract("ab,b->a", [a, x]), a @ x)
+    assert np.allclose(blas.contract("a,a->", [x, x]), x @ x)
+    # generic einsum fallback
+    assert np.allclose(blas.contract("ab,cb->ac", [a, b]), a @ b.T)
+
+
+def test_blas_contract_operand_count_mismatch():
+    with pytest.raises(ExecutionError):
+        blas.contract("ab,bc->ac", [np.zeros((2, 2))])
+
+
+# ---------------------------------------------------------------------------
+# kernels end to end
+# ---------------------------------------------------------------------------
+
+
+def _sparse_engine(n=12, nnz=60, seed=3):
+    rng = np.random.default_rng(seed)
+    rows, cols, vals = random_sparse_coo(n, nnz, rng)
+    engine = LevelHeadedEngine()
+    register_coo(engine.catalog, "m", rows, cols, vals, n=n, domain="dim")
+    x = rng.normal(size=n)
+    register_vector(engine.catalog, "x", x, domain="dim")
+    dense = np.zeros((n, n))
+    dense[rows, cols] = vals
+    return engine, dense, x, n
+
+
+def test_smv_kernel():
+    engine, dense, x, n = _sparse_engine()
+    result = run_matvec(engine)
+    assert np.allclose(result_to_vector(result, n), dense @ x)
+
+
+def test_smm_kernel():
+    engine, dense, _x, n = _sparse_engine()
+    result = run_matmul(engine)
+    assert np.allclose(result_to_dense(result, n), dense @ dense)
+
+
+def test_dmv_dmm_kernels_use_blas():
+    n = 8
+    rng = np.random.default_rng(4)
+    dense = rng.normal(size=(n, n))
+    x = rng.normal(size=n)
+    engine = LevelHeadedEngine()
+    register_dense(engine.catalog, "m", dense, domain="dim")
+    register_vector(engine.catalog, "x", x, domain="dim")
+    assert engine.compile(matmul_sql("m")).mode == "blas"
+    assert engine.compile(matvec_sql("m", "x")).mode == "blas"
+    assert np.allclose(result_to_dense(run_matmul(engine), n), dense @ dense)
+    assert np.allclose(result_to_vector(run_matvec(engine), n), dense @ x)
+
+
+def test_frobenius_and_dot_sql():
+    engine, dense, x, n = _sparse_engine()
+    register_vector(engine.catalog, "y", x * 2.0, domain="dim")
+    norm2 = engine.query(frobenius_norm_sql("m")).single_value()
+    assert norm2 == pytest.approx(float((dense ** 2).sum()))
+    dot = engine.query(vector_dot_sql("x", "y")).single_value()
+    assert dot == pytest.approx(float(x @ (2 * x)))
+
+
+def test_smm_agrees_with_csr_substrate():
+    engine, dense, _x, n = _sparse_engine(n=10, nnz=40, seed=5)
+    table = engine.table("m")
+    csr = coo_to_csr(table.column("i"), table.column("j"), table.column("v"), (n, n))
+    via_engine = result_to_dense(run_matmul(engine), n)
+    via_csr = csr_to_dense(csr_matmul(csr, csr))
+    assert np.allclose(via_engine, via_csr)

@@ -1,0 +1,233 @@
+"""Tests for the cost-based attribute-ordering optimizer (Section V)."""
+
+import pytest
+
+from repro.optimizer import (
+    ICOST,
+    OrderDecision,
+    candidate_orders,
+    choose_order,
+    guess_layouts,
+    multiway_icost,
+    order_cost,
+    pairwise_icost,
+    relation_scores,
+    vertex_icost,
+    vertex_weight,
+    vertex_weights,
+)
+from repro.query import Hyperedge
+from repro.sets import Layout
+
+BS, UINT = Layout.BITSET, Layout.UINT
+
+# ---------------------------------------------------------------------------
+# icost model (Section V-A1)
+# ---------------------------------------------------------------------------
+
+
+def test_paper_icost_constants():
+    assert pairwise_icost(BS, BS) == 1
+    assert pairwise_icost(BS, UINT) == 10
+    assert pairwise_icost(UINT, BS) == 10
+    assert pairwise_icost(UINT, UINT) == 50
+
+
+def test_multiway_icost_bs_first_rule():
+    # paper example: l(e0) <= l(e1) <= l(e2) with bs < uint:
+    # icost = icost(bs ∩ bs) + icost(bs ∩ uint) = 1 + 10 = 11
+    assert multiway_icost([BS, UINT, BS]) == 11
+    assert multiway_icost([UINT, UINT, UINT]) == 100  # 50 + 50
+    assert multiway_icost([BS, BS]) == 1
+    assert multiway_icost([UINT]) == 0  # no intersection needed
+    assert multiway_icost([]) == 0
+
+
+def _q5_node_edges():
+    """The expensive GHD node of TPC-H Q5 plus the child-result edge."""
+    return [
+        Hyperedge("orders", "orders", ("orderkey", "custkey"), 15_000_000),
+        Hyperedge("lineitem", "lineitem", ("orderkey", "suppkey"), 60_000_000),
+        Hyperedge("customer", "customer", ("custkey", "nationkey"), 1_500_000),
+        Hyperedge("supplier", "supplier", ("suppkey", "nationkey"), 100_000),
+        Hyperedge("node1", "node1", ("nationkey",), 25),
+    ]
+
+
+def test_example_5_1_icosts():
+    """Reproduce Example 5.1's per-vertex icosts exactly."""
+    edges = _q5_node_edges()
+    order = ["orderkey", "custkey", "nationkey", "suppkey"]
+    assert vertex_icost("orderkey", [], edges) == 1  # bs ∩ bs
+    assert vertex_icost("custkey", order[:1], edges) == 10  # uint ∩ bs
+    assert vertex_icost("nationkey", order[:2], edges) == 11  # bs ∩ bs ∩ uint
+    assert vertex_icost("suppkey", order[:3], edges) == 50  # uint ∩ uint
+
+
+def test_guess_layouts_observation_5_1():
+    edges = _q5_node_edges()
+    layouts = guess_layouts("custkey", ["orderkey"], edges)
+    # orders was opened at orderkey -> uint; customer unopened -> bs
+    assert sorted(l.value for l in layouts) == ["bs", "uint"]
+
+
+def test_dense_relation_icost_zero():
+    dense = [
+        Hyperedge("m1", "matrix", ("i", "k"), 100, fully_dense=True),
+        Hyperedge("m2", "matrix", ("k", "j"), 100, fully_dense=True),
+    ]
+    assert vertex_icost("k", ["i"], dense) == 0
+    assert vertex_icost("i", [], dense) == 0
+
+
+def test_single_edge_vertex_icost_zero():
+    edges = [Hyperedge("m2", "matrix", ("k", "j"), 100)]
+    assert vertex_icost("j", ["k"], edges) == 0
+
+
+# ---------------------------------------------------------------------------
+# weights (Section V-B)
+# ---------------------------------------------------------------------------
+
+
+def _q5_full_edges():
+    return [
+        Hyperedge("lineitem", "lineitem", ("orderkey", "suppkey"), 59_986_052),
+        Hyperedge("orders", "orders", ("orderkey", "custkey"), 15_000_000),
+        Hyperedge("customer", "customer", ("custkey", "nationkey"), 1_500_000),
+        Hyperedge("supplier", "supplier", ("suppkey", "nationkey"), 100_000),
+        Hyperedge("nation", "nation", ("nationkey", "regionkey"), 25),
+        Hyperedge("region", "region", ("regionkey",), 5, has_equality_selection=True),
+    ]
+
+
+def test_example_5_3_scores():
+    scores = relation_scores(_q5_full_edges())
+    assert scores["lineitem"] == 100
+    assert scores["orders"] == 26
+    assert scores["customer"] == 3
+    assert scores["region"] == 1
+    assert scores["supplier"] == 1
+    assert scores["nation"] == 1
+
+
+def test_example_5_3_weights():
+    edges = _q5_full_edges()
+    scores = relation_scores(edges)
+    assert vertex_weight("orderkey", edges, scores) == 26   # min(26, 100)
+    assert vertex_weight("custkey", edges, scores) == 3     # min(3, 26)
+    assert vertex_weight("suppkey", edges, scores) == 1     # min(1, 100)
+    assert vertex_weight("nationkey", edges, scores) == 1   # min(1, 1, 3)
+    assert vertex_weight("regionkey", edges, scores) == 1   # max(1, 1): equality sel
+
+
+def test_vertex_weights_bulk():
+    weights = vertex_weights(_q5_full_edges())
+    assert weights["orderkey"] == 26
+    assert set(weights) == {"orderkey", "custkey", "suppkey", "nationkey", "regionkey"}
+
+
+# ---------------------------------------------------------------------------
+# order enumeration and choice
+# ---------------------------------------------------------------------------
+
+
+def test_candidate_orders_materialized_first():
+    orders = candidate_orders(["a", "b"], ["x", "y"], allow_relaxation=False)
+    assert all(not relaxed for _, relaxed in orders)
+    for order, _ in orders:
+        assert set(order[:2]) == {"a", "b"}
+        assert set(order[2:]) == {"x", "y"}
+    assert len(orders) == 4  # 2! * 2!
+
+
+def test_candidate_orders_relaxation_swaps_tail():
+    orders = candidate_orders(["i", "j"], ["k"])
+    plain = [o for o, r in orders if not r]
+    relaxed = [o for o, r in orders if r]
+    assert ("i", "j", "k") in plain
+    assert ("i", "k", "j") in relaxed
+    assert ("j", "k", "i") in relaxed
+
+
+def test_candidate_orders_no_relaxation_with_two_aggregated():
+    orders = candidate_orders(["m"], ["a", "b"])
+    assert all(not relaxed for _, relaxed in orders)
+
+
+def test_candidate_orders_fixed_materialized_order():
+    orders = candidate_orders(
+        ["b", "a"], ["x"], fixed_materialized_order=["a", "b"], allow_relaxation=False
+    )
+    assert [o for o, _ in orders] == [("a", "b", "x")]
+
+
+def test_choose_order_q5_puts_high_cardinality_first():
+    """Observation 5.2: orderkey (heaviest) must come first on Q5's node."""
+    edges = _q5_node_edges()
+    decision = choose_order(
+        ["orderkey", "custkey", "suppkey", "nationkey"],
+        materialized=[],
+        edges=edges,
+    )
+    assert decision.order[0] == "orderkey"
+    # paper Figure 5c: [orderkey, custkey, nationkey, suppkey]-class
+    # orders cost far less than suppkey-first orders
+    bad_cost, _ = order_cost(
+        ("suppkey", "nationkey", "custkey", "orderkey"), edges
+    )
+    assert decision.cost < bad_cost
+
+
+def test_choose_order_matmul_relaxation_matches_mkl():
+    """Figure 5b: sparse matmul picks [i,k,j], MKL's loop order."""
+    edges = [
+        Hyperedge("m1", "matrix", ("i", "k"), 1000),
+        Hyperedge("m2", "matrix", ("k", "j"), 1000),
+    ]
+    decision = choose_order(["i", "j", "k"], materialized=["i", "j"], edges=edges)
+    assert decision.relaxed
+    assert decision.order in (("i", "k", "j"), ("j", "k", "i"))
+    # the unrelaxed [i,j,k] order costs 50 on k; the relaxed one costs 10
+    cost_ijk, _ = order_cost(("i", "j", "k"), edges)
+    assert decision.cost < cost_ijk
+
+
+def test_choose_order_without_relaxation():
+    edges = [
+        Hyperedge("m1", "matrix", ("i", "k"), 1000),
+        Hyperedge("m2", "matrix", ("k", "j"), 1000),
+    ]
+    decision = choose_order(
+        ["i", "j", "k"], materialized=["i", "j"], edges=edges, allow_relaxation=False
+    )
+    assert not decision.relaxed
+    assert set(decision.order[:2]) == {"i", "j"}
+
+
+def test_choose_order_pick_worst_for_ablation():
+    edges = _q5_node_edges()
+    best = choose_order(
+        ["orderkey", "custkey", "suppkey", "nationkey"], [], edges
+    )
+    worst = choose_order(
+        ["orderkey", "custkey", "suppkey", "nationkey"], [], edges, pick_worst=True
+    )
+    assert worst.cost > best.cost
+    assert not worst.relaxed
+
+
+def test_choose_order_dense_matmul_all_zero_cost():
+    edges = [
+        Hyperedge("m1", "matrix", ("i", "k"), 10_000, fully_dense=True),
+        Hyperedge("m2", "matrix", ("k", "j"), 10_000, fully_dense=True),
+    ]
+    decision = choose_order(["i", "j", "k"], materialized=["i", "j"], edges=edges)
+    assert decision.cost == 0
+
+
+def test_order_decision_describe_smoke():
+    edges = _q5_node_edges()
+    decision = choose_order(["orderkey", "custkey"], [], edges)
+    text = decision.describe()
+    assert "cost=" in text and "orderkey" in text

@@ -1,0 +1,152 @@
+"""Tests for catalog persistence, the CLI shell, and the extra queries."""
+
+import numpy as np
+import pytest
+
+from repro import LevelHeadedEngine, SchemaError
+from repro.baselines import PairwiseEngine
+from repro.cli import _handle_line, main, run_statement
+from repro.datasets import generate_tpch
+from repro.datasets.tpch import EXTRA_QUERIES
+from repro.storage import load_catalog, load_schemas, save_catalog
+from tests.conftest import make_mini_tpch
+
+# ---------------------------------------------------------------------------
+# persistence
+# ---------------------------------------------------------------------------
+
+
+def test_save_load_catalog_roundtrip(tmp_path):
+    catalog = make_mini_tpch()
+    directory = str(tmp_path / "db")
+    save_catalog(catalog, directory)
+    loaded = load_catalog(directory)
+    assert set(loaded.names()) == set(catalog.names())
+    for name in catalog.names():
+        original, restored = catalog.table(name), loaded.table(name)
+        assert restored.num_rows == original.num_rows
+        for attr in original.schema.attributes:
+            a, b = original.column(attr.name), restored.column(attr.name)
+            if np.issubdtype(a.dtype, np.floating):
+                assert np.allclose(a, b)
+            else:
+                assert list(a) == list(b)
+        # key/annotation classification and domains survive
+        assert restored.schema.key_names == original.schema.key_names
+        for attr in original.schema.attributes:
+            assert (
+                restored.schema.attribute(attr.name).domain_name == attr.domain_name
+            )
+
+
+def test_saved_catalog_queries_identically(tmp_path):
+    catalog = make_mini_tpch()
+    directory = str(tmp_path / "db")
+    save_catalog(catalog, directory)
+    loaded = load_catalog(directory)
+    sql = (
+        "SELECT c_name, sum(o_totalprice) AS t FROM customer, orders "
+        "WHERE c_custkey = o_custkey GROUP BY c_name"
+    )
+    before = LevelHeadedEngine(catalog).query(sql).sorted_rows()
+    after = LevelHeadedEngine(loaded).query(sql).sorted_rows()
+    assert before == pytest.approx(after)
+
+
+def test_load_schemas_only(tmp_path):
+    catalog = make_mini_tpch()
+    directory = str(tmp_path / "db")
+    save_catalog(catalog, directory)
+    schemas = load_schemas(directory)
+    assert "lineitem" in schemas
+    assert schemas["lineitem"].key_names == ("l_orderkey", "l_suppkey")
+
+
+def test_load_catalog_missing_manifest(tmp_path):
+    with pytest.raises(SchemaError):
+        load_catalog(str(tmp_path))
+    with pytest.raises(SchemaError):
+        load_schemas(str(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def saved_db(tmp_path):
+    directory = str(tmp_path / "db")
+    save_catalog(make_mini_tpch(), directory)
+    return directory
+
+
+def test_cli_execute_statement(saved_db, capsys):
+    status = main([saved_db, "-e", "SELECT sum(o_totalprice) AS t FROM orders"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "t" in out and "rows in" in out
+
+
+def test_cli_explain(saved_db, capsys):
+    status = main([saved_db, "--explain", "-e", "SELECT sum(o_totalprice) AS t FROM orders"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "mode: scan" in out
+
+
+def test_cli_bad_sql_sets_status(saved_db, capsys):
+    status = main([saved_db, "-e", "SELEKT nope"])
+    assert status == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_missing_directory(tmp_path, capsys):
+    status = main([str(tmp_path / "nope")])
+    assert status == 2
+
+
+def test_cli_shell_commands(saved_db):
+    engine = LevelHeadedEngine(load_catalog(saved_db))
+    assert "orders" in _handle_line(engine, "\\d")
+    schema_text = _handle_line(engine, "\\d lineitem")
+    assert "l_orderkey" in schema_text and "[key]" in schema_text
+    assert _handle_line(engine, "") == ""
+    assert _handle_line(engine, "\\q") is None
+    assert "error" in _handle_line(engine, "SELECT nope FROM orders")
+    explained = _handle_line(engine, "\\explain SELECT sum(o_totalprice) AS t FROM orders")
+    assert "mode: scan" in explained
+
+
+def test_cli_run_statement_output_shape(saved_db):
+    engine = LevelHeadedEngine(load_catalog(saved_db))
+    text = run_statement(engine, "SELECT count(*) AS n FROM lineitem")
+    assert "n" in text and "1 rows" in text
+
+
+# ---------------------------------------------------------------------------
+# extra TPC-H queries (beyond the paper's seven)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    # large enough that every nation has suppliers (Q11's GERMANY filter)
+    return generate_tpch(scale_factor=0.005, seed=23)
+
+
+@pytest.mark.parametrize("name", list(EXTRA_QUERIES))
+def test_extra_queries_agree_across_engines(tpch, name):
+    sql = EXTRA_QUERIES[name]
+    lh = LevelHeadedEngine(tpch).query(sql).sorted_rows()
+    pw = PairwiseEngine(tpch).query(sql).sorted_rows()
+    assert len(lh) > 0
+    assert len(lh) == len(pw)
+    for a, b in zip(lh, pw):
+        assert a == pytest.approx(b, rel=1e-9, abs=1e-7)
+
+
+def test_q14_promo_share_is_percentage(tpch):
+    result = LevelHeadedEngine(tpch).query(EXTRA_QUERIES["Q14"])
+    value = result.single_value()
+    assert 0.0 <= value <= 100.0

@@ -1,0 +1,157 @@
+"""Tests for HAVING / ORDER BY / LIMIT on both engines."""
+
+import numpy as np
+import pytest
+
+from repro import LevelHeadedEngine
+from repro.baselines import PairwiseEngine
+from repro.errors import BindError, ExecutionError, UnsupportedQueryError
+from tests.conftest import make_mini_tpch
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return make_mini_tpch()
+
+
+def _both(tpch, sql):
+    lh = LevelHeadedEngine(tpch).query(sql)
+    pw = PairwiseEngine(tpch).query(sql)
+    return lh, pw
+
+
+# ---------------------------------------------------------------------------
+# ORDER BY
+# ---------------------------------------------------------------------------
+
+
+def test_order_by_aggregate_desc(tpch):
+    sql = (
+        "SELECT c_name, sum(o_totalprice) AS total FROM customer, orders "
+        "WHERE c_custkey = o_custkey GROUP BY c_name ORDER BY total DESC"
+    )
+    lh, pw = _both(tpch, sql)
+    totals = [row[1] for row in lh.to_rows()]
+    assert totals == sorted(totals, reverse=True)
+    assert lh.to_rows() == pytest.approx(pw.to_rows())
+
+
+def test_order_by_group_column_asc(tpch):
+    sql = (
+        "SELECT c_name, sum(o_totalprice) AS total FROM customer, orders "
+        "WHERE c_custkey = o_custkey GROUP BY c_name ORDER BY c_name"
+    )
+    lh, pw = _both(tpch, sql)
+    names = [row[0] for row in lh.to_rows()]
+    assert names == sorted(names)
+    assert [r[0] for r in pw.to_rows()] == names
+
+
+def test_order_by_two_keys(tpch):
+    sql = (
+        "SELECT l_suppkey, l_orderkey, sum(l_quantity) AS q FROM lineitem "
+        "GROUP BY l_suppkey, l_orderkey ORDER BY l_suppkey, q DESC"
+    )
+    lh, pw = _both(tpch, sql)
+    rows = lh.to_rows()
+    assert rows == [tuple(pytest.approx(x) for x in r) for r in pw.to_rows()]
+    for i in range(1, len(rows)):
+        assert rows[i][0] >= rows[i - 1][0]
+        if rows[i][0] == rows[i - 1][0]:
+            assert rows[i][2] <= rows[i - 1][2]
+
+
+def test_order_by_on_scan_path(tpch):
+    sql = "SELECT l_suppkey, sum(l_quantity) AS q FROM lineitem GROUP BY l_suppkey ORDER BY q"
+    lh, pw = _both(tpch, sql)
+    values = [row[1] for row in lh.to_rows()]
+    assert values == sorted(values)
+    assert lh.to_rows() == pytest.approx(pw.to_rows())
+
+
+def test_order_by_on_plain_select(tpch):
+    sql = (
+        "SELECT c_custkey, c_name FROM customer, orders "
+        "WHERE c_custkey = o_custkey ORDER BY c_custkey DESC"
+    )
+    lh, pw = _both(tpch, sql)
+    keys = [row[0] for row in lh.to_rows()]
+    assert keys == sorted(keys, reverse=True)
+    assert len(lh) == len(pw)
+
+
+# ---------------------------------------------------------------------------
+# LIMIT
+# ---------------------------------------------------------------------------
+
+
+def test_limit_truncates(tpch):
+    sql = (
+        "SELECT c_name, sum(o_totalprice) AS total FROM customer, orders "
+        "WHERE c_custkey = o_custkey GROUP BY c_name ORDER BY total DESC LIMIT 2"
+    )
+    lh, pw = _both(tpch, sql)
+    assert lh.num_rows == 2
+    assert lh.to_rows() == pytest.approx(pw.to_rows())
+
+
+def test_limit_larger_than_result(tpch):
+    sql = "SELECT count(*) AS n FROM orders LIMIT 10"
+    lh, _pw = _both(tpch, sql)
+    assert lh.num_rows == 1
+
+
+# ---------------------------------------------------------------------------
+# HAVING
+# ---------------------------------------------------------------------------
+
+
+def test_having_filters_groups(tpch):
+    base_sql = (
+        "SELECT c_name, sum(o_totalprice) AS total FROM customer, orders "
+        "WHERE c_custkey = o_custkey GROUP BY c_name"
+    )
+    unfiltered = LevelHeadedEngine(tpch).query(base_sql)
+    sql = base_sql + " HAVING sum(o_totalprice) > 200"
+    lh, pw = _both(tpch, sql)
+    expected = {r[0] for r in unfiltered.to_rows() if r[1] > 200}
+    assert {r[0] for r in lh.to_rows()} == expected
+    assert lh.sorted_rows() == pytest.approx(pw.sorted_rows())
+    assert 0 < lh.num_rows < unfiltered.num_rows
+
+
+def test_having_with_unselected_aggregate(tpch):
+    sql = (
+        "SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey "
+        "GROUP BY c_name HAVING count(*) > 1"
+    )
+    lh, pw = _both(tpch, sql)
+    assert lh.sorted_rows() == pw.sorted_rows()
+    # customers 0 and 2 have two orders each in the fixture
+    assert lh.num_rows == 2
+
+
+def test_having_requires_group_context(tpch):
+    with pytest.raises(BindError):
+        LevelHeadedEngine(tpch).query("SELECT c_name FROM customer HAVING c_name = 'x'")
+
+
+def test_order_by_unknown_reference_rejected(tpch):
+    with pytest.raises(UnsupportedQueryError):
+        LevelHeadedEngine(tpch).query(
+            "SELECT c_name, sum(o_totalprice) AS t FROM customer, orders "
+            "WHERE c_custkey = o_custkey GROUP BY c_name ORDER BY o_totalprice"
+        )
+
+
+def test_combined_having_order_limit(tpch):
+    sql = (
+        "SELECT l_suppkey, sum(l_quantity) AS q FROM lineitem "
+        "GROUP BY l_suppkey HAVING sum(l_quantity) > 10 ORDER BY q DESC LIMIT 2"
+    )
+    lh, pw = _both(tpch, sql)
+    assert lh.num_rows <= 2
+    assert lh.to_rows() == pytest.approx(pw.to_rows())
+    values = [r[1] for r in lh.to_rows()]
+    assert values == sorted(values, reverse=True)
+    assert all(v > 10 for v in values)

@@ -1,0 +1,34 @@
+"""Tests for the standalone experiment runner (micro scales)."""
+
+import pytest
+
+from repro.bench.run_all import main, run_application, run_bi, run_la
+
+
+def test_run_bi_renders_all_queries():
+    text = run_bi(scale_factor=0.0005, repeats=1, timeout=60, budget=1 << 29)
+    for query in ("Q1", "Q3", "Q5", "Q6", "Q8", "Q9", "Q10"):
+        assert query in text
+    assert "levelheaded" in text and "baseline" in text
+
+
+def test_run_la_renders_all_kernels():
+    text = run_la(matrix_scale=0.1, dense_scale=0.3, repeats=1, timeout=60, budget=1 << 29)
+    for kernel in ("SMV", "SMM", "DMV", "DMM"):
+        assert kernel in text
+    assert "mkl*" in text
+
+
+def test_run_application_renders_pipelines():
+    text = run_application(n_voters=1500, iterations=2)
+    for engine in ("levelheaded", "monetdb-sklearn", "pandas-sklearn", "spark"):
+        assert engine in text
+    assert "accuracy" in text
+
+
+@pytest.mark.parametrize("flag", [["--quick", "--sf", "0.0005", "--matrix-scale",
+                                   "0.1", "--voters", "1500"]])
+def test_main_quick(flag, capsys):
+    assert main(flag) == 0
+    out = capsys.readouterr().out
+    assert "BI: TPC-H" in out and "LA: kernels" in out and "voter" in out

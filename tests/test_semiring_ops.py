@@ -1,0 +1,115 @@
+"""Tests for semiring matrix kernels (AJAR beyond sum-product)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.la import distances_to_target, semiring_matmul, semiring_matvec
+from repro.la.matrix import matrix_schema
+from repro.query import MAX_MIN, MAX_PRODUCT, MIN_PLUS, SUM_PRODUCT
+from repro.storage import Table
+
+
+def _matrix_table(entries, name="m"):
+    return Table.from_columns(
+        matrix_schema(name, "dim"),
+        i=[e[0] for e in entries],
+        j=[e[1] for e in entries],
+        v=[e[2] for e in entries],
+    )
+
+
+def _dense(entries, n, fill):
+    out = np.full((n, n), fill)
+    for i, j, v in entries:
+        out[i, j] = v
+    return out
+
+
+ENTRIES_A = [(0, 1, 2.0), (0, 2, 8.0), (1, 2, 3.0), (2, 0, 1.0), (3, 1, 4.0)]
+ENTRIES_B = [(1, 3, 5.0), (2, 3, 1.0), (2, 1, 7.0), (0, 0, 2.0)]
+
+
+def test_semiring_matmul_sum_product_matches_dense():
+    a, b = _matrix_table(ENTRIES_A), _matrix_table(ENTRIES_B, "b")
+    result = semiring_matmul(a, b, SUM_PRODUCT)
+    dense = _dense(ENTRIES_A, 4, 0.0) @ _dense(ENTRIES_B, 4, 0.0)
+    for (i, j), value in result.items():
+        assert value == pytest.approx(dense[i, j])
+    # every structurally-present output appears
+    assert np.count_nonzero(dense) == len(
+        {(i, j) for (i, j), v in result.items() if v != 0}
+    )
+
+
+def test_semiring_matmul_min_plus_is_distance_product():
+    a, b = _matrix_table(ENTRIES_A), _matrix_table(ENTRIES_B, "b")
+    result = semiring_matmul(a, b, MIN_PLUS)
+    da = _dense(ENTRIES_A, 4, np.inf)
+    db = _dense(ENTRIES_B, 4, np.inf)
+    expected = np.min(da[:, :, None] + db[None, :, :], axis=1)
+    for (i, j), value in result.items():
+        assert value == pytest.approx(expected[i, j])
+
+
+def test_semiring_matvec_max_min_widest_path_step():
+    a = _matrix_table(ENTRIES_A)
+    x = np.array([1.0, 10.0, 2.0, 5.0])
+    result = semiring_matvec(a, x, MAX_MIN)
+    dense = _dense(ENTRIES_A, 4, -np.inf)
+    expected = np.max(np.minimum(dense, x[None, :]), axis=1)
+    for i in range(4):
+        if np.isinf(expected[i]):
+            assert result[i] == MAX_MIN.zero
+        else:
+            assert result[i] == pytest.approx(expected[i])
+
+
+def test_distances_to_target_bellman_ford():
+    # 0 ->(1) 1 ->(2) 2 ->(1) 3, plus a shortcut 0 ->(10) 3
+    edges = _matrix_table(
+        [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (0, 3, 10.0)]
+    )
+    distances = distances_to_target(edges, target=3, n=4)
+    assert distances[3] == 0.0
+    assert distances[2] == pytest.approx(1.0)
+    assert distances[1] == pytest.approx(3.0)
+    assert distances[0] == pytest.approx(4.0)  # beats the 10.0 shortcut
+
+
+def test_distances_to_target_unreachable_is_inf():
+    # directed: only node 1 can reach target 0; node 2 cannot
+    edges = _matrix_table([(1, 0, 1.0)])
+    distances = distances_to_target(edges, target=0, n=3)
+    assert distances[1] == pytest.approx(1.0)
+    assert np.isinf(distances[2])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6),
+                  st.floats(min_value=0.1, max_value=9, allow_nan=False)),
+        min_size=1,
+        max_size=25,
+    ),
+    st.integers(0, 6),
+)
+def test_property_distances_match_floyd_warshall(entries, target):
+    # last write wins per coordinate in the reference too
+    unique = {(i, j): v for i, j, v in entries}
+    entries = [(i, j, v) for (i, j), v in unique.items()]
+    edges = _matrix_table(entries)
+    n = 7
+    dense = np.full((n, n), np.inf)
+    for i, j, v in entries:
+        dense[i, j] = min(dense[i, j], v)
+    np.fill_diagonal(dense, np.minimum(np.diag(dense), 0.0))
+    # Floyd-Warshall reference
+    ref = dense.copy()
+    np.fill_diagonal(ref, 0.0)
+    for k in range(n):
+        ref = np.minimum(ref, ref[:, k][:, None] + ref[k, :][None, :])
+    got = distances_to_target(edges, target=target, n=n)
+    assert np.allclose(got, ref[:, target], equal_nan=False)

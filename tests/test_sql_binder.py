@@ -1,0 +1,219 @@
+"""Tests for name resolution, join-vertex construction, and validation."""
+
+import pytest
+
+from repro.errors import BindError, UnsupportedQueryError
+from repro.sql import ColumnRef, bind, parse
+from repro.storage import AttrType, Catalog, Schema, Table, annotation, key
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    cat.register(
+        Table.from_columns(
+            Schema(
+                "customer",
+                [
+                    key("c_custkey", domain="custkey"),
+                    key("c_nationkey", domain="nationkey"),
+                    annotation("c_acctbal"),
+                    annotation("c_name", AttrType.STRING),
+                ],
+            ),
+            c_custkey=[1, 2],
+            c_nationkey=[0, 1],
+            c_acctbal=[10.0, 20.0],
+            c_name=["alice", "bob"],
+        )
+    )
+    cat.register(
+        Table.from_columns(
+            Schema(
+                "orders",
+                [
+                    key("o_orderkey", domain="orderkey"),
+                    key("o_custkey", domain="custkey"),
+                    annotation("o_orderdate", AttrType.DATE),
+                    annotation("o_total"),
+                ],
+            ),
+            o_orderkey=[100, 101],
+            o_custkey=[1, 2],
+            o_orderdate=[728294, 728295],
+            o_total=[5.0, 7.0],
+        )
+    )
+    cat.register(
+        Table.from_columns(
+            Schema(
+                "matrix",
+                [
+                    key("i", domain="dim"),
+                    key("j", domain="dim"),
+                    annotation("v"),
+                ],
+            ),
+            i=[0, 1],
+            j=[1, 0],
+            v=[1.0, 2.0],
+        )
+    )
+    return cat
+
+
+def test_bind_resolves_unqualified_columns(catalog):
+    q = bind(parse("SELECT c_name FROM customer"), catalog)
+    assert q.select_items[0].expr == ColumnRef("customer", "c_name")
+
+
+def test_bind_unknown_table(catalog):
+    with pytest.raises(BindError):
+        bind(parse("SELECT x FROM nosuch"), catalog)
+
+
+def test_bind_unknown_column(catalog):
+    with pytest.raises(BindError):
+        bind(parse("SELECT zzz FROM customer"), catalog)
+
+
+def test_bind_unknown_alias_qualifier(catalog):
+    with pytest.raises(BindError):
+        bind(parse("SELECT q.c_name FROM customer"), catalog)
+
+
+def test_bind_duplicate_alias(catalog):
+    with pytest.raises(BindError):
+        bind(parse("SELECT 1 FROM customer c, orders c"), catalog)
+
+
+def test_bind_ambiguous_column(catalog):
+    # both matrix aliases expose 'v'
+    with pytest.raises(BindError):
+        bind(parse("SELECT v FROM matrix m1, matrix m2 WHERE m1.j = m2.i"), catalog)
+
+
+def test_bind_join_vertices_union_find(catalog):
+    q = bind(
+        parse(
+            "SELECT c_name, sum(o_total) FROM customer, orders "
+            "WHERE c_custkey = o_custkey GROUP BY c_name"
+        ),
+        catalog,
+    )
+    names = {v.name for v in q.vertices}
+    assert "custkey" in names  # common suffix naming
+    custkey = q.vertex("custkey")
+    assert set(custkey.members) == {("customer", "c_custkey"), ("orders", "o_custkey")}
+    assert q.vertex_of[("orders", "o_custkey")] == "custkey"
+    # orderkey is not referenced anywhere -> not a vertex (attribute elimination)
+    assert all(("orders", "o_orderkey") not in v.members for v in q.vertices)
+
+
+def test_bind_unreferenced_keys_eliminated(catalog):
+    q = bind(parse("SELECT sum(o_total) FROM orders"), catalog)
+    assert q.vertices == []
+
+
+def test_bind_referenced_key_becomes_singleton_vertex(catalog):
+    q = bind(parse("SELECT o_orderkey, sum(o_total) FROM orders GROUP BY o_orderkey"), catalog)
+    assert len(q.vertices) == 1
+    assert q.vertices[0].members == [("orders", "o_orderkey")]
+
+
+def test_bind_self_join_vertices(catalog):
+    q = bind(
+        parse(
+            "SELECT m1.i, m2.j, sum(m1.v * m2.v) FROM matrix m1, matrix m2 "
+            "WHERE m1.j = m2.i GROUP BY m1.i, m2.j"
+        ),
+        catalog,
+    )
+    assert len(q.vertices) == 3
+    shared = [v for v in q.vertices if len(v.members) == 2]
+    assert len(shared) == 1
+    assert set(shared[0].members) == {("m1", "j"), ("m2", "i")}
+    assert q.edge_vertices("m1")[1] == shared[0].name
+    assert q.edge_vertices("m2")[0] == shared[0].name
+
+
+def test_bind_rejects_mismatched_domains(catalog):
+    with pytest.raises(BindError):
+        bind(
+            parse("SELECT 1 FROM customer, orders WHERE c_custkey = o_orderkey"),
+            catalog,
+        )
+
+
+def test_bind_rejects_key_annotation_join(catalog):
+    with pytest.raises(BindError):
+        bind(
+            parse("SELECT 1 FROM customer, orders WHERE c_custkey = o_total"),
+            catalog,
+        )
+
+
+def test_bind_filters_assigned_to_alias(catalog):
+    q = bind(
+        parse(
+            "SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey "
+            "AND o_total > 5 AND c_acctbal < 100 GROUP BY c_name"
+        ),
+        catalog,
+    )
+    assert len(q.filters["orders"]) == 1
+    assert len(q.filters["customer"]) == 1
+
+
+def test_bind_cross_table_filter_rejected(catalog):
+    with pytest.raises(UnsupportedQueryError):
+        bind(
+            parse(
+                "SELECT 1 FROM customer, orders "
+                "WHERE c_custkey = o_custkey AND c_acctbal > o_total"
+            ),
+            catalog,
+        )
+
+
+def test_bind_equality_selection_flags(catalog):
+    q = bind(
+        parse(
+            "SELECT c_name FROM customer WHERE c_name = 'alice' GROUP BY c_name"
+        ),
+        catalog,
+    )
+    assert q.has_equality_selection["customer"]
+    q2 = bind(parse("SELECT c_name FROM customer WHERE c_acctbal > 5 GROUP BY c_name"), catalog)
+    assert not q2.has_equality_selection["customer"]
+
+
+def test_bind_group_by_validation(catalog):
+    with pytest.raises(BindError):
+        bind(parse("SELECT c_name, sum(c_acctbal) FROM customer"), catalog)
+    with pytest.raises(BindError):
+        bind(
+            parse("SELECT c_name, c_acctbal FROM customer GROUP BY c_name"),
+            catalog,
+        )
+    with pytest.raises(BindError):
+        bind(parse("SELECT c_name FROM customer GROUP BY sum(c_acctbal)"), catalog)
+
+
+def test_bind_is_aggregate_property(catalog):
+    agg = bind(parse("SELECT sum(o_total) FROM orders"), catalog)
+    assert agg.is_aggregate
+    plain = bind(parse("SELECT c_name FROM customer"), catalog)
+    assert not plain.is_aggregate
+
+
+def test_bind_alias_keys_in_schema_order(catalog):
+    q = bind(
+        parse(
+            "SELECT m1.i, m2.j, sum(m1.v) FROM matrix m1, matrix m2 "
+            "WHERE m1.j = m2.i GROUP BY m1.i, m2.j"
+        ),
+        catalog,
+    )
+    assert q.alias_keys("m1") == ["i", "j"]
+    assert q.alias_keys("m2") == ["i", "j"]

@@ -1,0 +1,105 @@
+"""Plan-shape tests: the TPC-H queries compile the way the paper says."""
+
+import pytest
+
+from repro import EngineConfig, LevelHeadedEngine
+from repro.datasets import TPCH_QUERIES, generate_tpch
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return generate_tpch(scale_factor=0.002, seed=11)
+
+
+def _plan(tpch, name, **config):
+    engine = LevelHeadedEngine(tpch, config=EngineConfig(**config) if config else None)
+    return engine.compile(TPCH_QUERIES[name])
+
+
+def test_q1_is_scan(tpch):
+    plan = _plan(tpch, "Q1")
+    assert plan.mode == "scan"
+    # 8 output aggregates collapse to 6 physical ones (AVG reuses sums
+    # and COUNT) over 4 distinct lineitem slots
+    assert len(plan.scan.aggregates) == 6
+    assert len(plan.scan.group_exprs) == 2
+
+
+def test_q6_is_scan_single_aggregate(tpch):
+    plan = _plan(tpch, "Q6")
+    assert plan.mode == "scan"
+    assert len(plan.scan.aggregates) == 1
+    assert len(plan.scan.filters) == 4
+
+
+def test_q3_single_node_with_deferred_annotations(tpch):
+    plan = _plan(tpch, "Q3")
+    assert plan.mode == "join"
+    assert not plan.root.children  # acyclic -> compressed to one node
+    # o_orderdate and o_shippriority are determined by the output
+    # vertex orderkey -> decoded vectorized after the walk
+    assert len(plan.root.deferred_fetchers) == 2
+    assert not plan.root.group_fetchers
+
+
+def test_q5_two_node_region_subplan(tpch):
+    plan = _plan(tpch, "Q5")
+    assert plan.mode == "join"
+    assert len(plan.root.children) == 1
+    child = plan.root.children[0]
+    child_aliases = {b.alias for b in child.bindings}
+    assert child_aliases == {"nation", "region"}
+    assert child.materialized == ("nationkey",)
+    # n_name is fetched during the walk (nationkey is aggregated away)
+    assert [f.ref_id for f in plan.root.group_fetchers] == ["g0"]
+    # lineitem carries the revenue slot and its multiplicity
+    lineitem = next(b for b in plan.root.bindings if b.alias == "lineitem")
+    assert any(s.startswith("__mult_") for s in lineitem.slot_ids)
+    assert any(s.startswith("s") for s in lineitem.slot_ids)
+
+
+def test_q8_two_nation_aliases_have_distinct_vertices(tpch):
+    plan = _plan(tpch, "Q8")
+    assert plan.mode == "join"
+    vertices = set(plan.compiled.hypergraph.vertices)
+    nationkey_vertices = {v for v in vertices if v.startswith("nationkey")}
+    assert len(nationkey_vertices) == 2  # c-n1 and s-n2 never merge
+    # the CASE factor is a slot on n2, the volume on lineitem
+    slot_aliases = {s.alias for s in plan.compiled.slots}
+    assert "n2" in slot_aliases and "lineitem" in slot_aliases
+
+
+def test_q9_term_decomposition(tpch):
+    plan = _plan(tpch, "Q9")
+    agg = plan.compiled.aggregates[0]
+    assert agg.func == "sum"
+    assert len(agg.terms) == 2
+    factor_sets = [set(t.factors) for t in agg.terms]
+    assert {"lineitem"} in factor_sets
+    assert {"partsupp", "lineitem"} in factor_sets
+
+
+def test_q10_customer_annotations_deferred(tpch):
+    plan = _plan(tpch, "Q10")
+    assert plan.mode == "join"
+    # c_name/c_acctbal/c_address/c_phone/c_comment (custkey-determined)
+    # and n_name (via the promoted nationkey vertex) all defer
+    assert len(plan.root.deferred_fetchers) >= 5
+    assert plan.compiled.output_vertices == ["custkey"]
+
+
+def test_relaxation_never_fires_on_tpch(tpch):
+    # every benchmark BI query materializes its group-by keys first
+    for name in TPCH_QUERIES:
+        plan = _plan(tpch, name)
+        if plan.mode == "join":
+            assert plan.root.attrs  # non-empty order chosen
+
+
+def test_worst_order_costs_dominate_best(tpch):
+    for name in ("Q3", "Q5", "Q8", "Q9", "Q10"):
+        best = _plan(tpch, name)
+        worst = _plan(
+            tpch, name, enable_attribute_ordering=False, enable_relaxation=False
+        )
+        assert worst.root.decision.cost >= best.root.decision.cost, name
