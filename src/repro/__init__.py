@@ -9,9 +9,10 @@ for the reproduced tables and figures.
 
 Quickstart::
 
-    from repro import LevelHeadedEngine, Schema, key, annotation
+    import repro
+    from repro import Schema, key, annotation
 
-    engine = LevelHeadedEngine()
+    engine = repro.connect()
     engine.create_table(
         Schema("matrix", [key("i", domain="dim"), key("j", domain="dim"),
                           annotation("v")]),
@@ -21,9 +22,21 @@ Quickstart::
         "SELECT m1.i, m2.j, sum(m1.v * m2.v) AS v FROM matrix m1, matrix m2 "
         "WHERE m1.j = m2.i GROUP BY m1.i, m2.j"
     )
+
+    # prepared statements + parameter placeholders
+    stmt = engine.prepare(
+        "SELECT sum(m.v) AS total FROM matrix m WHERE m.v > ?"
+    )
+    stmt.execute([0.15]).single_value()
+
+Repeated ``engine.query()`` calls transparently reuse compiled plans
+through a versioned plan cache; ``engine.explain(sql, analyze=True)``
+shows the cache outcome and the executor's work counters.
 """
 
 from .core.engine import LevelHeadedEngine
+from .core.plan_cache import PlanCache
+from .core.prepared import PreparedStatement
 from .core.result import ResultTable
 from .errors import (
     BindError,
@@ -42,8 +55,23 @@ from .xcution.plan import EngineConfig
 
 __version__ = "1.0.0"
 
+
+def connect(config=None, catalog=None, plan_cache_capacity: int = 64):
+    """Create a :class:`LevelHeadedEngine` -- the library's front door.
+
+    ``config`` is an optional :class:`EngineConfig` of optimizer
+    toggles; ``catalog`` lets several engines share registered tables.
+    """
+    return LevelHeadedEngine(
+        catalog=catalog, config=config, plan_cache_capacity=plan_cache_capacity
+    )
+
+
 __all__ = [
+    "connect",
     "LevelHeadedEngine",
+    "PreparedStatement",
+    "PlanCache",
     "ResultTable",
     "EngineConfig",
     "Catalog",

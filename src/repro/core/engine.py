@@ -6,6 +6,21 @@ the catalog, then ``query(sql)`` parses, binds, translates to an AJAR
 hypergraph, picks a GHD and attribute orders, and executes the generic
 WCOJ plan (or the scan / BLAS fast paths), returning a result table.
 
+The query surface is intentionally small:
+
+* ``query(sql, params=None, config=None, collect_stats=False)`` -- run
+  one statement; ``params`` fills ``?``/``:name`` placeholders, and
+  ``collect_stats=True`` attaches executor counters as ``result.stats``.
+* ``explain(sql, params=None, analyze=False, format="text"|"json")`` --
+  describe the chosen plan; ``analyze=True`` also executes and reports
+  the deterministic work counters.
+* ``prepare(sql)`` -- compile once, execute many times
+  (:class:`~repro.core.prepared.PreparedStatement`).
+
+Plain ``query()`` calls transparently reuse compiled plans through a
+versioned LRU :class:`~repro.core.plan_cache.PlanCache`; a catalog
+registration that re-codes a key domain invalidates affected entries.
+
 The :class:`~repro.xcution.plan.EngineConfig` toggles reproduce the
 paper's ablations: attribute elimination, cost-based attribute
 ordering, the relaxation rule, and BLAS routing can each be disabled.
@@ -13,15 +28,17 @@ ordering, the relaxation rule, and BLAS routing can each be disabled.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import warnings
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import ExecutionError
+from ..errors import ExecutionError, UnsupportedQueryError
 from ..query.translate import CompiledQuery, translate
 from ..sql.ast import ColumnRef
 from ..sql.binder import bind
 from ..sql.expressions import evaluate
+from ..sql.params import ParamValues, normalize_sql
 from ..sql.parser import parse
 from ..sql.result_clauses import make_result_resolver, result_row_index
 from ..storage.catalog import Catalog
@@ -29,7 +46,10 @@ from ..storage.csv_loader import load_dataframe, load_table
 from ..storage.schema import Schema
 from ..storage.table import Table
 from ..xcution.plan import EngineConfig, PhysicalPlan, build_plan
+from ..xcution.stats import ExecutionStats
 from ..xcution.yannakakis import RawResult, execute_plan
+from .plan_cache import HIT, INVALIDATED, MISS, PlanCache
+from .prepared import PreparedStatement
 from .result import ResultTable
 
 
@@ -40,9 +60,11 @@ class LevelHeadedEngine:
         self,
         catalog: Optional[Catalog] = None,
         config: Optional[EngineConfig] = None,
+        plan_cache_capacity: int = 64,
     ):
         self.catalog = catalog if catalog is not None else Catalog()
         self.config = config if config is not None else EngineConfig()
+        self.plan_cache = PlanCache(plan_cache_capacity)
 
     # -- data ingestion ---------------------------------------------------------
 
@@ -67,50 +89,190 @@ class LevelHeadedEngine:
 
     # -- querying -----------------------------------------------------------------
 
+    def prepare(self, sql: str, config: Optional[EngineConfig] = None) -> PreparedStatement:
+        """Compile ``sql`` into a reusable :class:`PreparedStatement`.
+
+        Placeholders (``?`` positional, ``:name`` named) become typed
+        parameter slots filled at ``execute(params)`` time.  The
+        compiled plan is captured together with the catalog domain
+        versions it was built against and recompiles automatically when
+        a registration invalidates it.
+        """
+        return PreparedStatement(self, sql, config=config)
+
     def compile(self, sql: str, config: Optional[EngineConfig] = None) -> PhysicalPlan:
-        """Parse, bind, translate, and physically plan one query."""
+        """Parse, bind, translate, and physically plan one query.
+
+        Always compiles fresh (no cache) -- use this for plan
+        inspection; ``query``/``prepare`` are the cached paths.
+        """
         compiled = translate(bind(parse(sql), self.catalog))
         return build_plan(compiled, config or self.config)
 
-    def execute(self, plan: PhysicalPlan) -> ResultTable:
+    def execute(self, plan: PhysicalPlan, collect_stats: bool = False) -> ResultTable:
         """Execute a compiled plan and decode its result."""
-        raw = execute_plan(plan)
-        return self._decode(plan.compiled, plan, raw)
+        return self._run_plan(plan, outcome=None, collect_stats=collect_stats)
 
-    def query(self, sql: str, config: Optional[EngineConfig] = None) -> ResultTable:
-        """Run one SQL query end to end."""
-        return self.execute(self.compile(sql, config))
+    def query(
+        self,
+        sql: str,
+        params: ParamValues = None,
+        config: Optional[EngineConfig] = None,
+        collect_stats: bool = False,
+    ) -> ResultTable:
+        """Run one SQL query end to end.
 
-    def explain(self, sql: str, config: Optional[EngineConfig] = None) -> str:
-        """Describe the chosen plan: GHD, attribute orders, costs."""
-        plan = self.compile(sql, config)
-        return plan.explain()
+        ``params`` fills ``?``/``:name`` placeholders (sequence or
+        mapping).  Repeated queries reuse compiled plans through the
+        engine's plan cache; with ``collect_stats=True`` the returned
+        table's ``.stats`` carries the executor counters plus this
+        call's cache outcome.
+        """
+        params, config = self._shim_positional_config(params, config)
+        cfg = config or self.config
+        if params is not None:
+            return self.prepare(sql, config=cfg).execute(
+                params, collect_stats=collect_stats
+            )
+        plan, outcome = self._cached_plan(sql, cfg)
+        return self._run_plan(plan, outcome, collect_stats=collect_stats)
+
+    def explain(
+        self,
+        sql: str,
+        params: ParamValues = None,
+        config: Optional[EngineConfig] = None,
+        analyze: bool = False,
+        format: str = "text",
+    ) -> Union[str, Dict]:
+        """Describe the chosen plan: GHD, attribute orders, costs.
+
+        With ``analyze=True`` the query also executes and the output
+        includes the executor's deterministic work counters
+        (intersections performed, values iterated in Python loops,
+        kernel invocations, ...) plus the plan-cache outcome.
+        ``format`` is ``"text"`` (one printable block) or ``"json"``
+        (a plain dict, ready for ``json.dumps``).
+        """
+        params, config = self._shim_positional_config(params, config)
+        cfg = config or self.config
+        if params is not None:
+            return self.prepare(sql, config=cfg).explain(
+                params, analyze=analyze, format=format
+            )
+        plan, outcome = self._cached_plan(sql, cfg)
+        return self._explain_plan(plan, outcome, analyze=analyze, format=format)
+
+    # -- deprecated shims -----------------------------------------------------
 
     def explain_analyze(self, sql: str, config: Optional[EngineConfig] = None) -> str:
-        """Execute the query and describe the plan plus executor counters.
-
-        The counters (intersections performed, values iterated in
-        Python loops, kernel invocations, ...) are deterministic, so
-        they support structural performance claims that wall-clock
-        times cannot.
-        """
-        from ..xcution.stats import ExecutionStats
-
-        plan = self.compile(sql, config)
-        stats = ExecutionStats()
-        raw = execute_plan(plan, stats=stats)
-        result = self._decode(plan.compiled, plan, raw)
-        return "\n".join(
-            [plan.explain(), stats.describe(), f"result rows: {result.num_rows}"]
+        """Deprecated: use ``explain(sql, analyze=True)``."""
+        warnings.warn(
+            "explain_analyze() is deprecated; use explain(sql, analyze=True)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return self.explain(sql, config=config, analyze=True)
 
     def execute_with_stats(self, plan: PhysicalPlan):
-        """Execute a plan returning ``(result, ExecutionStats)``."""
-        from ..xcution.stats import ExecutionStats
+        """Deprecated: use ``execute(plan, collect_stats=True)`` and ``.stats``."""
+        warnings.warn(
+            "execute_with_stats() is deprecated; use "
+            "execute(plan, collect_stats=True) and read result.stats",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        result = self.execute(plan, collect_stats=True)
+        return result, result.stats
 
+    # -- internal query machinery ---------------------------------------------
+
+    def _shim_positional_config(self, params, config):
+        """Accept legacy ``query(sql, config)`` positional calls."""
+        if isinstance(params, EngineConfig):
+            warnings.warn(
+                "passing EngineConfig as the second positional argument is "
+                "deprecated; use the config= keyword",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return None, params
+        return params, config
+
+    def _cached_plan(self, sql: str, cfg: EngineConfig) -> Tuple[PhysicalPlan, str]:
+        """Look up (or compile and cache) the plan for parameterless SQL.
+
+        On a hit the SQL is never even parsed -- the normalized text,
+        config fingerprint, and catalog domain versions fully determine
+        the plan.
+        """
+        key = (normalize_sql(sql), (), cfg.fingerprint())
+        plan, outcome = self.plan_cache.lookup(key, self.catalog)
+        if plan is None:
+            stmt = parse(sql)
+            if stmt.parameters:
+                raise UnsupportedQueryError(
+                    "statement has parameter placeholders; pass params= or "
+                    "use engine.prepare(sql)"
+                )
+            plan = build_plan(translate(bind(stmt, self.catalog)), cfg)
+            self.plan_cache.store(key, plan)
+        return plan, outcome
+
+    def _run_plan(
+        self, plan: PhysicalPlan, outcome: Optional[str], collect_stats: bool = False
+    ) -> ResultTable:
+        if not collect_stats:
+            return self._decode(plan.compiled, plan, execute_plan(plan))
         stats = ExecutionStats()
+        self._note_cache_outcome(stats, outcome)
         raw = execute_plan(plan, stats=stats)
-        return self._decode(plan.compiled, plan, raw), stats
+        result = self._decode(plan.compiled, plan, raw)
+        result.stats = stats
+        return result
+
+    def _note_cache_outcome(self, stats: ExecutionStats, outcome: Optional[str]) -> None:
+        if outcome == HIT:
+            stats.plan_cache_hits += 1
+        elif outcome == MISS:
+            stats.plan_cache_misses += 1
+        elif outcome == INVALIDATED:
+            stats.plan_cache_invalidations += 1
+
+    def _explain_plan(
+        self,
+        plan: PhysicalPlan,
+        outcome: Optional[str],
+        analyze: bool = False,
+        format: str = "text",
+    ) -> Union[str, Dict]:
+        if format not in ("text", "json"):
+            raise ValueError(f"explain format must be 'text' or 'json', got {format!r}")
+        stats = None
+        result = None
+        if analyze:
+            stats = ExecutionStats()
+            self._note_cache_outcome(stats, outcome)
+            raw = execute_plan(plan, stats=stats)
+            result = self._decode(plan.compiled, plan, raw)
+        cache = self.plan_cache.stats
+        if format == "json":
+            return {
+                "mode": plan.mode,
+                "plan": plan.explain(),
+                "plan_cache": {"outcome": outcome, **cache.as_dict()},
+                "domain_versions": dict(plan.domain_versions),
+                "stats": stats.as_dict() if stats is not None else None,
+                "result_rows": result.num_rows if result is not None else None,
+            }
+        lines = [plan.explain()]
+        if outcome is not None:
+            lines.append(f"plan cache: {outcome} ({cache.describe()})")
+        if stats is not None:
+            lines.append(stats.describe())
+        if result is not None:
+            lines.append(f"result rows: {result.num_rows}")
+        return "\n".join(lines)
 
     # -- result decoding -------------------------------------------------------------
 
@@ -118,9 +280,16 @@ class LevelHeadedEngine:
         self, compiled: CompiledQuery, plan: PhysicalPlan, raw: RawResult
     ) -> ResultTable:
         matrix = raw.matrix
-        # a grand aggregate over zero matching tuples still emits one row
+        # a grand aggregate over zero matching tuples still emits one
+        # row, each cell holding its aggregate's identity (COUNT/SUM ->
+        # 0, MIN/MAX -> NaN: no rows means no extremum, and the engine
+        # has no NULLs).
         if matrix.shape[0] == 0 and not raw.group_layout:
-            matrix = np.zeros((1, len(raw.agg_ids)))
+            funcs = {a.id: a.func for a in compiled.aggregates}
+            matrix = np.array(
+                [[_aggregate_identity(funcs.get(agg_id)) for agg_id in raw.agg_ids]],
+                dtype=np.float64,
+            ).reshape(1, len(raw.agg_ids))
         n_rows = matrix.shape[0]
 
         env: Dict[str, np.ndarray] = {}
@@ -163,6 +332,8 @@ class LevelHeadedEngine:
             or compiled.limit is not None
         ):
             outputs = dict(zip(names, columns))
+            # ORDER BY/LIMIT on a degenerate empty column list: nothing
+            # to index, so there are zero result rows to reorder.
             n_final = int(columns[0].shape[0]) if columns else 0
             index = result_row_index(
                 make_result_resolver(env_for_clauses, outputs),
@@ -171,7 +342,7 @@ class LevelHeadedEngine:
                 compiled.order_keys,
                 compiled.limit,
             )
-            if index is not None:
+            if index is not None and columns:
                 columns = [column[index] for column in columns]
 
         return ResultTable(names, columns)
@@ -198,3 +369,10 @@ class LevelHeadedEngine:
         if dictionary is not None:
             return dictionary.decode(np.asarray(column, dtype=np.int64))
         return np.asarray(column)
+
+
+def _aggregate_identity(func: Optional[str]) -> float:
+    """The zero-row value of one aggregate (COUNT is int-cast later)."""
+    if func in ("min", "max"):
+        return float("nan")
+    return 0.0

@@ -1,0 +1,120 @@
+"""A versioned LRU cache of compiled physical plans.
+
+LevelHeaded's compile pipeline (parse → bind → translate → GHD → cost
+-ordered WCOJ plan, Sections III-IV) is pure given three inputs: the
+SQL text, the engine configuration, and the catalog's key-domain
+dictionaries.  Repeated queries -- TPC-H refresh runs, iterated LA
+kernels like PageRank's SpMV loop -- therefore recompile the exact same
+plan over and over.  The :class:`PlanCache` memoizes plans keyed on
+
+* the **normalized SQL** (token-level canonical form: case and
+  whitespace insensitive),
+* the bound **parameter values** (selection constants are baked into
+  trie row-masks, so each distinct value set is its own plan), and
+* the **config fingerprint** (every optimizer toggle).
+
+Catalog state is handled by *validation* rather than keying: each plan
+snapshots the ``domain_version`` of every key domain it encodes
+(:attr:`~repro.xcution.plan.PhysicalPlan.domain_versions`), and a
+lookup of a stale plan counts as an **invalidation** -- the entry is
+dropped and the caller recompiles.  Hits, misses, invalidations, and
+evictions are all counted, and surfaced per-query through
+:class:`~repro.xcution.stats.ExecutionStats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..xcution.plan import PhysicalPlan
+
+#: lookup outcomes
+HIT = "hit"
+MISS = "miss"
+INVALIDATED = "invalidated"
+
+
+@dataclass
+class PlanCacheStats:
+    """Cumulative counters of one cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"plan cache: hits={self.hits}, misses={self.misses}, "
+            f"invalidations={self.invalidations}, evictions={self.evictions}"
+        )
+
+
+@dataclass
+class PlanCache:
+    """An LRU mapping of (sql, params, config) keys to physical plans."""
+
+    capacity: int = 64
+    stats: PlanCacheStats = field(default_factory=PlanCacheStats)
+
+    def __post_init__(self):
+        if self.capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self._entries: "OrderedDict[Tuple, PhysicalPlan]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Tuple, catalog) -> Tuple[Optional[PhysicalPlan], str]:
+        """Return ``(plan, outcome)``; outcome is hit/miss/invalidated.
+
+        A cached plan whose domain versions no longer match ``catalog``
+        is dropped (its tries hold codes from superseded dictionaries)
+        and the lookup reports ``invalidated`` so the caller recompiles.
+        """
+        plan = self._entries.get(key)
+        if plan is None:
+            self.stats.misses += 1
+            return None, MISS
+        if not plan.is_current(catalog):
+            del self._entries[key]
+            self.stats.invalidations += 1
+            return None, INVALIDATED
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return plan, HIT
+
+    def store(self, key: Tuple, plan: PhysicalPlan) -> None:
+        """Insert ``plan``, evicting the least recently used beyond capacity."""
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate_stale(self, catalog) -> int:
+        """Proactively drop every entry stale against ``catalog``."""
+        stale = [k for k, p in self._entries.items() if not p.is_current(catalog)]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache(size={len(self._entries)}/{self.capacity}, "
+            f"{self.stats.describe()})"
+        )

@@ -1,0 +1,140 @@
+"""Prepared statements: compile once, execute many times.
+
+``engine.prepare(sql)`` front-loads the compile pipeline: the SQL is
+parsed and bound immediately (catching syntax and name errors at
+prepare time), parameter placeholders become typed slots, and -- for
+statements without parameters -- the physical plan is built eagerly and
+captured together with the catalog key-domain versions it encodes.
+
+``execute(params)`` then substitutes values into the selection
+constants and runs the plan.  Plans are shared with the engine's
+:class:`~repro.core.plan_cache.PlanCache` (same keys), so a prepared
+statement and an ad-hoc ``engine.query()`` of the same SQL reuse each
+other's compilations.  When a catalog registration bumps a domain
+version, the captured plan is invalidated and the next execution
+re-validates and recompiles automatically against the re-coded
+dictionaries -- counted in :attr:`recompiles`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..query.translate import translate
+from ..sql.binder import bind
+from ..sql.params import (
+    ParamValues,
+    bind_param_values,
+    infer_param_slots,
+    normalize_sql,
+    param_cache_token,
+    substitute_parameters,
+)
+from ..sql.parser import parse
+from ..xcution.plan import EngineConfig, PhysicalPlan, build_plan
+
+
+class PreparedStatement:
+    """One compiled statement bound to an engine.
+
+    Create through :meth:`LevelHeadedEngine.prepare`, not directly.
+    """
+
+    def __init__(self, engine, sql: str, config: Optional[EngineConfig] = None):
+        self._engine = engine
+        self.sql = sql
+        self.normalized_sql = normalize_sql(sql)
+        self.config = config if config is not None else engine.config
+        self._stmt = parse(sql)
+        bound = bind(self._stmt, engine.catalog)
+        #: typed parameter slots in statement order (empty when the SQL
+        #: has no placeholders).
+        self.param_slots = infer_param_slots(bound)
+        #: total ``execute`` calls.
+        self.executions = 0
+        #: compiles beyond the first for a given parameter set --
+        #: eviction refills plus catalog-version invalidations.
+        self.recompiles = 0
+        self._seen_keys = set()
+        self._last_plan: Optional[PhysicalPlan] = None
+        if not self.param_slots:
+            # No placeholders: capture the compiled plan (and the domain
+            # versions it was built against) right now.
+            self._plan_for({})
+
+    # -- compilation ---------------------------------------------------------
+
+    def _cache_key(self, literals) -> Tuple:
+        return (
+            self.normalized_sql,
+            param_cache_token(literals),
+            self.config.fingerprint(),
+        )
+
+    def _plan_for(self, literals) -> Tuple[PhysicalPlan, str]:
+        engine = self._engine
+        key = self._cache_key(literals)
+        plan, outcome = engine.plan_cache.lookup(key, engine.catalog)
+        if plan is None:
+            stmt = (
+                substitute_parameters(self._stmt, literals)
+                if self._stmt.parameters
+                else self._stmt
+            )
+            plan = build_plan(translate(bind(stmt, engine.catalog)), self.config)
+            engine.plan_cache.store(key, plan)
+            if key in self._seen_keys:
+                self.recompiles += 1
+        self._seen_keys.add(key)
+        self._last_plan = plan
+        return plan, outcome
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, params: ParamValues = None, collect_stats: bool = False):
+        """Run the statement with ``params`` bound to its placeholders.
+
+        ``params`` is a sequence for positional (``?``) placeholders or
+        a mapping for named (``:name``) ones; omit it for statements
+        without placeholders.  Returns a
+        :class:`~repro.core.result.ResultTable`; with
+        ``collect_stats=True`` its ``.stats`` attribute carries the
+        executor counters plus this call's plan-cache outcome.
+        """
+        literals = bind_param_values(params, self.param_slots)
+        plan, outcome = self._plan_for(literals)
+        self.executions += 1
+        return self._engine._run_plan(plan, outcome, collect_stats=collect_stats)
+
+    __call__ = execute
+
+    def explain(
+        self,
+        params: ParamValues = None,
+        analyze: bool = False,
+        format: str = "text",
+    ):
+        """Describe (and with ``analyze=True`` run) the statement's plan."""
+        literals = bind_param_values(params, self.param_slots)
+        plan, outcome = self._plan_for(literals)
+        return self._engine._explain_plan(plan, outcome, analyze=analyze, format=format)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def plan(self) -> Optional[PhysicalPlan]:
+        """The most recently compiled plan (None before first param bind)."""
+        return self._last_plan
+
+    @property
+    def is_current(self) -> bool:
+        """Whether the captured plan is still valid against the catalog."""
+        return self._last_plan is not None and self._last_plan.is_current(
+            self._engine.catalog
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedStatement({self.sql!r}, params={len(self.param_slots)}, "
+            f"executions={self.executions}, recompiles={self.recompiles})"
+        )

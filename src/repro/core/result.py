@@ -25,6 +25,9 @@ class ResultTable:
         self.names = list(names)
         self.columns: Dict[str, np.ndarray] = dict(zip(names, columns))
         self.num_rows = lengths.pop() if lengths else 0
+        #: populated by ``engine.query(..., collect_stats=True)`` /
+        #: ``execute(plan, collect_stats=True)``; None otherwise.
+        self.stats = None
 
     def column(self, name: str) -> np.ndarray:
         return self.columns[name]

@@ -130,6 +130,11 @@ class CompiledQuery:
 
 def translate(bound: BoundQuery) -> CompiledQuery:
     """Apply Rules 1-4, producing a :class:`CompiledQuery`."""
+    if bound.stmt.parameters:
+        raise UnsupportedQueryError(
+            "statement contains parameter placeholders; prepare it with "
+            "engine.prepare(sql) or pass params= to engine.query()"
+        )
     hypergraph = _build_hypergraph(bound)
 
     # Queries with join vertices require every relation to participate.

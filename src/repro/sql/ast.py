@@ -33,6 +33,24 @@ class Literal:
 
 
 @dataclass(frozen=True)
+class Parameter:
+    """A prepared-statement placeholder: positional ``?`` or named ``:x``.
+
+    ``index`` is the statement-wide parameter slot (0-based).  For
+    positional parameters every occurrence gets a fresh slot; every
+    occurrence of the same ``:name`` shares one slot.  Parameters are
+    replaced by :class:`Literal` values at execution time -- one must
+    never survive into plan execution.
+    """
+
+    index: int
+    name: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f":{self.name}" if self.name is not None else "?"
+
+
+@dataclass(frozen=True)
 class BinOp:
     op: str  # + - * /
     left: "Expr"
@@ -150,6 +168,7 @@ class NotOp:
 Expr = Union[
     ColumnRef,
     Literal,
+    Parameter,
     BinOp,
     UnaryOp,
     FuncCall,
@@ -210,6 +229,9 @@ class SelectStmt:
     having: Optional[Expr] = None
     order_by: List[OrderKey] = field(default_factory=list)
     limit: Optional[int] = None
+    #: prepared-statement placeholders in slot order (one entry per
+    #: distinct slot; positional ``?`` markers each get their own slot).
+    parameters: List[Parameter] = field(default_factory=list)
 
 
 # -- tree walking helpers ----------------------------------------------------
@@ -262,6 +284,11 @@ def collect_columns(expr: Expr) -> List[ColumnRef]:
 def collect_aggregates(expr: Expr) -> List[AggCall]:
     """All aggregate calls in ``expr``."""
     return [node for node in walk(expr) if isinstance(node, AggCall)]
+
+
+def collect_parameters(expr: Expr) -> List[Parameter]:
+    """All prepared-statement placeholders in ``expr``."""
+    return [node for node in walk(expr) if isinstance(node, Parameter)]
 
 
 def contains_aggregate(expr: Expr) -> bool:

@@ -33,6 +33,7 @@ from .ast import (
     Literal,
     NotOp,
     OrderKey,
+    Parameter,
     SelectItem,
     SelectStmt,
     UnaryOp,
@@ -182,7 +183,7 @@ def _rewrite(expr: Expr, on_column) -> Expr:
     """Rebuild an expression tree, transforming every ColumnRef."""
     if isinstance(expr, ColumnRef):
         return on_column(expr)
-    if isinstance(expr, Literal):
+    if isinstance(expr, (Literal, Parameter)):
         return expr
     if isinstance(expr, BinOp):
         return BinOp(expr.op, _rewrite(expr.left, on_column), _rewrite(expr.right, on_column))

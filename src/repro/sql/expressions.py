@@ -29,6 +29,7 @@ from .ast import (
     Like,
     Literal,
     NotOp,
+    Parameter,
     UnaryOp,
 )
 
@@ -98,6 +99,11 @@ def evaluate(expr: Expr, resolve: Callable[[ColumnRef], Value]) -> Value:
     if isinstance(expr, AggCall):
         raise UnsupportedQueryError(
             "aggregate encountered during scalar evaluation (planner bug)"
+        )
+    if isinstance(expr, Parameter):
+        raise UnsupportedQueryError(
+            f"unbound parameter {expr} reached evaluation -- execute the "
+            "statement through engine.prepare(...)/engine.query(sql, params=...)"
         )
     raise UnsupportedQueryError(f"cannot evaluate {type(expr).__name__}")
 

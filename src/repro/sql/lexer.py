@@ -19,7 +19,7 @@ KEYWORDS = frozenset(
 
 @dataclass(frozen=True)
 class Token:
-    kind: str  # IDENT, KEYWORD, NUMBER, STRING, OP, EOF
+    kind: str  # IDENT, KEYWORD, NUMBER, STRING, PARAM, OP, EOF
     value: str
     position: int
 
@@ -32,6 +32,7 @@ _TOKEN_RE = re.compile(
     (?P<ws>\s+|--[^\n]*)
   | (?P<number>\d+\.\d*|\.\d+|\d+)
   | (?P<string>'(?:[^']|'')*')
+  | (?P<param>\?|:[A-Za-z_][A-Za-z_0-9]*)
   | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
   | (?P<op><>|<=|>=|!=|=|<|>|\(|\)|,|\.|\+|-|\*|/)
     """,
@@ -53,6 +54,10 @@ def tokenize(sql: str) -> List[Token]:
         text = match.group()
         if match.lastgroup == "number":
             tokens.append(Token("NUMBER", text, pos))
+        elif match.lastgroup == "param":
+            # ``?`` (positional) or ``:name`` (named) parameter markers
+            # for prepared statements; the value keeps the literal text.
+            tokens.append(Token("PARAM", text.lower(), pos))
         elif match.lastgroup == "string":
             tokens.append(Token("STRING", text[1:-1].replace("''", "'"), pos))
         elif match.lastgroup == "ident":

@@ -1,0 +1,345 @@
+"""Prepared-statement parameters: typed slots, binding, substitution.
+
+A parsed statement may contain :class:`~repro.sql.ast.Parameter`
+placeholders (``?`` positional or ``:name`` named).  This module turns
+them into *typed parameter slots* at bind time -- the expected type is
+inferred from the column each placeholder compares against -- and, at
+execution time, substitutes caller-supplied values back into the AST as
+properly typed :class:`~repro.sql.ast.Literal` constants.  It also
+provides the token-level SQL normalization the plan cache keys on.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import BindError, UnsupportedQueryError
+from ..storage.schema import AttrType, parse_date
+from .ast import (
+    Between,
+    BinOp,
+    BoolOp,
+    CaseExpr,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InList,
+    Like,
+    Literal,
+    NotOp,
+    OrderKey,
+    Parameter,
+    SelectItem,
+    SelectStmt,
+    UnaryOp,
+    collect_columns,
+    collect_parameters,
+    walk,
+)
+from .lexer import tokenize
+
+
+@dataclass(frozen=True)
+class ParamSlot:
+    """One typed parameter slot of a prepared statement."""
+
+    index: int
+    name: Optional[str]  # None for positional slots
+    type_hint: str  # number | string | date
+
+    @property
+    def display(self) -> str:
+        return f":{self.name}" if self.name is not None else f"?{self.index + 1}"
+
+
+ParamValues = Union[Sequence, Mapping[str, object], None]
+
+
+# ---------------------------------------------------------------------------
+# slot typing (bind time)
+# ---------------------------------------------------------------------------
+
+_TYPE_OF_ATTR = {
+    AttrType.STRING: "string",
+    AttrType.DATE: "date",
+}
+
+
+def infer_param_slots(bound) -> Tuple[ParamSlot, ...]:
+    """Type every placeholder of a bound query from its comparison partner.
+
+    Placeholders are selection constants: they may appear only inside
+    single-table WHERE predicates (and join-key positions make no sense
+    for them).  Each slot's expected type comes from the column on the
+    other side of its comparison; placeholders in pure arithmetic
+    contexts default to ``number``.
+    """
+    slots: Dict[int, ParamSlot] = {}
+    for predicates in bound.filters.values():
+        for predicate in predicates:
+            _type_predicate_params(predicate, bound, slots)
+    _reject_params_outside_filters(bound, slots)
+    return tuple(slots[i] for i in sorted(slots))
+
+
+def _column_type(bound, ref: ColumnRef) -> str:
+    attribute = bound.tables[ref.qualifier].schema.attribute(ref.name)
+    return _TYPE_OF_ATTR.get(attribute.type, "number")
+
+
+def _partner_type(bound, exprs: Sequence[Expr]) -> str:
+    for expr in exprs:
+        columns = collect_columns(expr)
+        if columns:
+            return _column_type(bound, columns[0])
+    return "number"
+
+
+def _type_predicate_params(expr: Expr, bound, slots: Dict[int, ParamSlot]) -> None:
+    if isinstance(expr, Comparison):
+        _assign(slots, expr.left, _partner_type(bound, [expr.right]))
+        _assign(slots, expr.right, _partner_type(bound, [expr.left]))
+        return
+    if isinstance(expr, Between):
+        bound_type = _partner_type(bound, [expr.expr])
+        _assign(slots, expr.low, bound_type)
+        _assign(slots, expr.high, bound_type)
+        _assign(slots, expr.expr, _partner_type(bound, [expr.low, expr.high]))
+        return
+    if isinstance(expr, BoolOp):
+        for operand in expr.operands:
+            _type_predicate_params(operand, bound, slots)
+        return
+    if isinstance(expr, NotOp):
+        _type_predicate_params(expr.operand, bound, slots)
+        return
+    # CASE / standalone function predicate: parameters inside default
+    # to numeric slots.
+    _assign(slots, expr, "number")
+
+
+def _assign(slots: Dict[int, ParamSlot], expr: Expr, type_hint: str) -> None:
+    """Type every still-untyped parameter inside ``expr`` as ``type_hint``.
+
+    The partner type propagates through arithmetic: in
+    ``o_orderdate < ? + 5`` the placeholder compares against a date
+    column and gets the ``date`` slot type.
+    """
+    for node in walk(expr):
+        if isinstance(node, Parameter) and node.index not in slots:
+            slots[node.index] = ParamSlot(node.index, node.name, type_hint)
+
+
+def _reject_params_outside_filters(bound, slots: Dict[int, ParamSlot]) -> None:
+    """Placeholders are only supported as WHERE selection constants."""
+    clauses: List[Tuple[str, Optional[Expr]]] = [
+        ("HAVING", bound.having),
+    ]
+    clauses.extend(("SELECT", item.expr) for item in bound.select_items)
+    clauses.extend(("GROUP BY", expr) for expr in bound.group_by)
+    clauses.extend(("ORDER BY", key.expr) for key in bound.order_by)
+    for clause, expr in clauses:
+        if expr is None:
+            continue
+        if collect_parameters(expr):
+            raise UnsupportedQueryError(
+                f"parameter placeholders are only supported in WHERE "
+                f"predicates, not in {clause}"
+            )
+    declared = {p.index for p in bound.stmt.parameters}
+    if declared - set(slots):
+        missing = sorted(declared - set(slots))
+        raise UnsupportedQueryError(
+            f"parameter slot(s) {missing} appear outside WHERE predicates "
+            "(only selection constants may be parameterized)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# value binding (execution time)
+# ---------------------------------------------------------------------------
+
+
+def bind_param_values(
+    params: ParamValues, slots: Sequence[ParamSlot]
+) -> Dict[int, Literal]:
+    """Coerce caller-supplied values into typed literals, one per slot."""
+    if not slots:
+        if params:
+            raise BindError("statement takes no parameters")
+        return {}
+    named = any(slot.name is not None for slot in slots)
+    if params is None:
+        raise BindError(
+            f"statement has {len(slots)} parameter(s) but none were supplied"
+        )
+    out: Dict[int, Literal] = {}
+    if named:
+        if not isinstance(params, Mapping):
+            raise BindError("named parameters require a mapping of values")
+        unknown = set(params) - {slot.name for slot in slots}
+        if unknown:
+            raise BindError(f"unknown parameter name(s): {sorted(unknown)}")
+        for slot in slots:
+            if slot.name not in params:
+                raise BindError(f"missing value for parameter :{slot.name}")
+            out[slot.index] = _coerce(params[slot.name], slot)
+        return out
+    if isinstance(params, Mapping):
+        raise BindError("positional parameters require a sequence of values")
+    values = list(params)
+    if len(values) != len(slots):
+        raise BindError(
+            f"statement has {len(slots)} parameter(s), got {len(values)} value(s)"
+        )
+    for slot, value in zip(slots, values):
+        out[slot.index] = _coerce(value, slot)
+    return out
+
+
+def _coerce(value, slot: ParamSlot) -> Literal:
+    if slot.type_hint == "string":
+        if not isinstance(value, str):
+            raise BindError(
+                f"parameter {slot.display} expects a string, got {type(value).__name__}"
+            )
+        return Literal(value, "string")
+    if slot.type_hint == "date":
+        if isinstance(value, datetime.date):
+            return Literal(value.toordinal(), "date")
+        if isinstance(value, str):
+            try:
+                return Literal(parse_date(value), "date")
+            except ValueError as exc:
+                raise BindError(
+                    f"parameter {slot.display} expects a 'YYYY-MM-DD' date: {value!r}"
+                ) from exc
+        if isinstance(value, (int,)) and not isinstance(value, bool):
+            return Literal(int(value), "date")  # a pre-computed ordinal
+        raise BindError(
+            f"parameter {slot.display} expects a date, got {type(value).__name__}"
+        )
+    # number
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BindError(
+            f"parameter {slot.display} expects a number, got {type(value).__name__}"
+        )
+    return Literal(value, "number")
+
+
+def param_cache_token(literals: Dict[int, Literal]) -> Tuple:
+    """A hashable token of bound parameter values, for plan-cache keys."""
+    return tuple(
+        (index, literals[index].type_hint, literals[index].value)
+        for index in sorted(literals)
+    )
+
+
+# ---------------------------------------------------------------------------
+# substitution
+# ---------------------------------------------------------------------------
+
+
+def substitute_parameters(stmt: SelectStmt, literals: Dict[int, Literal]) -> SelectStmt:
+    """A copy of ``stmt`` with every placeholder replaced by its literal."""
+
+    def sub(expr: Optional[Expr]) -> Optional[Expr]:
+        return None if expr is None else _substitute_expr(expr, literals)
+
+    return SelectStmt(
+        items=[SelectItem(sub(item.expr), item.alias) for item in stmt.items],
+        tables=list(stmt.tables),
+        where=[sub(expr) for expr in stmt.where],
+        group_by=[sub(expr) for expr in stmt.group_by],
+        having=sub(stmt.having),
+        order_by=[OrderKey(sub(key.expr), key.descending) for key in stmt.order_by],
+        limit=stmt.limit,
+        parameters=[],
+    )
+
+
+def _substitute_expr(expr: Expr, literals: Dict[int, Literal]) -> Expr:
+    if isinstance(expr, Parameter):
+        try:
+            return literals[expr.index]
+        except KeyError:
+            raise BindError(f"no value bound for parameter {expr}") from None
+    if isinstance(expr, (ColumnRef, Literal)):
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _substitute_expr(expr.left, literals),
+            _substitute_expr(expr.right, literals),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _substitute_expr(expr.operand, literals))
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name, tuple(_substitute_expr(a, literals) for a in expr.args)
+        )
+    if isinstance(expr, CaseExpr):
+        whens = tuple(
+            (_substitute_expr(c, literals), _substitute_expr(r, literals))
+            for c, r in expr.whens
+        )
+        else_ = None if expr.else_ is None else _substitute_expr(expr.else_, literals)
+        return CaseExpr(whens, else_)
+    if isinstance(expr, Comparison):
+        return Comparison(
+            expr.op,
+            _substitute_expr(expr.left, literals),
+            _substitute_expr(expr.right, literals),
+        )
+    if isinstance(expr, Between):
+        return Between(
+            _substitute_expr(expr.expr, literals),
+            _substitute_expr(expr.low, literals),
+            _substitute_expr(expr.high, literals),
+            expr.negated,
+        )
+    if isinstance(expr, InList):
+        return InList(_substitute_expr(expr.expr, literals), expr.values, expr.negated)
+    if isinstance(expr, Like):
+        return Like(_substitute_expr(expr.expr, literals), expr.pattern, expr.negated)
+    if isinstance(expr, BoolOp):
+        return BoolOp(
+            expr.op, tuple(_substitute_expr(o, literals) for o in expr.operands)
+        )
+    if isinstance(expr, NotOp):
+        return NotOp(_substitute_expr(expr.operand, literals))
+    from .ast import AggCall
+
+    if isinstance(expr, AggCall):
+        arg = None if expr.arg is None else _substitute_expr(expr.arg, literals)
+        return AggCall(expr.func, arg)
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# SQL normalization (plan-cache keys)
+# ---------------------------------------------------------------------------
+
+
+def normalize_sql(sql: str) -> str:
+    """A whitespace/case-insensitive canonical form of ``sql``.
+
+    Re-serializes the token stream: keywords and identifiers are already
+    lower-cased by the lexer, string literals keep their case, comments
+    and whitespace differences disappear.  Two queries with the same
+    normalized form compile to the same plan (given equal catalog
+    versions and engine config), which is exactly what the plan cache
+    keys on.
+    """
+    parts: List[str] = []
+    for token in tokenize(sql):
+        if token.kind == "EOF":
+            continue
+        if token.kind == "STRING":
+            parts.append("'" + token.value.replace("'", "''") + "'")
+        else:
+            parts.append(token.value)
+    return " ".join(parts)

@@ -32,6 +32,7 @@ from .ast import (
     Literal,
     NotOp,
     OrderKey,
+    Parameter,
     SelectItem,
     SelectStmt,
     TableRef,
@@ -44,13 +45,45 @@ _INTERVAL_UNITS = {"day": 1, "month": 30, "year": 365}
 
 
 def parse(sql: str) -> SelectStmt:
-    """Parse one SELECT statement."""
+    """Parse one SELECT statement (placeholders allowed; see ``prepare``)."""
     stream = TokenStream(tokenize(sql))
+    params = _ParamSlots()
+    stream.params = params
     stmt = _parse_select(stream)
     if not stream.at_end():
         token = stream.peek()
         raise ParseError(f"unexpected trailing input: {token.value!r}", token.position)
+    stmt.parameters = params.slots
     return stmt
+
+
+class _ParamSlots:
+    """Assigns statement-wide parameter slots during one parse."""
+
+    def __init__(self):
+        self.slots: List[Parameter] = []
+        self._named: dict = {}
+        self._style: str = ""  # "positional" | "named" once known
+
+    def make(self, text: str, position: int) -> Parameter:
+        style = "named" if text.startswith(":") else "positional"
+        if self._style and style != self._style:
+            raise ParseError(
+                "cannot mix positional (?) and named (:name) parameters "
+                "in one statement",
+                position,
+            )
+        self._style = style
+        if style == "positional":
+            slot = Parameter(len(self.slots))
+            self.slots.append(slot)
+            return slot
+        name = text[1:]
+        if name not in self._named:
+            slot = Parameter(len(self.slots), name)
+            self._named[name] = slot
+            self.slots.append(slot)
+        return self._named[name]
 
 
 def _parse_select(ts: TokenStream) -> SelectStmt:
@@ -284,6 +317,13 @@ def _parse_primary(ts: TokenStream) -> Expr:
     if token.kind == "STRING":
         ts.next()
         return Literal(token.value, "string")
+
+    if token.kind == "PARAM":
+        ts.next()
+        slots = getattr(ts, "params", None)
+        if slots is None:
+            raise ParseError("parameter placeholder outside a statement", token.position)
+        return slots.make(token.value, token.position)
 
     if token.is_keyword("date"):
         ts.next()

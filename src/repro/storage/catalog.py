@@ -25,9 +25,19 @@ class Catalog:
         self.tables: Dict[str, Table] = {}
         self._domains: Dict[str, Dictionary] = {}
         self._versions: Dict[str, int] = {}
+        #: bumped on every registration and every domain re-code; a cheap
+        #: staleness pre-check for cached plans and prepared statements.
+        self.version: int = 0
 
     def register(self, table: Table) -> Table:
-        """Register ``table``, extending the dictionaries of its key domains."""
+        """Register ``table``, extending the dictionaries of its key domains.
+
+        Extending a dictionary re-codes existing values, so the affected
+        ``domain_version`` bumps -- invalidating every cached trie *and*
+        every cached :class:`~repro.xcution.plan.PhysicalPlan` built
+        against the older codes (prepared statements and the engine's
+        plan cache re-validate against these versions).
+        """
         if table.name in self.tables:
             raise SchemaError(f"table '{table.name}' already registered")
         for attr in table.schema.attributes:
@@ -38,7 +48,7 @@ class Catalog:
             existing = self._domains.get(domain)
             if existing is None:
                 self._domains[domain] = Dictionary.build(column)
-                self._versions[domain] = 0
+                self._versions.setdefault(domain, 0)
             else:
                 extended = existing.extend(column)
                 if extended.size != existing.size:
@@ -47,6 +57,7 @@ class Catalog:
                     self._invalidate_domain_users(domain)
         table.catalog = self
         self.tables[table.name] = table
+        self.version += 1
         return table
 
     def _invalidate_domain_users(self, domain: str) -> None:
@@ -79,6 +90,10 @@ class Catalog:
 
     def domain_version(self, domain: str) -> int:
         return self._versions.get(domain, 0)
+
+    def versions_of(self, domains: Iterable[str]) -> Dict[str, int]:
+        """Current versions of the given key domains (plan snapshots)."""
+        return {domain: self.domain_version(domain) for domain in domains}
 
     def names(self) -> Iterable[str]:
         return self.tables.keys()

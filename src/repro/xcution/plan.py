@@ -45,6 +45,16 @@ class EngineConfig:
     #: the single relaxed swap of Section V-A2.
     forced_root_order: Optional[Tuple[str, ...]] = None
 
+    def fingerprint(self) -> Tuple:
+        """A hashable token of every toggle, for plan-cache keys.
+
+        Two configs with equal fingerprints produce identical plans for
+        the same SQL and catalog state.
+        """
+        from dataclasses import fields
+
+        return tuple((f.name, getattr(self, f.name)) for f in fields(self))
+
 
 @dataclass
 class RelationBinding:
@@ -136,6 +146,17 @@ class BlasPlan:
 
 @dataclass
 class PhysicalPlan:
+    """An executable plan.
+
+    Plans are **immutable at execution time**: ``execute_plan`` never
+    mutates the plan tree, so one plan may be executed any number of
+    times (prepared statements, the plan cache, benchmark loops) as
+    long as it is still *current* -- ``domain_versions`` records the
+    catalog key-domain versions the plan's tries were built against,
+    and :meth:`is_current` checks them.  A stale plan must be rebuilt:
+    its trie references hold codes from superseded dictionaries.
+    """
+
     compiled: CompiledQuery
     mode: str  # join | scan | blas
     root: Optional[NodePlan] = None
@@ -143,6 +164,15 @@ class PhysicalPlan:
     blas: Optional[BlasPlan] = None
     ghd: Optional[GHD] = None
     config: EngineConfig = field(default_factory=EngineConfig)
+    #: key-domain versions captured at build time: domain name -> version.
+    domain_versions: Dict[str, int] = field(default_factory=dict)
+
+    def is_current(self, catalog) -> bool:
+        """Whether the catalog's key domains still match this plan."""
+        return all(
+            catalog.domain_version(domain) == version
+            for domain, version in self.domain_versions.items()
+        )
 
     def explain(self) -> str:
         lines = [f"mode: {self.mode}"]
@@ -181,12 +211,14 @@ def _walk_plans(node: NodePlan, depth: int = 0):
 def build_plan(compiled: CompiledQuery, config: Optional[EngineConfig] = None) -> PhysicalPlan:
     """Lower a compiled query to a physical plan."""
     config = config or EngineConfig()
+    versions = _capture_domain_versions(compiled)
     if compiled.is_scan:
         return PhysicalPlan(
             compiled=compiled,
             mode="scan",
             scan=_build_scan(compiled, config),
             config=config,
+            domain_versions=versions,
         )
 
     if config.force_single_node_ghd:
@@ -199,12 +231,37 @@ def build_plan(compiled: CompiledQuery, config: Optional[EngineConfig] = None) -
         blas = _try_blas_route(compiled, ghd)
         if blas is not None:
             return PhysicalPlan(
-                compiled=compiled, mode="blas", blas=blas, ghd=ghd, config=config
+                compiled=compiled,
+                mode="blas",
+                blas=blas,
+                ghd=ghd,
+                config=config,
+                domain_versions=versions,
             )
 
     builder = _JoinPlanBuilder(compiled, config, ghd)
     root = builder.build()
-    return PhysicalPlan(compiled=compiled, mode="join", root=root, ghd=ghd, config=config)
+    return PhysicalPlan(
+        compiled=compiled,
+        mode="join",
+        root=root,
+        ghd=ghd,
+        config=config,
+        domain_versions=versions,
+    )
+
+
+def _capture_domain_versions(compiled: CompiledQuery) -> Dict[str, int]:
+    """Key-domain versions of every table the plan's tries encode."""
+    versions: Dict[str, int] = {}
+    for table in compiled.bound.tables.values():
+        if table.catalog is None:
+            continue
+        for attr in table.schema.attributes:
+            if attr.is_key:
+                domain = attr.domain_name
+                versions[domain] = table.catalog.domain_version(domain)
+    return versions
 
 
 def _pin_slot_edges_to_root(ghd: GHD, compiled: CompiledQuery) -> GHD:

@@ -91,8 +91,7 @@ def execute_scan(plan: ScanPlan) -> Tuple[List[np.ndarray], np.ndarray]:
         if n_groups:
             matrix[:, a_idx] = np.add.reduceat(total[order], boundaries)
 
-    # A global aggregate over an empty selection still yields one row of
-    # zeros (documented divergence from SQL NULL semantics: no NULLs).
-    if not plan.group_exprs and n_groups == 0:
-        matrix = np.zeros((1, len(plan.aggregates)))
+    # A global aggregate over an empty selection returns zero rows here;
+    # the decode layer emits the one-row identity result (COUNT/SUM -> 0,
+    # MIN/MAX -> NaN) so scan and join paths agree.
     return key_columns, matrix

@@ -35,6 +35,13 @@ class ExecutionStats:
     fetches: int = 0
     #: output groups produced.
     groups_emitted: int = 0
+    #: plan-cache hits for the query these stats belong to (0 or 1 per
+    #: query; cumulative across merges).
+    plan_cache_hits: int = 0
+    #: plan-cache misses (a fresh compile happened).
+    plan_cache_misses: int = 0
+    #: cached plans dropped because a catalog domain version bumped.
+    plan_cache_invalidations: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
         for name in self.__dataclass_fields__:
