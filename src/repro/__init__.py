@@ -32,6 +32,9 @@ Quickstart::
 Repeated ``engine.query()`` calls transparently reuse compiled plans
 through a versioned plan cache; ``engine.explain(sql, analyze=True)``
 shows the cache outcome and the executor's work counters.
+``engine.query(sql, trace=True)`` attaches a lifecycle span tree as
+``result.trace``, and ``engine.metrics`` accumulates serving metrics
+(latency percentiles, cache hit rates) across the engine's lifetime.
 """
 
 from .core.engine import LevelHeadedEngine
@@ -48,6 +51,7 @@ from .errors import (
     SchemaError,
     UnsupportedQueryError,
 )
+from .obs import MetricsRegistry, Span, Tracer
 from .storage.catalog import Catalog
 from .storage.schema import AttrType, Attribute, Kind, Schema, annotation, key
 from .storage.table import Table
@@ -74,6 +78,9 @@ __all__ = [
     "PlanCache",
     "ResultTable",
     "EngineConfig",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
     "Catalog",
     "Table",
     "Schema",

@@ -10,7 +10,9 @@ Usage::
 :func:`repro.storage.persist.save_catalog` (``schema.json`` plus
 ``<table>.tbl`` files — dbgen-style).  Inside the shell, ``\\d`` lists
 tables, ``\\d name`` shows a schema, ``\\explain SELECT …`` prints the
-chosen plan, and ``\\q`` quits.
+chosen plan, ``\\trace SELECT …`` runs a statement and prints its
+lifecycle span tree, ``\\metrics`` prints the engine's cumulative
+serving metrics, and ``\\q`` quits.
 """
 
 from __future__ import annotations
@@ -43,14 +45,19 @@ def _describe_schema(engine: LevelHeadedEngine, name: str) -> str:
     return "\n".join(lines)
 
 
-def run_statement(engine: LevelHeadedEngine, sql: str, explain: bool = False) -> str:
-    """Execute one statement (or explain it) and render the output."""
+def run_statement(
+    engine: LevelHeadedEngine, sql: str, explain: bool = False, trace: bool = False
+) -> str:
+    """Execute one statement (or explain/trace it) and render the output."""
     if explain:
         return engine.explain(sql)
     start = time.perf_counter()
-    result = engine.query(sql)
+    result = engine.query(sql, trace=trace)
     elapsed = (time.perf_counter() - start) * 1000
-    return f"{result.to_text()}\n({result.num_rows} rows in {elapsed:.1f}ms)"
+    text = f"{result.to_text()}\n({result.num_rows} rows in {elapsed:.1f}ms)"
+    if trace and result.trace is not None:
+        text += "\n" + result.trace.render()
+    return text
 
 
 def _handle_line(engine: LevelHeadedEngine, line: str) -> Optional[str]:
@@ -64,12 +71,18 @@ def _handle_line(engine: LevelHeadedEngine, line: str) -> Optional[str]:
         return _describe_tables(engine)
     if stripped.startswith("\\d "):
         return _describe_schema(engine, stripped[3:].strip())
+    if stripped == "\\metrics":
+        return engine.metrics.describe()
     explain = False
+    trace = False
     if stripped.startswith("\\explain "):
         explain = True
         stripped = stripped[len("\\explain "):]
+    elif stripped.startswith("\\trace "):
+        trace = True
+        stripped = stripped[len("\\trace "):]
     try:
-        return run_statement(engine, stripped, explain=explain)
+        return run_statement(engine, stripped, explain=explain, trace=trace)
     except ReproError as exc:
         return f"error: {exc}"
 

@@ -28,12 +28,14 @@ ordering, the relaxation rule, and BLAS routing can each be disabled.
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..errors import ExecutionError, UnsupportedQueryError
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from ..query.translate import CompiledQuery, translate
 from ..sql.ast import ColumnRef
 from ..sql.binder import bind
@@ -65,6 +67,10 @@ class LevelHeadedEngine:
         self.catalog = catalog if catalog is not None else Catalog()
         self.config = config if config is not None else EngineConfig()
         self.plan_cache = PlanCache(plan_cache_capacity)
+        #: engine-lifetime query metrics: queries served, p50/p95
+        #: compile/execute latencies, cache hit rates, rows and bytes
+        #: produced (:class:`~repro.obs.MetricsRegistry`).
+        self.metrics = MetricsRegistry()
 
     # -- data ingestion ---------------------------------------------------------
 
@@ -109,9 +115,17 @@ class LevelHeadedEngine:
         compiled = translate(bind(parse(sql), self.catalog))
         return build_plan(compiled, config or self.config)
 
-    def execute(self, plan: PhysicalPlan, collect_stats: bool = False) -> ResultTable:
+    def execute(
+        self, plan: PhysicalPlan, collect_stats: bool = False, trace: bool = False
+    ) -> ResultTable:
         """Execute a compiled plan and decode its result."""
-        return self._run_plan(plan, outcome=None, collect_stats=collect_stats)
+        if not trace:
+            return self._run_plan(plan, outcome=None, collect_stats=collect_stats)
+        tracer = Tracer()
+        with tracer.span("query"):
+            return self._run_plan(
+                plan, outcome=None, collect_stats=collect_stats, tracer=tracer
+            )
 
     def query(
         self,
@@ -119,6 +133,7 @@ class LevelHeadedEngine:
         params: ParamValues = None,
         config: Optional[EngineConfig] = None,
         collect_stats: bool = False,
+        trace: bool = False,
     ) -> ResultTable:
         """Run one SQL query end to end.
 
@@ -126,16 +141,31 @@ class LevelHeadedEngine:
         mapping).  Repeated queries reuse compiled plans through the
         engine's plan cache; with ``collect_stats=True`` the returned
         table's ``.stats`` carries the executor counters plus this
-        call's cache outcome.
+        call's cache outcome.  With ``trace=True`` the returned table's
+        ``.trace`` is the root :class:`~repro.obs.Span` of a lifecycle
+        trace (parse -> plan -> per-node execution -> decode), each span
+        carrying wall time, scoped counters, and key payloads.
         """
         params, config = self._shim_positional_config(params, config)
         cfg = config or self.config
         if params is not None:
             return self.prepare(sql, config=cfg).execute(
-                params, collect_stats=collect_stats
+                params, collect_stats=collect_stats, trace=trace
             )
-        plan, outcome = self._cached_plan(sql, cfg)
-        return self._run_plan(plan, outcome, collect_stats=collect_stats)
+        tracer = Tracer() if trace else NULL_TRACER
+        with tracer.span("query"):
+            t0 = time.perf_counter()
+            plan, outcome = self._cached_plan(sql, cfg, tracer)
+            compile_seconds = (
+                time.perf_counter() - t0 if outcome in (MISS, INVALIDATED) else None
+            )
+            return self._run_plan(
+                plan,
+                outcome,
+                collect_stats=collect_stats,
+                tracer=tracer,
+                compile_seconds=compile_seconds,
+            )
 
     def explain(
         self,
@@ -199,7 +229,9 @@ class LevelHeadedEngine:
             return None, params
         return params, config
 
-    def _cached_plan(self, sql: str, cfg: EngineConfig) -> Tuple[PhysicalPlan, str]:
+    def _cached_plan(
+        self, sql: str, cfg: EngineConfig, tracer=NULL_TRACER
+    ) -> Tuple[PhysicalPlan, str]:
         """Look up (or compile and cache) the plan for parameterless SQL.
 
         On a hit the SQL is never even parsed -- the normalized text,
@@ -207,28 +239,61 @@ class LevelHeadedEngine:
         the plan.
         """
         key = (normalize_sql(sql), (), cfg.fingerprint())
-        plan, outcome = self.plan_cache.lookup(key, self.catalog)
+        with tracer.span("plan_cache.lookup") as span:
+            plan, outcome = self.plan_cache.lookup(key, self.catalog)
+            span.set(outcome=outcome)
         if plan is None:
-            stmt = parse(sql)
+            with tracer.span("parse"):
+                stmt = parse(sql)
             if stmt.parameters:
                 raise UnsupportedQueryError(
                     "statement has parameter placeholders; pass params= or "
                     "use engine.prepare(sql)"
                 )
-            plan = build_plan(translate(bind(stmt, self.catalog)), cfg)
+            with tracer.span("bind"):
+                bound = bind(stmt, self.catalog)
+            with tracer.span("translate"):
+                compiled = translate(bound)
+            with tracer.span("physical_plan"):
+                plan = build_plan(compiled, cfg, tracer=tracer)
             self.plan_cache.store(key, plan)
         return plan, outcome
 
     def _run_plan(
-        self, plan: PhysicalPlan, outcome: Optional[str], collect_stats: bool = False
+        self,
+        plan: PhysicalPlan,
+        outcome: Optional[str],
+        collect_stats: bool = False,
+        tracer=None,
+        compile_seconds: Optional[float] = None,
     ) -> ResultTable:
-        if not collect_stats:
-            return self._decode(plan.compiled, plan, execute_plan(plan))
-        stats = ExecutionStats()
-        self._note_cache_outcome(stats, outcome)
-        raw = execute_plan(plan, stats=stats)
-        result = self._decode(plan.compiled, plan, raw)
-        result.stats = stats
+        tracer = tracer or NULL_TRACER
+        stats: Optional[ExecutionStats] = None
+        if collect_stats or tracer.active:
+            stats = ExecutionStats()
+            self._note_cache_outcome(stats, outcome)
+        t0 = time.perf_counter()
+        with tracer.span("execute") as span:
+            snapshot = stats.snapshot() if tracer.active else None
+            raw = execute_plan(plan, stats=stats, tracer=tracer)
+            if tracer.active:
+                span.set(mode=plan.mode, rows=raw.num_rows)
+                span.stats = stats.delta_since(snapshot)
+        with tracer.span("decode"):
+            result = self._decode(plan.compiled, plan, raw)
+        execute_seconds = time.perf_counter() - t0
+        if collect_stats:
+            result.stats = stats
+        if tracer.active:
+            result.trace = tracer.root
+        self.metrics.record_query(
+            execute_seconds,
+            compile_seconds=compile_seconds,
+            cache_outcome=outcome,
+            rows=result.num_rows,
+            bytes_materialized=result.nbytes,
+            groups_emitted=stats.groups_emitted if stats is not None else None,
+        )
         return result
 
     def _note_cache_outcome(self, stats: ExecutionStats, outcome: Optional[str]) -> None:
@@ -250,11 +315,20 @@ class LevelHeadedEngine:
             raise ValueError(f"explain format must be 'text' or 'json', got {format!r}")
         stats = None
         result = None
+        trace_root = None
         if analyze:
             stats = ExecutionStats()
             self._note_cache_outcome(stats, outcome)
-            raw = execute_plan(plan, stats=stats)
-            result = self._decode(plan.compiled, plan, raw)
+            tracer = Tracer()
+            with tracer.span("query"):
+                with tracer.span("execute") as span:
+                    snapshot = stats.snapshot()
+                    raw = execute_plan(plan, stats=stats, tracer=tracer)
+                    span.set(mode=plan.mode, rows=raw.num_rows)
+                    span.stats = stats.delta_since(snapshot)
+                with tracer.span("decode"):
+                    result = self._decode(plan.compiled, plan, raw)
+            trace_root = tracer.root
         cache = self.plan_cache.stats
         if format == "json":
             return {
@@ -264,6 +338,7 @@ class LevelHeadedEngine:
                 "domain_versions": dict(plan.domain_versions),
                 "stats": stats.as_dict() if stats is not None else None,
                 "result_rows": result.num_rows if result is not None else None,
+                "trace": trace_root.as_dict() if trace_root is not None else None,
             }
         lines = [plan.explain()]
         if outcome is not None:
@@ -272,6 +347,9 @@ class LevelHeadedEngine:
             lines.append(stats.describe())
         if result is not None:
             lines.append(f"result rows: {result.num_rows}")
+        if trace_root is not None:
+            lines.append("trace:")
+            lines.append(trace_root.render(1))
         return "\n".join(lines)
 
     # -- result decoding -------------------------------------------------------------

@@ -18,8 +18,10 @@ dictionaries -- counted in :attr:`recompiles`.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple
 
+from ..obs import NULL_TRACER, Tracer
 from ..query.translate import translate
 from ..sql.binder import bind
 from ..sql.params import (
@@ -32,6 +34,7 @@ from ..sql.params import (
 )
 from ..sql.parser import parse
 from ..xcution.plan import EngineConfig, PhysicalPlan, build_plan
+from .plan_cache import INVALIDATED, MISS
 
 
 class PreparedStatement:
@@ -71,17 +74,25 @@ class PreparedStatement:
             self.config.fingerprint(),
         )
 
-    def _plan_for(self, literals) -> Tuple[PhysicalPlan, str]:
+    def _plan_for(self, literals, tracer=NULL_TRACER) -> Tuple[PhysicalPlan, str]:
         engine = self._engine
         key = self._cache_key(literals)
-        plan, outcome = engine.plan_cache.lookup(key, engine.catalog)
+        with tracer.span("plan_cache.lookup") as span:
+            plan, outcome = engine.plan_cache.lookup(key, engine.catalog)
+            span.set(outcome=outcome)
         if plan is None:
-            stmt = (
-                substitute_parameters(self._stmt, literals)
-                if self._stmt.parameters
-                else self._stmt
-            )
-            plan = build_plan(translate(bind(stmt, engine.catalog)), self.config)
+            with tracer.span("parse"):
+                stmt = (
+                    substitute_parameters(self._stmt, literals)
+                    if self._stmt.parameters
+                    else self._stmt
+                )
+            with tracer.span("bind"):
+                bound = bind(stmt, engine.catalog)
+            with tracer.span("translate"):
+                compiled = translate(bound)
+            with tracer.span("physical_plan"):
+                plan = build_plan(compiled, self.config, tracer=tracer)
             engine.plan_cache.store(key, plan)
             if key in self._seen_keys:
                 self.recompiles += 1
@@ -91,7 +102,12 @@ class PreparedStatement:
 
     # -- execution -----------------------------------------------------------
 
-    def execute(self, params: ParamValues = None, collect_stats: bool = False):
+    def execute(
+        self,
+        params: ParamValues = None,
+        collect_stats: bool = False,
+        trace: bool = False,
+    ):
         """Run the statement with ``params`` bound to its placeholders.
 
         ``params`` is a sequence for positional (``?``) placeholders or
@@ -99,12 +115,25 @@ class PreparedStatement:
         without placeholders.  Returns a
         :class:`~repro.core.result.ResultTable`; with
         ``collect_stats=True`` its ``.stats`` attribute carries the
-        executor counters plus this call's plan-cache outcome.
+        executor counters plus this call's plan-cache outcome, and with
+        ``trace=True`` its ``.trace`` carries the lifecycle span tree.
         """
         literals = bind_param_values(params, self.param_slots)
-        plan, outcome = self._plan_for(literals)
-        self.executions += 1
-        return self._engine._run_plan(plan, outcome, collect_stats=collect_stats)
+        tracer = Tracer() if trace else NULL_TRACER
+        with tracer.span("query"):
+            t0 = time.perf_counter()
+            plan, outcome = self._plan_for(literals, tracer)
+            compile_seconds = (
+                time.perf_counter() - t0 if outcome in (MISS, INVALIDATED) else None
+            )
+            self.executions += 1
+            return self._engine._run_plan(
+                plan,
+                outcome,
+                collect_stats=collect_stats,
+                tracer=tracer,
+                compile_seconds=compile_seconds,
+            )
 
     __call__ = execute
 

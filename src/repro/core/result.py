@@ -28,6 +28,21 @@ class ResultTable:
         #: populated by ``engine.query(..., collect_stats=True)`` /
         #: ``execute(plan, collect_stats=True)``; None otherwise.
         self.stats = None
+        #: populated by ``engine.query(..., trace=True)``: the root
+        #: :class:`~repro.obs.Span` of the query's lifecycle trace.
+        self.trace = None
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes materialized across the decoded result columns."""
+        total = 0
+        for column in self.columns.values():
+            array = np.asarray(column)
+            if array.dtype == object:
+                total += sum(len(str(v)) for v in array)
+            else:
+                total += int(array.nbytes)
+        return total
 
     def column(self, name: str) -> np.ndarray:
         return self.columns[name]

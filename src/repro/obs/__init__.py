@@ -1,0 +1,33 @@
+"""Observability for the query lifecycle: tracing and serving metrics.
+
+``repro.obs`` is the substrate the paper's cost attribution rests on
+(Section V's per-phase accounting, Figure 5b/5c) and the serving
+story's measurement layer: a span-based :class:`Tracer` that records
+where each query's time goes (parse -> bind -> translate -> decompose
+-> order search -> trie build -> per-GHD-node execution -> decode) and
+a process-wide :class:`MetricsRegistry` that accumulates cumulative
+counters and latency percentiles across queries.
+
+Entry points:
+
+* ``engine.query(sql, trace=True)`` -> ``result.trace`` (a :class:`Span`
+  tree);
+* ``engine.explain(sql, analyze=True)`` renders the trace as text or
+  JSON;
+* ``engine.metrics`` -- the engine's :class:`MetricsRegistry`;
+* the CLI's ``\\trace SELECT ...`` and ``\\metrics`` commands;
+* :func:`phase_times` aggregates a span tree for the bench harness.
+"""
+
+from .metrics import Histogram, MetricsRegistry
+from .trace import NULL_TRACER, NullTracer, Span, Tracer, phase_times
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "phase_times",
+]

@@ -1,0 +1,167 @@
+"""Process-wide serving metrics (``repro.obs``).
+
+A :class:`MetricsRegistry` hangs off each engine and accumulates
+cumulative counters and latency histograms across every query the
+engine serves: queries served, plan-cache hit rates, p50/p95 compile
+and execute times, groups emitted, bytes materialized.  Counters are
+guarded by a lock so background threads (the bench harness, a serving
+loop) can record concurrently.
+
+The histograms keep a bounded sample reservoir plus exact count / sum /
+min / max, so percentiles stay cheap and memory stays O(1) under heavy
+traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+#: bounded per-histogram sample buffer (ring of the most recent values).
+_MAX_SAMPLES = 4096
+
+
+class Histogram:
+    """Latency/size distribution: exact moments + recent-sample quantiles."""
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_next")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._next = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self._samples) < _MAX_SAMPLES:
+            self._samples.append(value)
+        else:
+            self._samples[self._next] = value
+            self._next = (self._next + 1) % _MAX_SAMPLES
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) over the reservoir."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class MetricsRegistry:
+    """Named cumulative counters and histograms, thread-safe."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def inc(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
+
+    def record_query(
+        self,
+        execute_seconds: float,
+        compile_seconds: Optional[float] = None,
+        cache_outcome: Optional[str] = None,
+        rows: int = 0,
+        bytes_materialized: int = 0,
+        groups_emitted: Optional[int] = None,
+    ) -> None:
+        """Record one served query (the engine calls this on every run)."""
+        self.inc("queries_served")
+        self.observe("execute_seconds", execute_seconds)
+        if compile_seconds is not None:
+            self.observe("compile_seconds", compile_seconds)
+        if cache_outcome is not None:
+            self.inc(f"plan_cache_{cache_outcome}")
+        self.inc("rows_emitted", rows)
+        self.inc("bytes_materialized", bytes_materialized)
+        if groups_emitted is not None:
+            self.inc("groups_emitted", groups_emitted)
+
+    # -- reading ------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        with self._lock:
+            return self._histograms.get(name)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Plan-cache hits over hit+miss lookups (0.0 before any lookup)."""
+        with self._lock:
+            hits = self._counters.get("plan_cache_hit", 0)
+            misses = self._counters.get("plan_cache_miss", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def as_dict(self) -> Dict:
+        """Everything, JSON-ready: counters, histograms, derived rates."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = {
+                name: histogram.as_dict()
+                for name, histogram in self._histograms.items()
+            }
+        return {
+            "counters": counters,
+            "histograms": histograms,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+    def describe(self) -> str:
+        """A printable multi-line summary (the CLI's ``\\metrics``)."""
+        snap = self.as_dict()
+        lines = ["metrics:"]
+        for name in sorted(snap["counters"]):
+            lines.append(f"  {name}: {snap['counters'][name]}")
+        lines.append(f"  cache_hit_rate: {snap['cache_hit_rate']:.3f}")
+        for name in sorted(snap["histograms"]):
+            h = snap["histograms"][name]
+            lines.append(
+                f"  {name}: n={h['count']} mean={h['mean'] * 1000:.3f}ms "
+                f"p50={h['p50'] * 1000:.3f}ms p95={h['p95'] * 1000:.3f}ms "
+                f"max={h['max'] * 1000:.3f}ms"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()

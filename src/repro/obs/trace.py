@@ -1,0 +1,204 @@
+"""Query-lifecycle tracing: nested wall-time spans (``repro.obs``).
+
+A :class:`Tracer` produces one tree of :class:`Span` objects per query
+-- parse, bind, translate, GHD decomposition, attribute-order search,
+trie builds, per-GHD-node execution, decode -- each carrying its wall
+time, an optional :class:`~repro.xcution.stats.ExecutionStats` delta
+scoped to that span, and key/value payloads (chosen order and its
+icost*weight cost, set-layout mix, plan-cache outcome, ...).
+
+Tracing is opt-in and zero-cost when off: every traced code path takes
+an optional tracer and falls back to the module-level :data:`NULL_TRACER`,
+whose ``span`` context manager allocates nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed phase of a query, with payload, stats, and children."""
+
+    __slots__ = ("name", "start", "end", "payload", "children", "stats")
+
+    def __init__(self, name: str, start: float = 0.0):
+        self.name = name
+        self.start = start
+        self.end = start
+        self.payload: Dict[str, object] = {}
+        self.children: List["Span"] = []
+        #: ExecutionStats counters scoped to this span (a plain dict of
+        #: counter deltas), set by executors that carry stats.
+        self.stats: Optional[Dict[str, int]] = None
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds spent inside this span (children included)."""
+        return max(0.0, self.end - self.start)
+
+    def set(self, **payload) -> "Span":
+        """Attach key/value payload entries to this span."""
+        self.payload.update(payload)
+        return self
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for the first descendant named ``name``."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        return [span for span in self.walk() if span.name == name]
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def as_dict(self) -> Dict:
+        """A JSON-ready rendering of the subtree."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "duration_ms": round(self.duration * 1000, 4),
+        }
+        if self.payload:
+            out["payload"] = {k: _jsonable(v) for k, v in self.payload.items()}
+        if self.stats:
+            out["stats"] = {k: v for k, v in self.stats.items() if v}
+        if self.children:
+            out["children"] = [child.as_dict() for child in self.children]
+        return out
+
+    def render(self, indent: int = 0) -> str:
+        """A printable span tree (one line per span, payload inline)."""
+        lines: List[str] = []
+        self._render_into(lines, indent)
+        return "\n".join(lines)
+
+    def _render_into(self, lines: List[str], indent: int) -> None:
+        parts = [f"{'  ' * indent}{self.name}: {self.duration * 1000:.3f}ms"]
+        if self.payload:
+            rendered = ", ".join(
+                f"{key}={_render_value(value)}" for key, value in self.payload.items()
+            )
+            parts.append(f" [{rendered}]")
+        if self.stats:
+            nonzero = ", ".join(f"{k}={v}" for k, v in self.stats.items() if v)
+            if nonzero:
+                parts.append(f" {{{nonzero}}}")
+        lines.append("".join(parts))
+        for child in self.children:
+            child._render_into(lines, indent + 1)
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration * 1000:.3f}ms, children={len(self.children)})"
+
+
+class Tracer:
+    """Builds one span tree; use ``with tracer.span(name): ...``."""
+
+    active = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self.root: Optional[Span] = None
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **payload):
+        span = Span(name, self._clock())
+        if payload:
+            span.payload.update(payload)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        elif self.root is None:
+            self.root = span
+        else:
+            # A second top-level span: graft it under the existing root
+            # so one query always yields one tree.
+            self.root.children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = self._clock()
+            self._stack.pop()
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def annotate(self, **payload) -> None:
+        """Attach payload to the innermost open span (no-op when idle)."""
+        if self._stack:
+            self._stack[-1].payload.update(payload)
+
+
+class _NullSpan:
+    """The shared inert span yielded by :data:`NULL_TRACER`."""
+
+    __slots__ = ()
+
+    def set(self, **payload) -> "_NullSpan":
+        return self
+
+    stats = None
+
+
+class NullTracer:
+    """A tracer that records nothing (the default for untraced runs)."""
+
+    active = False
+    root = None
+    current = None
+
+    @contextmanager
+    def span(self, name: str, **payload):
+        yield _NULL_SPAN
+
+    def annotate(self, **payload) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+#: module-level singleton: ``tracer or NULL_TRACER`` is the idiom every
+#: traced code path uses.
+NULL_TRACER = NullTracer()
+
+
+def phase_times(root: Span) -> Dict[str, float]:
+    """Aggregate wall seconds by span name across one tree.
+
+    A span's time includes its children's (it is wall time, not self
+    time), so summing phases at mixed depths double-counts; callers
+    usually aggregate the direct children of the root (the query's
+    sequential phases) or a single name like ``node.execute``.
+    """
+    out: Dict[str, float] = {}
+    for span in root.walk():
+        out[span.name] = out.get(span.name, 0.0) + span.duration
+    return out
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def _render_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_render_value(v) for v in value) + "]"
+    return str(value)

@@ -137,17 +137,34 @@ class BitSet:
 
     @property
     def min_value(self) -> int:
-        arr = self.to_array()
-        if arr.size == 0:
+        # Endpoint reads are on the optimizer's layout-guessing hot path:
+        # scan for the first non-zero word instead of materializing the
+        # whole member array.
+        word_index = self._first_nonzero_word()
+        if word_index < 0:
             raise ValueError("empty set has no minimum")
-        return int(arr[0])
+        word = int(self.words[word_index])
+        return self.base + (word_index << 6) + ((word & -word).bit_length() - 1)
 
     @property
     def max_value(self) -> int:
-        arr = self.to_array()
-        if arr.size == 0:
+        word_index = self._last_nonzero_word()
+        if word_index < 0:
             raise ValueError("empty set has no maximum")
-        return int(arr[-1])
+        word = int(self.words[word_index])
+        return self.base + (word_index << 6) + (word.bit_length() - 1)
+
+    def _first_nonzero_word(self) -> int:
+        if self.words.size == 0:
+            return -1
+        index = int(np.argmax(self.words != 0))
+        return index if self.words[index] else -1
+
+    def _last_nonzero_word(self) -> int:
+        if self.words.size == 0:
+            return -1
+        index = int(self.words.size - 1 - np.argmax(self.words[::-1] != 0))
+        return index if self.words[index] else -1
 
     def contains(self, value: int) -> bool:
         off = int(value) - self.base

@@ -96,11 +96,29 @@ class GroupAggregator:
             self._check_budget()
 
     def merge(self, other: "GroupAggregator") -> None:
-        """Fold another aggregator in (parfor partial results)."""
+        """Fold another aggregator in (parfor partial results).
+
+        The budget is re-checked unconditionally after every merge:
+        merges are rare (one per parfor chunk), and the merged state is
+        exactly where apportioned per-worker budgets could otherwise add
+        up past the global ``memory_budget_bytes``.
+        """
         for key, value in other.groups.items():
             self.add(key, value)
         self._batches.extend(other._batches)
         self._batch_rows += other._batch_rows
+        if self._budget is not None:
+            self._check_budget()
+
+    def check_budget(self) -> None:
+        """Force a budget check now (end-of-node, post-merge).
+
+        The incremental checks fire only every ``_BUDGET_CHECK_EVERY``
+        new groups; executors call this once the node's state is
+        complete so an over-budget aggregation is reported
+        deterministically regardless of scale.
+        """
+        self._check_budget()
 
     def _check_budget(self) -> None:
         self._since_check = 0

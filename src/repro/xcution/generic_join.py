@@ -26,7 +26,7 @@ import numpy as np
 from ..errors import ExecutionError
 from ..sets.ops import intersect_many
 from .aggregator import GroupAggregator
-from .parfor import parfor_chunks
+from .parfor import chunk_slices, parfor_chunks
 from .plan import EngineConfig, NodePlan, RelationBinding
 from .stats import ExecutionStats
 
@@ -113,7 +113,11 @@ class NodeExecutor:
         if not self.attrs:
             raise ExecutionError("join node with no attributes (use the scan path)")
         self.stats.nodes_executed += 1
-        if not self.config.parallel and self._try_flat_two_level():
+        # The flat kernel is already fully vectorized (whole-node numpy
+        # passes), so it runs as-is under parallel=True too: chunking a
+        # single array kernel across threads would only change the
+        # counters, not the work.
+        if self._try_flat_two_level():
             self.stats.flat_kernels += 1
             self.stats.groups_emitted += len(self.aggregator)
             return self.aggregator
@@ -121,29 +125,80 @@ class NodeExecutor:
             self._run_parallel()
         else:
             self._recurse(0, ())
+        self.aggregator.check_budget()
         self.stats.groups_emitted += len(self.aggregator)
         return self.aggregator
 
     def _run_parallel(self) -> None:
-        """parfor over the outermost loop (Section III-D)."""
+        """parfor over the outermost loop (Section III-D).
+
+        Each worker gets a *private* ``ExecutionStats`` and a *private*
+        aggregator whose memory budget is its share of the configured
+        ``memory_budget_bytes``; partial results are merged in chunk
+        order after ``parfor_chunks`` completes, so repeated runs yield
+        byte-identical counters and the aggregate state never exceeds
+        the global budget (re-checked on every merge).  Counters that
+        count *kernel invocations* (a vectorized tail or a relaxed
+        union applied to the whole outer intersection) are normalized
+        back to one logical invocation so parallel stats match the
+        serial run exactly.
+        """
         arr, child_ids = self._intersect_at(0)
         if arr.size == 0:
             return
         parts = self.at_attr[0]
+        n_chunks = len(chunk_slices(arr.size, self.config.num_threads))
+        budget = self.config.memory_budget_bytes
+        worker_budget = None if budget is None else max(1, budget // n_chunks)
+        # add_batch_unique assumes a group key never repeats; when the
+        # chunked outermost attribute is materialized every chunk's keys
+        # carry a distinct prefix, but a projected-away outer attribute
+        # (the relaxed head shape) can emit the same group from several
+        # chunks -- those workers must merge through the dict path.
+        chunk_safe_unique = self.attrs[0] in self.materialized_set
 
-        def worker(sl: slice) -> GroupAggregator:
+        def worker(sl: slice):
+            worker_stats = ExecutionStats()
             clone = NodeExecutor(
-                self.node, self.bindings, _serial(self.config), stats=self.stats
+                self.node,
+                self.bindings,
+                _serial(self.config, worker_budget),
+                stats=worker_stats,
             )
+            if not chunk_safe_unique:
+                clone._unique_groups = False
             clone._drive_slice(parts, arr[sl], [c[sl] for c in child_ids])
-            return clone.aggregator
+            return clone.aggregator, worker_stats
 
-        for partial in parfor_chunks(worker, arr.size, self.config.num_threads):
+        for partial, worker_stats in parfor_chunks(
+            worker, arr.size, self.config.num_threads
+        ):
             self.aggregator.merge(partial)
+            self.stats.merge(worker_stats)
+        if n_chunks > 1:
+            self._normalize_chunked_kernel_counts(n_chunks)
+
+    def _normalize_chunked_kernel_counts(self, n_chunks: int) -> None:
+        """Count a chunked top-level kernel once, as the serial run does.
+
+        When the whole node is one vectorized tail (single attribute) or
+        one relaxed union (projected-away head), every chunk invokes the
+        kernel on its slice; logically it is still a single application.
+        """
+        last = len(self.attrs) - 1
+        if last == 0 and self._tail_ok(0):
+            self.stats.tail_batches -= n_chunks - 1
+        elif self.node.relaxed and last == 1 and self._relaxed_ok(0):
+            self.stats.relaxed_unions -= n_chunks - 1
 
     def _drive_slice(self, parts, arr, child_ids) -> None:
-        if len(self.attrs) == 1 and self._tail_ok(0):
+        # Mirror _recurse's dispatch at position 0 so parallel chunks
+        # run the same kernels (and count the same work) as serial.
+        last = len(self.attrs) - 1
+        if last == 0 and self._tail_ok(0):
             self._vector_tail(0, (), arr, child_ids)
+        elif self.node.relaxed and last == 1 and self._relaxed_ok(0):
+            self._relaxed_tail(0, (), arr, child_ids)
         else:
             self._loop(0, (), arr, child_ids)
 
@@ -357,9 +412,12 @@ class NodeExecutor:
     def _fetch(self, fetcher):
         codes = tuple(self.current_code[v] for v in fetcher.vertices)
         token = (fetcher.ref_id, codes)
+        # Count every request (not just cache misses): parfor workers
+        # keep private caches, so request counts are the only fetch
+        # metric identical across serial and parallel execution.
+        self.stats.fetches += 1
         if token in self._fetch_cache:
             return self._fetch_cache[token]
-        self.stats.fetches += 1
         node_id = fetcher.trie.lookup_node(codes)
         if node_id is None:
             value = None
@@ -511,7 +569,7 @@ class NodeExecutor:
             add(group_parts + (int(unique_keys[idx]),), sums[idx])
 
 
-def _serial(config: EngineConfig) -> EngineConfig:
+def _serial(config: EngineConfig, memory_budget_bytes=None) -> EngineConfig:
     from dataclasses import replace
 
-    return replace(config, parallel=False)
+    return replace(config, parallel=False, memory_budget_bytes=memory_budget_bytes)

@@ -6,6 +6,28 @@ splitting the outermost ``for`` over set values across cores
 threads (numpy kernels release the GIL; Python-level interpretation
 does not), so ``parallel=True`` is about exercising the execution
 structure, not about wall-clock speedups -- see DESIGN.md.
+
+Stats semantics
+    Workers never share mutable state: each parfor worker accumulates
+    into a **private** ``ExecutionStats`` and a **private** aggregator,
+    and the parent merges both in chunk order after every future has
+    resolved (``parfor_chunks`` yields results in submission order).
+    Repeated parallel runs of the same plan therefore produce
+    byte-identical counters, equal to the serial run's: per-value
+    counters (``loop_values``, ``intersections``, ``fetches``) sum
+    across chunks to the serial totals, and kernel-invocation counters
+    (``tail_batches``, ``relaxed_unions``) are normalized so a kernel
+    chunked across workers still counts as one logical application.
+
+Memory-budget semantics
+    ``memory_budget_bytes`` bounds the *global* aggregate state, not
+    per-worker state: each worker's aggregator receives
+    ``budget // n_chunks`` as its share (so no worker can singlehandedly
+    blow the global budget by a factor of ``num_threads``), and the
+    parent re-checks the full budget after every chunk merge, raising
+    ``OutOfMemoryBudgetError`` exactly as the serial path does.  A
+    worker's exception propagates out of ``parfor_chunks`` through its
+    future.
 """
 
 from __future__ import annotations

@@ -10,12 +10,14 @@ shapes.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..errors import PlanningError, UnsupportedQueryError
+from ..obs import NULL_TRACER
 from ..optimizer import OrderDecision, choose_order
 from ..query.decompose import choose_ghd, single_node_ghd
 from ..query.ghd import GHD, GHDNode
@@ -27,6 +29,21 @@ from ..storage.table import AnnotationRequest, Table
 from ..trie.trie import Trie
 
 
+def _default_parallel() -> bool:
+    """Default for ``EngineConfig.parallel``: the ``REPRO_PARALLEL`` env toggle.
+
+    CI runs the whole test suite once with ``REPRO_PARALLEL=1`` so that
+    thread-safety regressions in the parfor path fail loudly instead of
+    silently corrupting counters.
+    """
+    return os.environ.get("REPRO_PARALLEL", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
 @dataclass
 class EngineConfig:
     """Optimizer and executor toggles (the Table III ablations)."""
@@ -36,7 +53,7 @@ class EngineConfig:
     enable_relaxation: bool = True
     enable_blas: bool = True
     force_single_node_ghd: bool = False
-    parallel: bool = False
+    parallel: bool = field(default_factory=_default_parallel)
     num_threads: int = 4
     memory_budget_bytes: Optional[int] = None
     #: pin the root node's attribute order (Figure 5b/5c experiments
@@ -208,27 +225,44 @@ def _walk_plans(node: NodePlan, depth: int = 0):
 # ---------------------------------------------------------------------------
 
 
-def build_plan(compiled: CompiledQuery, config: Optional[EngineConfig] = None) -> PhysicalPlan:
-    """Lower a compiled query to a physical plan."""
+def build_plan(
+    compiled: CompiledQuery,
+    config: Optional[EngineConfig] = None,
+    tracer=None,
+) -> PhysicalPlan:
+    """Lower a compiled query to a physical plan.
+
+    ``tracer`` (optional, a :class:`repro.obs.Tracer`) records the
+    planning phases -- GHD decomposition, attribute-order search, trie
+    builds -- as nested spans.
+    """
     config = config or EngineConfig()
+    tracer = tracer or NULL_TRACER
     versions = _capture_domain_versions(compiled)
     if compiled.is_scan:
+        with tracer.span("plan.scan"):
+            scan = _build_scan(compiled, config)
         return PhysicalPlan(
             compiled=compiled,
             mode="scan",
-            scan=_build_scan(compiled, config),
+            scan=scan,
             config=config,
             domain_versions=versions,
         )
 
-    if config.force_single_node_ghd:
-        ghd = single_node_ghd(compiled.hypergraph)
-    else:
-        ghd = choose_ghd(compiled.hypergraph, required_root=compiled.required_root)
-    ghd = _pin_slot_edges_to_root(ghd, compiled)
+    with tracer.span("ghd.decompose") as span:
+        if config.force_single_node_ghd:
+            ghd = single_node_ghd(compiled.hypergraph)
+        else:
+            ghd = choose_ghd(compiled.hypergraph, required_root=compiled.required_root)
+        ghd = _pin_slot_edges_to_root(ghd, compiled)
+        if tracer.active:
+            span.set(nodes=sum(1 for _ in ghd.root.walk()))
 
     if config.enable_blas and config.enable_attribute_elimination:
-        blas = _try_blas_route(compiled, ghd)
+        with tracer.span("blas.route") as span:
+            blas = _try_blas_route(compiled, ghd)
+            span.set(routed=blas is not None)
         if blas is not None:
             return PhysicalPlan(
                 compiled=compiled,
@@ -239,7 +273,7 @@ def build_plan(compiled: CompiledQuery, config: Optional[EngineConfig] = None) -
                 domain_versions=versions,
             )
 
-    builder = _JoinPlanBuilder(compiled, config, ghd)
+    builder = _JoinPlanBuilder(compiled, config, ghd, tracer=tracer)
     root = builder.build()
     return PhysicalPlan(
         compiled=compiled,
@@ -296,10 +330,13 @@ def _pin_slot_edges_to_root(ghd: GHD, compiled: CompiledQuery) -> GHD:
 
 
 class _JoinPlanBuilder:
-    def __init__(self, compiled: CompiledQuery, config: EngineConfig, ghd: GHD):
+    def __init__(
+        self, compiled: CompiledQuery, config: EngineConfig, ghd: GHD, tracer=None
+    ):
         self.compiled = compiled
         self.config = config
         self.ghd = ghd
+        self.tracer = tracer or NULL_TRACER
         self.bound = compiled.bound
         # vertex -> attribute name, per alias
         self.attr_of: Dict[str, Dict[str, str]] = {}
@@ -351,19 +388,33 @@ class _JoinPlanBuilder:
             and self.config.enable_attribute_elimination
             and self._relaxation_safe(is_root)
         )
-        if is_root and self.config.forced_root_order is not None:
-            decision = self._forced_decision(
-                self.config.forced_root_order, attrs_pool, materialized_pool, local_edges
-            )
-        else:
-            decision = choose_order(
-                attrs_pool,
-                materialized=materialized_pool,
-                edges=local_edges,
-                fixed_materialized_order=self._root_order,
-                allow_relaxation=allow_relax,
-                pick_worst=not self.config.enable_attribute_ordering,
-            )
+        with self.tracer.span("attribute_order") as span:
+            if is_root and self.config.forced_root_order is not None:
+                decision = self._forced_decision(
+                    self.config.forced_root_order,
+                    attrs_pool,
+                    materialized_pool,
+                    local_edges,
+                )
+            else:
+                decision = choose_order(
+                    attrs_pool,
+                    materialized=materialized_pool,
+                    edges=local_edges,
+                    fixed_materialized_order=self._root_order,
+                    allow_relaxation=allow_relax,
+                    pick_worst=not self.config.enable_attribute_ordering,
+                )
+            if self.tracer.active:
+                span.set(
+                    order=list(decision.order),
+                    cost=decision.cost,
+                    relaxed=decision.relaxed,
+                    icost_weight={
+                        v: {"icost": c, "weight": w}
+                        for v, (c, w) in decision.per_vertex.items()
+                    },
+                )
         if is_root:
             self._root_order = decision.order
 
@@ -533,7 +584,10 @@ class _JoinPlanBuilder:
                     )
 
         row_mask = self._filter_mask(alias)
-        trie = table.get_trie(tuple(key_order), tuple(requests), row_mask=row_mask)
+        with self.tracer.span("trie.build", alias=alias) as span:
+            trie = table.get_trie(tuple(key_order), tuple(requests), row_mask=row_mask)
+            if self.tracer.active:
+                span.set(key_order=list(key_order), tuples=trie.num_tuples)
         return RelationBinding(
             alias=alias,
             trie=trie,

@@ -31,7 +31,10 @@ class ExecutionStats:
     relaxed_unions: int = 0
     #: flat two-attribute kernel runs (whole node, zero per-tuple work).
     flat_kernels: int = 0
-    #: group-annotation fetches that missed the cache.
+    #: group-annotation fetch requests issued during the walk.  Requests
+    #: are counted (rather than cache misses) so the value is identical
+    #: under serial and parallel execution: parfor workers keep private
+    #: fetch caches, so miss counts would depend on the chunking.
     fetches: int = 0
     #: output groups produced.
     groups_emitted: int = 0
@@ -49,6 +52,17 @@ class ExecutionStats:
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current counter values (for :meth:`delta_since` span scoping)."""
+        return self.as_dict()
+
+    def delta_since(self, snapshot: Dict[str, int]) -> Dict[str, int]:
+        """Counter increments since ``snapshot`` (tracer span payloads)."""
+        return {
+            name: getattr(self, name) - snapshot.get(name, 0)
+            for name in self.__dataclass_fields__
+        }
 
     def describe(self) -> str:
         parts = [f"{name}={value}" for name, value in self.as_dict().items()]

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import ExecutionError
 from ..la import blas
+from ..obs import NULL_TRACER
 from ..sql.ast import ColumnRef
 from ..sql.expressions import evaluate
 from ..storage.table import AnnotationRequest
@@ -55,14 +56,23 @@ class RawResult:
         return int(self.matrix.shape[0])
 
 
-def execute_plan(plan: PhysicalPlan, stats: Optional[ExecutionStats] = None) -> RawResult:
+def execute_plan(
+    plan: PhysicalPlan,
+    stats: Optional[ExecutionStats] = None,
+    tracer=None,
+) -> RawResult:
     """Execute a physical plan of any mode.
 
     ``stats`` (optional) accumulates executor counters for
     EXPLAIN ANALYZE; scan and BLAS plans leave it untouched.
+    ``tracer`` (optional, a :class:`repro.obs.Tracer`) records one span
+    per GHD node with its scoped counters, chosen order, and set-layout
+    mix.
     """
+    tracer = tracer or NULL_TRACER
     if plan.mode == "scan":
-        key_columns, matrix = execute_scan(plan.scan)
+        with tracer.span("scan.execute", alias=plan.scan.alias):
+            key_columns, matrix = execute_scan(plan.scan)
         layout = [("ann", g.id) for g in plan.scan.group_exprs]
         return RawResult(
             group_layout=layout,
@@ -72,12 +82,14 @@ def execute_plan(plan: PhysicalPlan, stats: Optional[ExecutionStats] = None) -> 
             keys_are_codes=False,
         )
     if plan.mode == "blas":
-        return _execute_blas(plan)
+        with tracer.span("blas.execute", einsum=plan.blas.einsum_spec):
+            return _execute_blas(plan)
     if plan.mode == "join":
-        aggregator = _execute_node(plan.root, plan.config, stats)
+        aggregator = _execute_node(plan.root, plan.config, stats, tracer)
         key_columns, matrix = aggregator.result_arrays()
         key_columns = list(key_columns)
-        _append_deferred_annotations(plan.root, key_columns, matrix)
+        with tracer.span("decode.deferred_annotations"):
+            _append_deferred_annotations(plan.root, key_columns, matrix)
         return RawResult(
             group_layout=list(plan.root.group_layout),
             key_columns=key_columns,
@@ -114,34 +126,70 @@ def _append_deferred_annotations(root: NodePlan, key_columns, matrix) -> None:
         key_columns.append(fetcher.trie.annotation(fetcher.ref_id).values[nodes])
 
 
-def _execute_node(node: NodePlan, config: EngineConfig, stats: Optional[ExecutionStats] = None):
+def _execute_node(
+    node: NodePlan,
+    config: EngineConfig,
+    stats: Optional[ExecutionStats] = None,
+    tracer=NULL_TRACER,
+):
     child_bindings = [
-        _materialize_child(child, config, stats) for child in node.children
+        _materialize_child(child, config, stats, tracer) for child in node.children
     ]
-    executor = NodeExecutor(
-        node, list(node.bindings) + child_bindings, config, stats=stats
-    )
-    return executor.run()
+    with tracer.span("node.execute") as span:
+        executor = NodeExecutor(
+            node, list(node.bindings) + child_bindings, config, stats=stats
+        )
+        snapshot = stats.snapshot() if (tracer.active and stats is not None) else None
+        aggregator = executor.run()
+        if tracer.active:
+            span.set(
+                attrs=list(node.attrs),
+                materialized=list(node.materialized),
+                relaxed=node.relaxed,
+                order_cost=node.decision.cost,
+                groups=len(aggregator),
+                layout_mix=_layout_mix(executor.bindings),
+            )
+            if snapshot is not None:
+                span.stats = stats.delta_since(snapshot)
+    return aggregator
+
+
+def _layout_mix(bindings) -> dict:
+    """Count bitset vs uint parent sets across a node's binding tries."""
+    dense = sparse = 0
+    for binding in bindings:
+        for level in binding.trie.levels:
+            chosen = int(np.count_nonzero(level.layouts))
+            dense += chosen
+            sparse += int(level.layouts.size) - chosen
+    return {"bitset": dense, "uint": sparse}
 
 
 def _materialize_child(
-    child: NodePlan, config: EngineConfig, stats: Optional[ExecutionStats] = None
+    child: NodePlan,
+    config: EngineConfig,
+    stats: Optional[ExecutionStats] = None,
+    tracer=NULL_TRACER,
 ) -> RelationBinding:
     """Run a child node and wrap its result as a trie-backed relation."""
     if not child.materialized:
         raise ExecutionError(
             "child GHD node shares no vertex with its parent (disconnected plan)"
         )
-    aggregator = _execute_node(child, config, stats)
+    aggregator = _execute_node(child, config, stats, tracer)
     key_columns, matrix = aggregator.result_arrays()
     arity = len(child.materialized)
     key_columns = [np.asarray(col, dtype=np.uint32) for col in key_columns]
     values = matrix[:, 0] if matrix.size else np.empty(0)
-    trie = build_trie(
-        key_columns,
-        child.materialized,
-        [AnnotationSpec(child.result_slot, values, level=arity - 1, combine="sum")],
-    )
+    with tracer.span("child.materialize", slot=child.result_slot) as span:
+        trie = build_trie(
+            key_columns,
+            child.materialized,
+            [AnnotationSpec(child.result_slot, values, level=arity - 1, combine="sum")],
+        )
+        if tracer.active:
+            span.set(tuples=trie.num_tuples)
     return RelationBinding(
         alias=f"__result_{child.result_slot}",
         trie=trie,

@@ -1,0 +1,146 @@
+"""Differential tests: parallel execution must equal serial, exactly.
+
+The parfor path chunks the outermost intersection across worker
+threads.  These tests pin down the contract the executor documents in
+``repro.xcution.parfor``:
+
+* result tables are identical to the serial run (same rows),
+* the merged :class:`~repro.xcution.stats.ExecutionStats` counters are
+  byte-identical to the serial run (workers accumulate into private
+  stats objects merged deterministically -- no lost updates, no
+  chunk-count leakage),
+* repeated parallel runs are deterministic,
+* the global ``memory_budget_bytes`` is respected: apportioned worker
+  budgets cannot add up past the configured limit.
+"""
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, LevelHeadedEngine, OutOfMemoryBudgetError
+from repro.datasets.tpch.queries import Q5
+from repro.la import matmul_sql, register_coo
+from tests.conftest import make_mini_tpch
+
+THREAD_COUNTS = [1, 2, 4]
+
+# TPC-H Q3's shape (customer |x| orders |x| lineitem, revenue per
+# order) restricted to the mini catalog's columns.
+Q3_MINI = """
+SELECT l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate
+FROM customer, orders, lineitem
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < date '1995-03-15'
+GROUP BY l_orderkey, o_orderdate
+"""
+
+
+def _run(catalog, sql, config):
+    """Compile + execute outside the plan cache: pure executor counters."""
+    engine = LevelHeadedEngine(catalog, config=config)
+    plan = engine.compile(sql)
+    result = engine.execute(plan, collect_stats=True)
+    return result, result.stats
+
+
+def _sparse_catalog(n=60, nnz=500, seed=11):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    flat = np.unique(rows * n + cols)
+    rows, cols = flat // n, flat % n
+    vals = rng.normal(size=rows.size)
+    engine = LevelHeadedEngine()
+    register_coo(engine.catalog, "m", rows, cols, vals, n=n, domain="dim")
+    return engine.catalog
+
+
+@pytest.fixture(scope="module")
+def tpch_catalog():
+    return make_mini_tpch()
+
+
+@pytest.fixture(scope="module")
+def smm_catalog():
+    return _sparse_catalog()
+
+
+@pytest.mark.parametrize("sql_name,sql", [("Q3", Q3_MINI), ("Q5", Q5)])
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+def test_tpch_parallel_matches_serial(tpch_catalog, sql_name, sql, threads):
+    serial_result, serial_stats = _run(tpch_catalog, sql, EngineConfig(parallel=False))
+    par_result, par_stats = _run(
+        tpch_catalog, sql, EngineConfig(parallel=True, num_threads=threads)
+    )
+    assert par_result.sorted_rows() == serial_result.sorted_rows()
+    assert par_stats.as_dict() == serial_stats.as_dict()
+
+
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+def test_smm_parallel_matches_serial(smm_catalog, threads):
+    sql = matmul_sql("m")
+    serial_result, serial_stats = _run(smm_catalog, sql, EngineConfig(parallel=False))
+    par_result, par_stats = _run(
+        smm_catalog, sql, EngineConfig(parallel=True, num_threads=threads)
+    )
+    assert par_result.sorted_rows() == serial_result.sorted_rows()
+    assert par_stats.as_dict() == serial_stats.as_dict()
+
+
+def test_parallel_repeated_runs_are_deterministic(tpch_catalog):
+    runs = [
+        _run(tpch_catalog, Q5, EngineConfig(parallel=True, num_threads=4))
+        for _ in range(3)
+    ]
+    first_rows = runs[0][0].sorted_rows()
+    first_stats = runs[0][1].as_dict()
+    for result, stats in runs[1:]:
+        assert result.sorted_rows() == first_rows
+        assert stats.as_dict() == first_stats
+
+
+def test_smm_parallel_repeated_runs_are_deterministic(smm_catalog):
+    sql = matmul_sql("m")
+    runs = [
+        _run(smm_catalog, sql, EngineConfig(parallel=True, num_threads=4))
+        for _ in range(3)
+    ]
+    first_rows = runs[0][0].sorted_rows()
+    first_stats = runs[0][1].as_dict()
+    for result, stats in runs[1:]:
+        assert result.sorted_rows() == first_rows
+        assert stats.as_dict() == first_stats
+
+
+@pytest.mark.parametrize("threads", [2, 4])
+def test_tight_budget_raises_under_parallel(smm_catalog, threads):
+    """Workers must not multiply the budget by the chunk count.
+
+    SMM on this catalog emits a few thousand groups; a budget sized
+    for a handful must fail whether one thread or four share it.
+    """
+    config = EngineConfig(
+        parallel=True, num_threads=threads, memory_budget_bytes=1000
+    )
+    engine = LevelHeadedEngine(smm_catalog, config=config)
+    with pytest.raises(OutOfMemoryBudgetError):
+        engine.query(matmul_sql("m"))
+
+
+def test_tight_budget_raises_serial_too(smm_catalog):
+    config = EngineConfig(parallel=False, memory_budget_bytes=1000)
+    engine = LevelHeadedEngine(smm_catalog, config=config)
+    with pytest.raises(OutOfMemoryBudgetError):
+        engine.query(matmul_sql("m"))
+
+
+def test_generous_budget_passes_under_parallel(smm_catalog):
+    config = EngineConfig(
+        parallel=True, num_threads=4, memory_budget_bytes=50 * 1024 * 1024
+    )
+    engine = LevelHeadedEngine(smm_catalog, config=config)
+    result = engine.query(matmul_sql("m"))
+    assert result.num_rows > 0

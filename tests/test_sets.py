@@ -160,6 +160,53 @@ def test_bitset_select():
     assert list(picked.to_array()) == [1, 3]
 
 
+def test_bitset_min_max_word_boundaries():
+    # endpoints at word edges, mid-word, and across zero words
+    for values in (
+        [0],
+        [63],
+        [64],
+        [0, 63],
+        [63, 64],
+        [5, 700],
+        [130, 140, 190],
+        [64, 128, 1000, 4097],
+    ):
+        bs = BitSet.from_values(np.array(values, dtype=np.uint32))
+        assert bs.min_value == values[0]
+        assert bs.max_value == values[-1]
+
+
+def test_bitset_min_max_no_full_materialization():
+    # the word-scan must not touch to_array()
+    class NoMaterialize(BitSet):
+        __slots__ = ()
+
+        def to_array(self):
+            raise AssertionError("min/max materialized the whole set")
+
+    src = BitSet.from_values(np.array([70, 100000], dtype=np.uint32))
+    bs = NoMaterialize(src.base, src.words)
+    assert bs.min_value == 70
+    assert bs.max_value == 100000
+
+
+def test_bitset_min_max_empty_raises():
+    bs = BitSet.empty()
+    with pytest.raises(ValueError):
+        _ = bs.min_value
+    with pytest.raises(ValueError):
+        _ = bs.max_value
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5000), min_size=1, unique=True))
+@settings(max_examples=100, deadline=None)
+def test_bitset_min_max_matches_members(values):
+    bs = BitSet.from_values(np.array(sorted(values), dtype=np.uint32))
+    assert bs.min_value == min(values)
+    assert bs.max_value == max(values)
+
+
 # ---------------------------------------------------------------------------
 # intersections
 # ---------------------------------------------------------------------------
