@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from ..errors import OutOfMemoryBudgetError
+from ..obs import Span
 
 
 @dataclass
@@ -90,8 +91,10 @@ class TracedMeasurement:
     #: mean wall seconds per top-level query phase (plan_cache.lookup,
     #: parse, ..., execute, decode) across the measured repeats.
     phase_seconds: Dict[str, float] = field(default_factory=dict)
-    #: the last run's full span tree (a :class:`repro.obs.Span`).
-    trace = None
+    #: the last run's full span tree.  The annotation matters: without
+    #: it this would be a plain class attribute, not a dataclass field,
+    #: and constructor assignment would silently not exist.
+    trace: Optional[Span] = None
 
 
 def run_traced(engine, sql: str, repeats: int = 7) -> TracedMeasurement:
@@ -122,11 +125,10 @@ def run_traced(engine, sql: str, repeats: int = 7) -> TracedMeasurement:
         outcome = Measurement("ok", seconds=seconds)
     except OutOfMemoryBudgetError:
         outcome = Measurement("oom")
-    traced = TracedMeasurement(
+    return TracedMeasurement(
         measurement=outcome,
         phase_seconds={
             name: total / runs for name, total in phase_totals.items()
         } if runs else {},
+        trace=last_trace,
     )
-    traced.trace = last_trace
-    return traced

@@ -1,0 +1,391 @@
+"""Deterministic benchmark-regression runner.
+
+``python -m repro.bench.regress [--quick]`` times a pinned workload --
+TPC-H Q1/Q3/Q5 at a small scale factor, the SMM and GEMV kernels, and
+triangle counting -- with fixed seeds and a best-of-k protocol, writes
+the results to ``BENCH_NNNN.json`` at the repo root, and diffs them
+against the most recent prior ``BENCH_*.json``.
+
+A workload regresses when its best time grew by more than
+``--threshold`` (default 1.3x) AND by more than ``--min-delta-ms``
+(default 1ms, so sub-millisecond jitter on trivial queries cannot trip
+the gate).  Regressions exit nonzero; comparisons against a baseline
+from a different host or a different ``--quick`` setting are downgraded
+to warnings, because wall-clock across machines is not comparable.
+
+The run is deterministic in everything but wall time: dataset seeds are
+pinned, plans are compiled once outside the timed region, and each
+result file records the row count and kernel-invariant work counters of
+a verification run so that a *logical* change to a workload (different
+rows, different intersections) is visible in the diff even when timing
+is not.
+
+``--inject-slowdown NAME`` multiplies one workload's runtime by
+``--inject-factor`` (sleeping proportionally) -- the CI self-test that
+proves the gate actually fires.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.engine import LevelHeadedEngine
+from ..datasets import TPCH_QUERIES, dense_matrix, dense_vector, generate_tpch, sparse_profile
+from ..la import matmul_sql, matvec_sql, register_coo, register_dense, register_vector
+from ..storage import Catalog, Table
+from ..storage.schema import Schema, key
+
+SCHEMA_VERSION = 1
+BENCH_PATTERN = re.compile(r"^BENCH_(\d{4})\.json$")
+#: the pinned workload names, in run order.
+WORKLOAD_NAMES = ("tpch_q1", "tpch_q3", "tpch_q5", "smm", "gemv", "triangle")
+
+TRIANGLE_SQL = (
+    "SELECT count(*) AS triangles FROM edges e1, edges e2, edges e3 "
+    "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src"
+)
+
+
+@dataclass
+class Workload:
+    """One pinned benchmark: a zero-argument run plus its invariants."""
+
+    name: str
+    run: Callable[[], object]
+    #: result rows of the verification run -- a logical fingerprint.
+    rows: int
+    #: parallel-invariant kernel counters from a profiled verification
+    #: run (see ``KernelProfiler.counters()``); informational.
+    work: Dict[str, object]
+
+
+def _sql_workload(name: str, engine: LevelHeadedEngine, sql: str) -> Workload:
+    """Compile once, verify once with the profiler, time ``execute``."""
+    plan = engine.compile(sql)
+    verification = engine.execute(plan, profile=True)
+    return Workload(
+        name=name,
+        run=lambda: engine.execute(plan),
+        rows=verification.num_rows,
+        work=verification.profile.counters(),
+    )
+
+
+def _graph_catalog(n_nodes: int, n_edges: int, seed: int) -> Catalog:
+    rng = np.random.default_rng(seed)
+    edges = sorted(
+        {(int(a), int(b)) for a, b in rng.integers(0, n_nodes, size=(n_edges, 2))}
+    )
+    catalog = Catalog()
+    catalog.register(
+        Table.from_columns(
+            Schema("__v", [key("v", domain="node")]), v=np.arange(n_nodes)
+        )
+    )
+    catalog.register(
+        Table.from_columns(
+            Schema("edges", [key("src", domain="node"), key("dst", domain="node")]),
+            src=[e[0] for e in edges],
+            dst=[e[1] for e in edges],
+        )
+    )
+    return catalog
+
+
+def build_workloads(names: Tuple[str, ...], quick: bool) -> List[Workload]:
+    """Construct the selected workloads with pinned seeds and scales."""
+    workloads: List[Workload] = []
+    tpch_engine: Optional[LevelHeadedEngine] = None
+
+    for name in names:
+        if name.startswith("tpch_"):
+            if tpch_engine is None:
+                catalog = generate_tpch(
+                    scale_factor=0.002 if quick else 0.01, seed=2018
+                )
+                tpch_engine = LevelHeadedEngine(catalog)
+            qname = name[len("tpch_"):].upper()
+            workloads.append(_sql_workload(name, tpch_engine, TPCH_QUERIES[qname]))
+        elif name == "smm":
+            (r, c, v), n = sparse_profile(
+                "nlp240", scale=0.1 if quick else 0.3, seed=2018
+            )
+            catalog = LevelHeadedEngine().catalog
+            register_coo(catalog, "m", r, c, v, n=n, domain="dim")
+            engine = LevelHeadedEngine(catalog)
+            workloads.append(_sql_workload(name, engine, matmul_sql("m")))
+        elif name == "gemv":
+            dense = dense_matrix("16384", scale=0.016 if quick else 0.032, seed=2018)
+            catalog = LevelHeadedEngine().catalog
+            register_dense(catalog, "m", dense, domain="dim")
+            register_vector(catalog, "x", dense_vector(dense.shape[0]), domain="dim")
+            engine = LevelHeadedEngine(catalog)
+            workloads.append(_sql_workload(name, engine, matvec_sql("m", "x")))
+        elif name == "triangle":
+            n_nodes, n_edges = (300, 4500) if quick else (600, 9000)
+            catalog = _graph_catalog(n_nodes, n_edges, seed=2018)
+            engine = LevelHeadedEngine(catalog)
+            workloads.append(_sql_workload(name, engine, TRIANGLE_SQL))
+        else:
+            raise SystemExit(f"unknown workload {name!r}; know {WORKLOAD_NAMES}")
+    return workloads
+
+
+def _inject(run: Callable[[], object], factor: float) -> Callable[[], object]:
+    """Wrap ``run`` so its wall time is multiplied by ``factor``."""
+
+    def slowed():
+        start = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - start
+        time.sleep(elapsed * (factor - 1.0))
+        return result
+
+    return slowed
+
+
+def time_workload(workload: Workload, best_of: int) -> Dict[str, object]:
+    """Best-of-k timing: k timed runs, report the minimum.
+
+    The minimum is the noise-robust statistic for a regression gate: it
+    estimates the workload's cost floor, which only code changes (not
+    scheduler noise) can raise.  The verification run inside
+    ``build_workloads`` already served as warm-up.
+    """
+    times: List[float] = []
+    for _ in range(max(1, best_of)):
+        start = time.perf_counter()
+        workload.run()
+        times.append(time.perf_counter() - start)
+    return {
+        "best_seconds": round(min(times), 6),
+        "times": [round(t, 6) for t in sorted(times)],
+        "rows": workload.rows,
+        "work": workload.work,
+    }
+
+
+def host_fingerprint() -> Dict[str, object]:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    }
+
+
+def _find_benches(out_dir: Path) -> List[Tuple[int, Path]]:
+    found = []
+    for entry in out_dir.iterdir():
+        match = BENCH_PATTERN.match(entry.name)
+        if match:
+            found.append((int(match.group(1)), entry))
+    return sorted(found)
+
+
+def latest_bench(out_dir: Path) -> Optional[Path]:
+    found = _find_benches(out_dir)
+    return found[-1][1] if found else None
+
+
+def next_bench_path(out_dir: Path) -> Path:
+    found = _find_benches(out_dir)
+    index = found[-1][0] + 1 if found else 3
+    return out_dir / f"BENCH_{index:04d}.json"
+
+
+def compare_runs(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold: float,
+    min_delta_ms: float,
+) -> Tuple[List[str], List[str]]:
+    """Diff two result documents.
+
+    Returns ``(regressions, warnings)``.  A cross-host or
+    quick-mismatch baseline downgrades every timing finding to a
+    warning; logical changes (row counts, work counters) are always
+    warnings -- they mean the workload itself changed, so the timing
+    comparison is apples to oranges.
+    """
+    regressions: List[str] = []
+    warnings: List[str] = []
+
+    comparable = True
+    if baseline.get("host") != current.get("host"):
+        warnings.append(
+            "baseline was recorded on a different host; timing diffs are advisory"
+        )
+        comparable = False
+    if baseline.get("quick") != current.get("quick"):
+        warnings.append(
+            "baseline used a different --quick setting; timing diffs are advisory"
+        )
+        comparable = False
+
+    base_queries = baseline.get("queries", {})
+    for name, entry in current.get("queries", {}).items():
+        prior = base_queries.get(name)
+        if prior is None:
+            warnings.append(f"{name}: no baseline entry (new workload)")
+            continue
+        if prior.get("rows") != entry.get("rows"):
+            warnings.append(
+                f"{name}: result rows changed "
+                f"{prior.get('rows')} -> {entry.get('rows')}"
+            )
+        if prior.get("work") != entry.get("work"):
+            warnings.append(f"{name}: kernel work counters changed")
+        old = prior.get("best_seconds")
+        new = entry.get("best_seconds")
+        if not old or new is None:
+            continue
+        ratio = new / old
+        delta_ms = (new - old) * 1000.0
+        if ratio > threshold and delta_ms > min_delta_ms:
+            line = (
+                f"{name}: {old * 1000:.2f}ms -> {new * 1000:.2f}ms "
+                f"({ratio:.2f}x, +{delta_ms:.2f}ms)"
+            )
+            if comparable:
+                regressions.append(line)
+            else:
+                warnings.append(line)
+    return regressions, warnings
+
+
+def run_regression(
+    quick: bool = False,
+    best_of: Optional[int] = None,
+    threshold: float = 1.3,
+    min_delta_ms: float = 1.0,
+    out_dir: Optional[Path] = None,
+    check_only: bool = False,
+    inject_slowdown: Optional[str] = None,
+    inject_factor: float = 2.0,
+    bless: bool = False,
+    workloads: Optional[Tuple[str, ...]] = None,
+    log: Callable[[str], None] = print,
+) -> int:
+    """Run the pinned workloads, diff against the latest baseline.
+
+    Returns the process exit status: 0 when clean (the new
+    ``BENCH_NNNN.json`` is written unless ``check_only``), 1 when a
+    regression fired (nothing is written unless ``bless``).
+    """
+    out_dir = Path(out_dir) if out_dir is not None else Path(__file__).resolve().parents[3]
+    best_of = best_of if best_of is not None else (3 if quick else 5)
+    names = workloads if workloads is not None else WORKLOAD_NAMES
+    if inject_slowdown is not None and inject_slowdown not in names:
+        raise SystemExit(
+            f"--inject-slowdown {inject_slowdown!r} is not among {names}"
+        )
+
+    log(f"regress: {len(names)} workloads, best of {best_of}"
+        + (" (quick)" if quick else ""))
+    built = build_workloads(tuple(names), quick)
+    document: Dict[str, object] = {
+        "bench_id": next_bench_path(out_dir).stem,
+        "schema_version": SCHEMA_VERSION,
+        "created": round(time.time(), 3),
+        "quick": quick,
+        "best_of": best_of,
+        "threshold": threshold,
+        "min_delta_ms": min_delta_ms,
+        "host": host_fingerprint(),
+        "queries": {},
+    }
+    for workload in built:
+        if workload.name == inject_slowdown:
+            workload.run = _inject(workload.run, inject_factor)
+        entry = time_workload(workload, best_of)
+        document["queries"][workload.name] = entry
+        log(f"  {workload.name}: best {entry['best_seconds'] * 1000:.2f}ms "
+            f"over {best_of} runs, {entry['rows']} rows")
+
+    baseline_path = latest_bench(out_dir)
+    regressions: List[str] = []
+    if baseline_path is None:
+        log("regress: no prior BENCH_*.json; nothing to compare against")
+    else:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        regressions, warnings = compare_runs(
+            baseline, document, threshold, min_delta_ms
+        )
+        log(f"regress: compared against {baseline_path.name}")
+        for line in warnings:
+            log(f"  warning: {line}")
+        for line in regressions:
+            log(f"  REGRESSION: {line}")
+
+    status = 1 if regressions else 0
+    should_write = not check_only and (status == 0 or bless)
+    if should_write:
+        target = next_bench_path(out_dir)
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        log(f"regress: wrote {target}")
+    elif status == 0:
+        log("regress: check-only, nothing written")
+    else:
+        log("regress: regressions found, nothing written (use --bless to override)")
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.regress",
+        description="deterministic benchmark-regression gate",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small scales, best of 3")
+    parser.add_argument("--best-of", type=int, default=None,
+                        help="timed runs per workload (default 3 quick / 5 full)")
+    parser.add_argument("--threshold", type=float, default=1.3,
+                        help="regression ratio gate (default 1.3x)")
+    parser.add_argument("--min-delta-ms", type=float, default=1.0,
+                        help="ignore regressions smaller than this absolute delta")
+    parser.add_argument("--out-dir", type=Path, default=None,
+                        help="where BENCH_*.json live (default: repo root)")
+    parser.add_argument("--check-only", action="store_true",
+                        help="compare but never write a new BENCH file")
+    parser.add_argument("--inject-slowdown", default=None, metavar="NAME",
+                        help="self-test: slow one workload down artificially")
+    parser.add_argument("--inject-factor", type=float, default=2.0,
+                        help="slowdown multiplier for --inject-slowdown")
+    parser.add_argument("--bless", action="store_true",
+                        help="write the new BENCH file even with regressions")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated subset of " + ",".join(WORKLOAD_NAMES))
+    args = parser.parse_args(argv)
+
+    workloads = tuple(args.workloads.split(",")) if args.workloads else None
+    return run_regression(
+        quick=args.quick,
+        best_of=args.best_of,
+        threshold=args.threshold,
+        min_delta_ms=args.min_delta_ms,
+        out_dir=args.out_dir,
+        check_only=args.check_only,
+        inject_slowdown=args.inject_slowdown,
+        inject_factor=args.inject_factor,
+        bless=args.bless,
+        workloads=workloads,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,8 +11,10 @@ Usage::
 ``<table>.tbl`` files — dbgen-style).  Inside the shell, ``\\d`` lists
 tables, ``\\d name`` shows a schema, ``\\explain SELECT …`` prints the
 chosen plan, ``\\trace SELECT …`` runs a statement and prints its
-lifecycle span tree, ``\\metrics`` prints the engine's cumulative
-serving metrics, and ``\\q`` quits.
+lifecycle span tree, ``\\profile SELECT …`` runs a statement and prints
+its per-trie-level kernel profile (collapsed-stack flamegraph text),
+``\\metrics`` prints the engine's cumulative serving metrics, and
+``\\q`` quits.
 """
 
 from __future__ import annotations
@@ -46,17 +48,23 @@ def _describe_schema(engine: LevelHeadedEngine, name: str) -> str:
 
 
 def run_statement(
-    engine: LevelHeadedEngine, sql: str, explain: bool = False, trace: bool = False
+    engine: LevelHeadedEngine,
+    sql: str,
+    explain: bool = False,
+    trace: bool = False,
+    profile: bool = False,
 ) -> str:
-    """Execute one statement (or explain/trace it) and render the output."""
+    """Execute one statement (or explain/trace/profile it) and render it."""
     if explain:
         return engine.explain(sql)
     start = time.perf_counter()
-    result = engine.query(sql, trace=trace)
+    result = engine.query(sql, trace=trace, profile=profile)
     elapsed = (time.perf_counter() - start) * 1000
     text = f"{result.to_text()}\n({result.num_rows} rows in {elapsed:.1f}ms)"
     if trace and result.trace is not None:
         text += "\n" + result.trace.render()
+    if profile and result.profile is not None:
+        text += "\n" + result.profile.render()
     return text
 
 
@@ -75,14 +83,20 @@ def _handle_line(engine: LevelHeadedEngine, line: str) -> Optional[str]:
         return engine.metrics.describe()
     explain = False
     trace = False
+    profile = False
     if stripped.startswith("\\explain "):
         explain = True
         stripped = stripped[len("\\explain "):]
     elif stripped.startswith("\\trace "):
         trace = True
         stripped = stripped[len("\\trace "):]
+    elif stripped.startswith("\\profile "):
+        profile = True
+        stripped = stripped[len("\\profile "):]
     try:
-        return run_statement(engine, stripped, explain=explain, trace=trace)
+        return run_statement(
+            engine, stripped, explain=explain, trace=trace, profile=profile
+        )
     except ReproError as exc:
         return f"error: {exc}"
 

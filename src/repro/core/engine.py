@@ -35,7 +35,8 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..errors import ExecutionError, UnsupportedQueryError
-from ..obs import NULL_TRACER, MetricsRegistry, Tracer
+from ..obs import NULL_TRACER, KernelProfiler, MetricsRegistry, QueryLog, Tracer
+from ..obs import activate as _activate_profiler
 from ..query.translate import CompiledQuery, translate
 from ..sql.ast import ColumnRef
 from ..sql.binder import bind
@@ -71,6 +72,11 @@ class LevelHeadedEngine:
         #: compile/execute latencies, cache hit rates, rows and bytes
         #: produced (:class:`~repro.obs.MetricsRegistry`).
         self.metrics = MetricsRegistry()
+        #: optional :class:`~repro.obs.QueryLog`: when attached, every
+        #: served query appends one JSONL event; with a slow-query
+        #: threshold configured, ``query()`` forces tracing so slow
+        #: events capture the plan and span tree.
+        self.query_log: Optional[QueryLog] = None
 
     # -- data ingestion ---------------------------------------------------------
 
@@ -116,15 +122,25 @@ class LevelHeadedEngine:
         return build_plan(compiled, config or self.config)
 
     def execute(
-        self, plan: PhysicalPlan, collect_stats: bool = False, trace: bool = False
+        self,
+        plan: PhysicalPlan,
+        collect_stats: bool = False,
+        trace: bool = False,
+        profile: bool = False,
     ) -> ResultTable:
         """Execute a compiled plan and decode its result."""
         if not trace:
-            return self._run_plan(plan, outcome=None, collect_stats=collect_stats)
+            return self._run_plan(
+                plan, outcome=None, collect_stats=collect_stats, profile=profile
+            )
         tracer = Tracer()
         with tracer.span("query"):
             return self._run_plan(
-                plan, outcome=None, collect_stats=collect_stats, tracer=tracer
+                plan,
+                outcome=None,
+                collect_stats=collect_stats,
+                tracer=tracer,
+                profile=profile,
             )
 
     def query(
@@ -134,6 +150,7 @@ class LevelHeadedEngine:
         config: Optional[EngineConfig] = None,
         collect_stats: bool = False,
         trace: bool = False,
+        profile: bool = False,
     ) -> ResultTable:
         """Run one SQL query end to end.
 
@@ -144,15 +161,18 @@ class LevelHeadedEngine:
         call's cache outcome.  With ``trace=True`` the returned table's
         ``.trace`` is the root :class:`~repro.obs.Span` of a lifecycle
         trace (parse -> plan -> per-node execution -> decode), each span
-        carrying wall time, scoped counters, and key payloads.
+        carrying wall time, scoped counters, and key payloads.  With
+        ``profile=True`` the returned table's ``.profile`` is a
+        :class:`~repro.obs.KernelProfiler` attributing execution per
+        trie level and intersection kernel.
         """
         params, config = self._shim_positional_config(params, config)
         cfg = config or self.config
         if params is not None:
             return self.prepare(sql, config=cfg).execute(
-                params, collect_stats=collect_stats, trace=trace
+                params, collect_stats=collect_stats, trace=trace, profile=profile
             )
-        tracer = Tracer() if trace else NULL_TRACER
+        tracer = Tracer() if (trace or self._forces_trace()) else NULL_TRACER
         with tracer.span("query"):
             t0 = time.perf_counter()
             plan, outcome = self._cached_plan(sql, cfg, tracer)
@@ -165,6 +185,9 @@ class LevelHeadedEngine:
                 collect_stats=collect_stats,
                 tracer=tracer,
                 compile_seconds=compile_seconds,
+                profile=profile,
+                sql=sql,
+                expose_trace=trace,
             )
 
     def explain(
@@ -259,6 +282,24 @@ class LevelHeadedEngine:
             self.plan_cache.store(key, plan)
         return plan, outcome
 
+    def _forces_trace(self) -> bool:
+        """Whether the attached query log needs every query traced."""
+        return self.query_log is not None and self.query_log.captures_traces
+
+    def enable_query_log(
+        self, sink, slow_query_seconds: Optional[float] = None
+    ) -> QueryLog:
+        """Attach a :class:`~repro.obs.QueryLog` writing to ``sink``.
+
+        ``sink`` is a path or file-like object; one JSON line per served
+        query.  With ``slow_query_seconds`` set, queries at or above the
+        threshold also capture the plan text and full span tree (the
+        engine traces every query while such a log is attached).
+        Returns the log; detach with ``engine.query_log = None``.
+        """
+        self.query_log = QueryLog(sink, slow_query_seconds=slow_query_seconds)
+        return self.query_log
+
     def _run_plan(
         self,
         plan: PhysicalPlan,
@@ -266,16 +307,30 @@ class LevelHeadedEngine:
         collect_stats: bool = False,
         tracer=None,
         compile_seconds: Optional[float] = None,
+        profile: bool = False,
+        sql: Optional[str] = None,
+        expose_trace: bool = True,
     ) -> ResultTable:
         tracer = tracer or NULL_TRACER
         stats: Optional[ExecutionStats] = None
         if collect_stats or tracer.active:
             stats = ExecutionStats()
             self._note_cache_outcome(stats, outcome)
+        profiler = KernelProfiler() if profile else None
         t0 = time.perf_counter()
         with tracer.span("execute") as span:
             snapshot = stats.snapshot() if tracer.active else None
-            raw = execute_plan(plan, stats=stats, tracer=tracer)
+            if profiler is not None:
+                # activate around execution only: the profile attributes
+                # execute_plan, not compilation or result decode
+                t_exec = time.perf_counter()
+                with _activate_profiler(profiler):
+                    raw = execute_plan(
+                        plan, stats=stats, tracer=tracer, profiler=profiler
+                    )
+                profiler.execute_seconds = time.perf_counter() - t_exec
+            else:
+                raw = execute_plan(plan, stats=stats, tracer=tracer)
             if tracer.active:
                 span.set(mode=plan.mode, rows=raw.num_rows)
                 span.stats = stats.delta_since(snapshot)
@@ -284,8 +339,12 @@ class LevelHeadedEngine:
         execute_seconds = time.perf_counter() - t0
         if collect_stats:
             result.stats = stats
-        if tracer.active:
+        if tracer.active and expose_trace:
+            # a trace forced by the slow-query log stays internal: the
+            # caller didn't ask for result.trace
             result.trace = tracer.root
+        if profiler is not None:
+            result.profile = profiler
         self.metrics.record_query(
             execute_seconds,
             compile_seconds=compile_seconds,
@@ -294,6 +353,22 @@ class LevelHeadedEngine:
             bytes_materialized=result.nbytes,
             groups_emitted=stats.groups_emitted if stats is not None else None,
         )
+        log = self.query_log
+        if log is not None:
+            slow = (
+                log.slow_query_seconds is not None
+                and execute_seconds >= log.slow_query_seconds
+            )
+            log.record(
+                sql=sql,
+                mode=plan.mode,
+                cache_outcome=outcome,
+                compile_seconds=compile_seconds,
+                execute_seconds=execute_seconds,
+                rows=result.num_rows,
+                plan_text=plan.explain() if slow else None,
+                trace_root=tracer.root if slow else None,
+            )
         return result
 
     def _note_cache_outcome(self, stats: ExecutionStats, outcome: Optional[str]) -> None:

@@ -107,6 +107,7 @@ class PreparedStatement:
         params: ParamValues = None,
         collect_stats: bool = False,
         trace: bool = False,
+        profile: bool = False,
     ):
         """Run the statement with ``params`` bound to its placeholders.
 
@@ -115,11 +116,14 @@ class PreparedStatement:
         without placeholders.  Returns a
         :class:`~repro.core.result.ResultTable`; with
         ``collect_stats=True`` its ``.stats`` attribute carries the
-        executor counters plus this call's plan-cache outcome, and with
-        ``trace=True`` its ``.trace`` carries the lifecycle span tree.
+        executor counters plus this call's plan-cache outcome, with
+        ``trace=True`` its ``.trace`` carries the lifecycle span tree,
+        and with ``profile=True`` its ``.profile`` carries the
+        per-trie-level kernel profile.
         """
         literals = bind_param_values(params, self.param_slots)
-        tracer = Tracer() if trace else NULL_TRACER
+        engine = self._engine
+        tracer = Tracer() if (trace or engine._forces_trace()) else NULL_TRACER
         with tracer.span("query"):
             t0 = time.perf_counter()
             plan, outcome = self._plan_for(literals, tracer)
@@ -127,12 +131,15 @@ class PreparedStatement:
                 time.perf_counter() - t0 if outcome in (MISS, INVALIDATED) else None
             )
             self.executions += 1
-            return self._engine._run_plan(
+            return engine._run_plan(
                 plan,
                 outcome,
                 collect_stats=collect_stats,
                 tracer=tracer,
                 compile_seconds=compile_seconds,
+                profile=profile,
+                sql=self.sql,
+                expose_trace=trace,
             )
 
     __call__ = execute

@@ -31,6 +31,10 @@ class ResultTable:
         #: populated by ``engine.query(..., trace=True)``: the root
         #: :class:`~repro.obs.Span` of the query's lifecycle trace.
         self.trace = None
+        #: populated by ``engine.query(..., profile=True)``: the
+        #: :class:`~repro.obs.KernelProfiler` with per-trie-level kernel
+        #: attribution for this query's execution.
+        self.profile = None
 
     @property
     def nbytes(self) -> int:

@@ -12,22 +12,44 @@ Entry points:
 
 * ``engine.query(sql, trace=True)`` -> ``result.trace`` (a :class:`Span`
   tree);
+* ``engine.query(sql, profile=True)`` -> ``result.profile`` (a
+  :class:`KernelProfiler` with per-trie-level kernel attribution);
 * ``engine.explain(sql, analyze=True)`` renders the trace as text or
   JSON;
 * ``engine.metrics`` -- the engine's :class:`MetricsRegistry`;
-* the CLI's ``\\trace SELECT ...`` and ``\\metrics`` commands;
+  ``engine.metrics.to_prometheus()`` is the scrape endpoint payload;
+* :class:`QueryLog` -- a JSONL query-event log with slow-query plan and
+  trace capture (``engine.enable_query_log``);
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` -- load a span
+  tree into ``chrome://tracing``;
+* the CLI's ``\\trace``, ``\\profile``, and ``\\metrics`` commands;
 * :func:`phase_times` aggregates a span tree for the bench harness.
 """
 
+from .export import (
+    QueryLog,
+    render_chrome_trace,
+    to_chrome_trace,
+    to_prometheus,
+    write_chrome_trace,
+)
 from .metrics import Histogram, MetricsRegistry
+from .profile import KernelProfiler, activate
 from .trace import NULL_TRACER, NullTracer, Span, Tracer, phase_times
 
 __all__ = [
     "Histogram",
+    "KernelProfiler",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "QueryLog",
     "Span",
     "Tracer",
+    "activate",
     "phase_times",
+    "render_chrome_trace",
+    "to_chrome_trace",
+    "to_prometheus",
+    "write_chrome_trace",
 ]

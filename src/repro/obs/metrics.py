@@ -58,6 +58,17 @@ class Histogram:
         rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
         return ordered[rank]
 
+    @property
+    def samples(self) -> int:
+        """Values currently held in the reservoir (<= ``count``).
+
+        Once ``count`` exceeds the reservoir capacity the ring has
+        wrapped: percentiles are computed over the most recent
+        ``samples`` observations only and exporters should mark them as
+        approximate.
+        """
+        return len(self._samples)
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "count": self.count,
@@ -67,6 +78,9 @@ class Histogram:
             "max": self.max if self.max is not None else 0.0,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            # reservoir size: when count > samples the ring wrapped and
+            # the quantiles above are approximate (recent window only).
+            "samples": self.samples,
         }
 
 
@@ -132,18 +146,38 @@ class MetricsRegistry:
         return hits / total if total else 0.0
 
     def as_dict(self) -> Dict:
-        """Everything, JSON-ready: counters, histograms, derived rates."""
+        """Everything, JSON-ready: counters, histograms, derived rates.
+
+        The whole snapshot is taken under one lock acquisition and the
+        derived cache hit rate is computed from *that* snapshot's
+        counters, so the rate always agrees with the counters it is
+        reported next to (re-reading live counters could observe a
+        concurrent increment in between).
+        """
         with self._lock:
             counters = dict(self._counters)
             histograms = {
                 name: histogram.as_dict()
                 for name, histogram in self._histograms.items()
             }
+        hits = counters.get("plan_cache_hit", 0)
+        misses = counters.get("plan_cache_miss", 0)
+        total = hits + misses
         return {
             "counters": counters,
             "histograms": histograms,
-            "cache_hit_rate": self.cache_hit_rate,
+            "cache_hit_rate": hits / total if total else 0.0,
         }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of this registry.
+
+        Delegates to :func:`repro.obs.export.to_prometheus`; exposed
+        here so serving code can scrape ``engine.metrics`` directly.
+        """
+        from .export import to_prometheus
+
+        return to_prometheus(self)
 
     def describe(self) -> str:
         """A printable multi-line summary (the CLI's ``\\metrics``)."""

@@ -94,6 +94,11 @@ class BitSet:
             self._cardinality = int(popcount64(self.words).sum())
         return self._cardinality
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the word buffer (kernel-profiler accounting)."""
+        return int(self.words.nbytes)
+
     def __len__(self) -> int:
         return self.cardinality
 

@@ -50,6 +50,11 @@ class UintSet:
     def cardinality(self) -> int:
         return int(self.values.size)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the value buffer (kernel-profiler accounting)."""
+        return int(self.values.nbytes)
+
     def __len__(self) -> int:
         return int(self.values.size)
 

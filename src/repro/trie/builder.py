@@ -11,12 +11,14 @@ duplicates -- Sections II-C and IV-A).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
 from ..errors import SchemaError
+from ..obs import profile as _profile
 from ..sets.layout import DENSITY_FACTOR, MIN_BITSET_CARDINALITY, Layout
 from .dictionary import Dictionary
 from .trie import Annotation, Trie, TrieLevel
@@ -99,7 +101,39 @@ def build_trie(
     attribute in trie-level order.  ``domain_sizes`` (dictionary sizes
     per level) enable the completely-dense-level detection used by the
     optimizer's icost-0 rule and the BLAS routing.
+
+    When a :class:`repro.obs.KernelProfiler` is active (builds of child
+    results during execution), the build's wall time and the resulting
+    trie's per-level byte footprint are recorded.
     """
+    prof = _profile.ACTIVE
+    if prof is None:
+        return _build_trie_impl(
+            key_columns, key_attrs, annotations, domain_sizes, force_layout
+        )
+    start = time.perf_counter()
+    trie = _build_trie_impl(
+        key_columns, key_attrs, annotations, domain_sizes, force_layout
+    )
+    prof.record_trie_build(
+        attrs=key_attrs,
+        tuples=trie.num_tuples,
+        level_bytes=[
+            level.flat_values.nbytes + level.offsets.nbytes + level.layouts.nbytes
+            for level in trie.levels
+        ],
+        seconds=time.perf_counter() - start,
+    )
+    return trie
+
+
+def _build_trie_impl(
+    key_columns: Sequence[np.ndarray],
+    key_attrs: Sequence[str],
+    annotations: Sequence[AnnotationSpec] = (),
+    domain_sizes: Sequence[int] | None = None,
+    force_layout: Layout | None = None,
+) -> Trie:
     if not key_columns:
         raise SchemaError("a trie needs at least one key attribute")
     if len(key_columns) != len(key_attrs):

@@ -120,13 +120,21 @@ class GroupAggregator:
         """
         self._check_budget()
 
+    def approx_bytes(self) -> int:
+        """Approximate bytes held by the aggregation state.
+
+        Rough accounting -- key tuple plus float vector per group -- the
+        same estimate the memory budget is enforced against, also used
+        by the kernel profiler's per-node memory high-water.
+        """
+        per_group = 64 + 8 * (self._group_width + self.n_aggs)
+        return per_group * (len(self.groups) + self._batch_rows)
+
     def _check_budget(self) -> None:
         self._since_check = 0
         if self._budget is None:
             return
-        # rough accounting: key tuple + float vector per group
-        per_group = 64 + 8 * (self._group_width + self.n_aggs)
-        used = per_group * (len(self.groups) + self._batch_rows)
+        used = self.approx_bytes()
         if used > self._budget:
             raise OutOfMemoryBudgetError(
                 f"aggregation state exceeded memory budget "

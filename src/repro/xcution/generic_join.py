@@ -19,6 +19,7 @@ paths keep the interpreter competitive:
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -40,6 +41,7 @@ class NodeExecutor:
         bindings: Sequence[RelationBinding],
         config: Optional[EngineConfig] = None,
         stats: Optional[ExecutionStats] = None,
+        profiler=None,
     ):
         self.node = node
         self.stats = stats if stats is not None else ExecutionStats()
@@ -47,6 +49,14 @@ class NodeExecutor:
         self.config = config or EngineConfig()
         self.attrs = node.attrs
         n_attrs = len(self.attrs)
+        #: optional :class:`repro.obs.KernelProfiler`; when set, the
+        #: executor accumulates inclusive wall time per attribute
+        #: position in ``_level_incl`` (self time per trie level is
+        #: derived at the end of ``run``).
+        self.profiler = profiler
+        self._level_incl: Optional[List[float]] = (
+            [0.0] * n_attrs if profiler is not None else None
+        )
         position = {attr: i for i, attr in enumerate(self.attrs)}
 
         # participation map: at_attr[p] = [(binding index, trie level)]
@@ -117,9 +127,19 @@ class NodeExecutor:
         # passes), so it runs as-is under parallel=True too: chunking a
         # single array kernel across threads would only change the
         # counters, not the work.
-        if self._try_flat_two_level():
+        if self.profiler is not None:
+            start = time.perf_counter()
+            flat = self._try_flat_two_level()
+            if flat:
+                # the whole-node columnar kernel spans both levels;
+                # attribute it to the outermost
+                self._level_incl[0] += time.perf_counter() - start
+        else:
+            flat = self._try_flat_two_level()
+        if flat:
             self.stats.flat_kernels += 1
             self.stats.groups_emitted += len(self.aggregator)
+            self._record_profile()
             return self.aggregator
         if self.config.parallel:
             self._run_parallel()
@@ -127,7 +147,18 @@ class NodeExecutor:
             self._recurse(0, ())
         self.aggregator.check_budget()
         self.stats.groups_emitted += len(self.aggregator)
+        self._record_profile()
         return self.aggregator
+
+    def _record_profile(self) -> None:
+        if self.profiler is None:
+            return
+        self.profiler.record_node(
+            self.node.result_slot or "root",
+            self.attrs,
+            self._level_incl,
+            self.aggregator.approx_bytes(),
+        )
 
     def _run_parallel(self) -> None:
         """parfor over the outermost loop (Section III-D).
@@ -143,7 +174,10 @@ class NodeExecutor:
         back to one logical invocation so parallel stats match the
         serial run exactly.
         """
+        start = time.perf_counter() if self.profiler is not None else 0.0
         arr, child_ids = self._intersect_at(0)
+        if self.profiler is not None:
+            self._level_incl[0] += time.perf_counter() - start
         if arr.size == 0:
             return
         parts = self.at_attr[0]
@@ -164,17 +198,24 @@ class NodeExecutor:
                 self.bindings,
                 _serial(self.config, worker_budget),
                 stats=worker_stats,
+                profiler=self.profiler,
             )
             if not chunk_safe_unique:
                 clone._unique_groups = False
             clone._drive_slice(parts, arr[sl], [c[sl] for c in child_ids])
-            return clone.aggregator, worker_stats
+            return clone.aggregator, worker_stats, clone._level_incl
 
-        for partial, worker_stats in parfor_chunks(
+        for partial, worker_stats, worker_incl in parfor_chunks(
             worker, arr.size, self.config.num_threads
         ):
             self.aggregator.merge(partial)
             self.stats.merge(worker_stats)
+            if worker_incl is not None:
+                # sum of worker thread times: under parallel execution
+                # the per-level profile reports aggregate thread time,
+                # not wall time (the counters stay chunk-invariant)
+                for p, seconds in enumerate(worker_incl):
+                    self._level_incl[p] += seconds
         if n_chunks > 1:
             self._normalize_chunked_kernel_counts(n_chunks)
 
@@ -194,6 +235,7 @@ class NodeExecutor:
     def _drive_slice(self, parts, arr, child_ids) -> None:
         # Mirror _recurse's dispatch at position 0 so parallel chunks
         # run the same kernels (and count the same work) as serial.
+        start = time.perf_counter() if self.profiler is not None else 0.0
         last = len(self.attrs) - 1
         if last == 0 and self._tail_ok(0):
             self._vector_tail(0, (), arr, child_ids)
@@ -201,6 +243,8 @@ class NodeExecutor:
             self._relaxed_tail(0, (), arr, child_ids)
         else:
             self._loop(0, (), arr, child_ids)
+        if self.profiler is not None:
+            self._level_incl[0] += time.perf_counter() - start
 
     # -- recursion ------------------------------------------------------------
 
@@ -213,6 +257,8 @@ class NodeExecutor:
             parent = self.state[bi] if level_idx > 0 else 0
             level = self.bindings[bi].trie.level(level_idx)
             arr = level.values_for(parent)
+            if self.profiler is not None:
+                self.profiler.record_scan()
             if arr.size == 0:
                 return arr, []
             base = level.child_base(parent)
@@ -236,6 +282,18 @@ class NodeExecutor:
         return arr, child_ids
 
     def _recurse(self, p: int, group_parts: Tuple) -> None:
+        if self.profiler is None:
+            self._recurse_impl(p, group_parts)
+            return
+        start = time.perf_counter()
+        try:
+            self._recurse_impl(p, group_parts)
+        finally:
+            # inclusive time at position p (this level and deeper);
+            # _record_profile derives per-level self time by differencing
+            self._level_incl[p] += time.perf_counter() - start
+
+    def _recurse_impl(self, p: int, group_parts: Tuple) -> None:
         arr, child_ids = self._intersect_at(p)
         if arr.size == 0:
             return

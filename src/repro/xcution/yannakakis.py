@@ -11,6 +11,7 @@ aggregates.  Scan and BLAS plans dispatch to their own executors.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -60,6 +61,7 @@ def execute_plan(
     plan: PhysicalPlan,
     stats: Optional[ExecutionStats] = None,
     tracer=None,
+    profiler=None,
 ) -> RawResult:
     """Execute a physical plan of any mode.
 
@@ -67,7 +69,10 @@ def execute_plan(
     EXPLAIN ANALYZE; scan and BLAS plans leave it untouched.
     ``tracer`` (optional, a :class:`repro.obs.Tracer`) records one span
     per GHD node with its scoped counters, chosen order, and set-layout
-    mix.
+    mix.  ``profiler`` (optional, a :class:`repro.obs.KernelProfiler`)
+    attributes join execution per trie level and kernel; the caller is
+    responsible for also activating it (``repro.obs.activate``) so the
+    set/trie hot-path hooks see it.
     """
     tracer = tracer or NULL_TRACER
     if plan.mode == "scan":
@@ -85,11 +90,17 @@ def execute_plan(
         with tracer.span("blas.execute", einsum=plan.blas.einsum_spec):
             return _execute_blas(plan)
     if plan.mode == "join":
-        aggregator = _execute_node(plan.root, plan.config, stats, tracer)
+        aggregator = _execute_node(plan.root, plan.config, stats, tracer, profiler)
+        start = time.perf_counter() if profiler is not None else 0.0
         key_columns, matrix = aggregator.result_arrays()
+        if profiler is not None:
+            profiler.add_category("finalize", time.perf_counter() - start)
         key_columns = list(key_columns)
         with tracer.span("decode.deferred_annotations"):
+            start = time.perf_counter() if profiler is not None else 0.0
             _append_deferred_annotations(plan.root, key_columns, matrix)
+            if profiler is not None:
+                profiler.add_category("decode.deferred", time.perf_counter() - start)
         return RawResult(
             group_layout=list(plan.root.group_layout),
             key_columns=key_columns,
@@ -131,14 +142,23 @@ def _execute_node(
     config: EngineConfig,
     stats: Optional[ExecutionStats] = None,
     tracer=NULL_TRACER,
+    profiler=None,
 ):
     child_bindings = [
-        _materialize_child(child, config, stats, tracer) for child in node.children
+        _materialize_child(child, config, stats, tracer, profiler)
+        for child in node.children
     ]
     with tracer.span("node.execute") as span:
+        start = time.perf_counter() if profiler is not None else 0.0
         executor = NodeExecutor(
-            node, list(node.bindings) + child_bindings, config, stats=stats
+            node,
+            list(node.bindings) + child_bindings,
+            config,
+            stats=stats,
+            profiler=profiler,
         )
+        if profiler is not None:
+            profiler.add_category("node.setup", time.perf_counter() - start)
         snapshot = stats.snapshot() if (tracer.active and stats is not None) else None
         aggregator = executor.run()
         if tracer.active:
@@ -171,14 +191,18 @@ def _materialize_child(
     config: EngineConfig,
     stats: Optional[ExecutionStats] = None,
     tracer=NULL_TRACER,
+    profiler=None,
 ) -> RelationBinding:
     """Run a child node and wrap its result as a trie-backed relation."""
     if not child.materialized:
         raise ExecutionError(
             "child GHD node shares no vertex with its parent (disconnected plan)"
         )
-    aggregator = _execute_node(child, config, stats, tracer)
+    aggregator = _execute_node(child, config, stats, tracer, profiler)
+    start = time.perf_counter() if profiler is not None else 0.0
     key_columns, matrix = aggregator.result_arrays()
+    if profiler is not None:
+        profiler.add_category("finalize", time.perf_counter() - start)
     arity = len(child.materialized)
     key_columns = [np.asarray(col, dtype=np.uint32) for col in key_columns]
     values = matrix[:, 0] if matrix.size else np.empty(0)

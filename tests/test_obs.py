@@ -117,6 +117,28 @@ def test_histogram_reservoir_stays_bounded():
     assert h.max == 9999.0
 
 
+def test_histogram_as_dict_reports_reservoir_samples():
+    h = Histogram()
+    for v in range(5000):
+        h.observe(float(v))
+    d = h.as_dict()
+    assert d["count"] == 5000
+    assert d["samples"] == 4096  # reservoir size, distinct from count
+    assert h.samples == 4096
+
+
+def test_metrics_as_dict_is_a_consistent_snapshot():
+    """cache_hit_rate must be computed from the same counter snapshot
+    the dict reports, not re-read after the fact."""
+    m = MetricsRegistry()
+    m.record_query(0.001, cache_outcome="miss", rows=1)
+    m.record_query(0.001, cache_outcome="hit", rows=1)
+    snap = m.as_dict()
+    hits = snap["counters"]["plan_cache_hit"]
+    misses = snap["counters"]["plan_cache_miss"]
+    assert snap["cache_hit_rate"] == pytest.approx(hits / (hits + misses))
+
+
 def test_metrics_registry_record_query():
     m = MetricsRegistry()
     m.record_query(0.010, compile_seconds=0.050, cache_outcome="miss", rows=3,
@@ -258,3 +280,17 @@ def test_bench_harness_traced_measurement():
     assert "decode" in traced.phase_seconds
     assert all(v >= 0 for v in traced.phase_seconds.values())
     assert traced.trace is not None and traced.trace.name == "query"
+
+
+def test_traced_measurement_trace_is_a_real_dataclass_field():
+    """``trace`` must be an annotated dataclass field -- a bare class
+    attribute would make constructor assignment silently impossible."""
+    import dataclasses
+
+    from repro.bench.harness import TracedMeasurement
+
+    names = {f.name for f in dataclasses.fields(TracedMeasurement)}
+    assert "trace" in names
+    traced = TracedMeasurement(measurement=None, trace="sentinel")
+    assert traced.trace == "sentinel"
+    assert TracedMeasurement(measurement=None).trace is None

@@ -137,6 +137,40 @@ def test_tight_budget_raises_serial_too(smm_catalog):
         engine.query(matmul_sql("m"))
 
 
+def _profile_counters(catalog, sql, config):
+    engine = LevelHeadedEngine(catalog, config=config)
+    plan = engine.compile(sql)
+    return engine.execute(plan, profile=True).profile.counters()
+
+
+@pytest.mark.parametrize("sql_name,sql", [("Q3", Q3_MINI), ("Q5", Q5)])
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+def test_tpch_profiler_counters_parallel_match_serial(
+    tpch_catalog, sql_name, sql, threads
+):
+    """Chunking must not change what work the kernels do.
+
+    The profiler's ``counters()`` are defined to be parallel-invariant:
+    splitting the outer intersection across workers changes neither the
+    set of pairwise intersections nor their operand layouts or bytes.
+    """
+    serial = _profile_counters(tpch_catalog, sql, EngineConfig(parallel=False))
+    par = _profile_counters(
+        tpch_catalog, sql, EngineConfig(parallel=True, num_threads=threads)
+    )
+    assert par == serial
+
+
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+def test_smm_profiler_counters_parallel_match_serial(smm_catalog, threads):
+    sql = matmul_sql("m")
+    serial = _profile_counters(smm_catalog, sql, EngineConfig(parallel=False))
+    par = _profile_counters(
+        smm_catalog, sql, EngineConfig(parallel=True, num_threads=threads)
+    )
+    assert par == serial
+
+
 def test_generous_budget_passes_under_parallel(smm_catalog):
     config = EngineConfig(
         parallel=True, num_threads=4, memory_budget_bytes=50 * 1024 * 1024

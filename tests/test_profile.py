@@ -1,0 +1,126 @@
+"""Tests for the kernel profiler (``repro.obs.profile``): per-trie-level
+time attribution, layout dispatch counters, and report rendering."""
+
+import re
+
+import pytest
+
+from repro import EngineConfig, LevelHeadedEngine
+from repro.obs import KernelProfiler, activate
+from repro.obs import profile as profile_module
+from tests.conftest import make_mini_tpch
+from tests.test_engine import Q5_SQL
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return LevelHeadedEngine(make_mini_tpch())
+
+
+def test_profile_off_by_default(engine):
+    result = engine.query(Q5_SQL)
+    assert result.profile is None
+    assert profile_module.ACTIVE is None
+
+
+def test_profile_attributes_execution_time():
+    # serial execution: under parallel the level times are worker
+    # thread time, which legitimately diverges from fan-out wall time
+    engine = LevelHeadedEngine(
+        make_mini_tpch(), config=EngineConfig(parallel=False)
+    )
+    result = engine.query(Q5_SQL, profile=True)
+    prof = result.profile
+    assert isinstance(prof, KernelProfiler)
+    assert prof.execute_seconds > 0
+    # the acceptance bar: per-level + category times account for the
+    # execute span to within 20%
+    attributed = prof.attributed_seconds()
+    assert attributed == pytest.approx(prof.execute_seconds, rel=0.2)
+    assert profile_module.ACTIVE is None  # deactivated after the query
+
+
+def test_profile_counters_shape(engine):
+    prof = engine.query(Q5_SQL, profile=True).profile
+    counters = prof.counters()
+    assert set(counters) == {
+        "kernel_counts", "layout_mix", "bytes_intersected",
+        "intersection_values", "trie_builds", "trie_bytes",
+    }
+    assert sum(counters["kernel_counts"].values()) > 0
+    assert set(counters["layout_mix"]) == {"bitset", "uint", "dense"}
+    assert counters["bytes_intersected"] > 0
+    # every kernel invocation touches exactly two operands
+    assert sum(counters["layout_mix"].values()) >= \
+        2 * sum(counters["kernel_counts"].values()) - counters["layout_mix"]["dense"]
+
+
+def test_profile_level_rows_cover_the_join(engine):
+    prof = engine.query(Q5_SQL, profile=True).profile
+    rows = prof.level_rows()
+    assert rows, "expected per-level attribution rows"
+    for row in rows:
+        assert set(row) == {"node", "level", "attr", "seconds"}
+        assert isinstance(row["node"], str)
+        assert isinstance(row["level"], int) and row["level"] >= 0
+        assert isinstance(row["attr"], str)
+        assert row["seconds"] >= 0.0
+
+
+def test_profile_collapsed_stack_format(engine):
+    prof = engine.query(Q5_SQL, profile=True).profile
+    lines = prof.collapsed_stacks()
+    assert lines
+    pattern = re.compile(r"^execute(;[^ ;]+)+ \d+$")
+    for line in lines:
+        assert pattern.match(line), line
+    assert any(";level0:" in line for line in lines)
+
+
+def test_profile_render_smoke(engine):
+    text = engine.query(Q5_SQL, profile=True).profile.render()
+    assert "kernel profile" in text
+    assert "execute" in text
+    assert "layout mix" in text
+    assert "aggregator high-water" in text
+
+
+def test_profile_via_execute_and_prepared(engine):
+    plan = engine.compile(Q5_SQL)
+    result = engine.execute(plan, profile=True)
+    assert result.profile is not None and result.profile.execute_seconds > 0
+    stmt = engine.prepare(Q5_SQL)
+    result = stmt.execute(profile=True)
+    assert result.profile is not None
+
+
+def test_profile_records_trie_builds():
+    # a fresh engine so the first query builds its tries while profiling
+    engine = LevelHeadedEngine(make_mini_tpch())
+    prof = engine.query(Q5_SQL, profile=True).profile
+    counters = prof.counters()
+    assert counters["trie_builds"] > 0
+    assert counters["trie_bytes"] > 0
+    assert all(b["tuples"] >= 0 for b in prof.trie_builds)
+
+
+def test_activate_is_reentrant_and_restores():
+    outer, inner = KernelProfiler(), KernelProfiler()
+    assert profile_module.ACTIVE is None
+    with activate(outer):
+        assert profile_module.ACTIVE is outer
+        with activate(inner):
+            assert profile_module.ACTIVE is inner
+        assert profile_module.ACTIVE is outer
+    assert profile_module.ACTIVE is None
+
+
+def test_parallel_profile_counters_match_serial():
+    catalog = make_mini_tpch()
+    serial = LevelHeadedEngine(catalog, config=EngineConfig(parallel=False))
+    parallel = LevelHeadedEngine(
+        catalog, config=EngineConfig(parallel=True, num_threads=4)
+    )
+    s = serial.query(Q5_SQL, profile=True).profile
+    p = parallel.query(Q5_SQL, profile=True).profile
+    assert s.counters() == p.counters()
