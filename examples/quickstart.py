@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro import AttrType, LevelHeadedEngine, Schema, annotation, key
-from repro.la import matmul_sql, register_coo
+from repro.la import matmul_sql
 
 
 def main() -> None:
@@ -61,7 +61,8 @@ def main() -> None:
     rows = np.array([0, 0, 1, 2, 3])
     cols = np.array([1, 3, 2, 0, 3])
     vals = np.array([2.0, 1.0, 3.0, 4.0, 5.0])
-    register_coo(engine.catalog, "a", rows, cols, vals, n=4, domain="dim")
+    a = engine.register_matrix("a", rows=rows, cols=cols, values=vals, n=4, domain="dim")
+    print(f"registered {a!r}")
     result = engine.query(matmul_sql("a"))
     print(result.to_text())
 

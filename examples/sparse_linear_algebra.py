@@ -17,15 +17,7 @@ from scipy import sparse as sp
 
 from repro import LevelHeadedEngine
 from repro.datasets import sparse_profile
-from repro.la import (
-    matmul_sql,
-    matvec_sql,
-    register_coo,
-    register_dense,
-    register_vector,
-    result_to_dense,
-    result_to_vector,
-)
+from repro.la import matmul_sql, matvec_sql
 
 
 def sparse_demo() -> None:
@@ -33,16 +25,17 @@ def sparse_demo() -> None:
     (rows, cols, vals), n = sparse_profile("harbor", scale=0.5, seed=3)
     print(f"  n={n}, nnz={rows.size}")
     engine = LevelHeadedEngine()
-    register_coo(engine.catalog, "m", rows, cols, vals, n=n, domain="dim")
+    m = engine.register_matrix("m", rows=rows, cols=cols, values=vals, n=n, domain="dim")
     x = np.random.default_rng(0).normal(size=n)
-    register_vector(engine.catalog, "x", x, domain="dim")
+    engine.register_vector("x", x, domain="dim")
+    print(f"  registered {m!r}")
     csr = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
 
     engine.query(matvec_sql("m", "x"))  # warm the trie cache
     start = time.perf_counter()
     smv = engine.query(matvec_sql("m", "x"))
     print(f"  SMV as SQL: {(time.perf_counter() - start) * 1000:.1f}ms")
-    assert np.allclose(result_to_vector(smv, n), csr @ x)
+    assert np.allclose(smv.to_vector(n), csr @ x)
 
     plan = engine.compile(matmul_sql("m"))
     print(f"  SMM attribute order: {list(plan.root.attrs)} "
@@ -51,7 +44,7 @@ def sparse_demo() -> None:
     smm = engine.query(matmul_sql("m"))
     print(f"  SMM as SQL: {(time.perf_counter() - start) * 1000:.1f}ms, "
           f"{smm.num_rows} output nonzeros")
-    assert np.allclose(result_to_dense(smm, n), (csr @ csr).toarray())
+    assert np.allclose(smm.to_dense(n), (csr @ csr).toarray())
     print("  verified against scipy: OK\n")
 
 
@@ -61,18 +54,17 @@ def dense_demo() -> None:
     rng = np.random.default_rng(1)
     dense = rng.normal(size=(n, n))
     engine = LevelHeadedEngine()
-    register_dense(engine.catalog, "d", dense, domain="ddim")
-    register_vector(engine.catalog, "y", rng.normal(size=n), domain="ddim")
+    d = engine.register_matrix("d", dense, domain="ddim")
+    y = engine.register_vector("y", rng.normal(size=n), domain="ddim")
 
     plan = engine.compile(matmul_sql("d"))
     print(f"  DMM plan mode: {plan.mode} (einsum {plan.blas.einsum_spec})")
     result = engine.query(matmul_sql("d"))
-    assert np.allclose(result_to_dense(result, n), dense @ dense)
+    assert np.allclose(result.to_dense(n), dense @ dense)
+    assert np.allclose(d.to_dense(), dense)
 
     dmv = engine.query(matvec_sql("d", "y"))
-    assert np.allclose(
-        result_to_vector(dmv, n), dense @ engine.table("y").column("v")
-    )
+    assert np.allclose(dmv.to_vector(n), dense @ y.to_vector())
     print("  DMM and DMV verified against numpy: OK")
 
 

@@ -38,16 +38,22 @@ shows the cache outcome and the executor's work counters.
 """
 
 from .core.engine import LevelHeadedEngine
+from .core.governor import CancelToken, Governor, QueryHandle, retry_admission
 from .core.plan_cache import PlanCache
 from .core.prepared import PreparedStatement
 from .core.result import ResultTable
 from .errors import (
+    AdmissionError,
     BindError,
     ExecutionError,
     OutOfMemoryBudgetError,
     ParseError,
     PlanningError,
+    QueryCancelledError,
+    QueryKilledError,
+    QueryTimeoutError,
     ReproError,
+    RetryableAdmissionError,
     SchemaError,
     UnsupportedQueryError,
 )
@@ -60,14 +66,40 @@ from .xcution.plan import EngineConfig
 __version__ = "1.0.0"
 
 
-def connect(config=None, catalog=None, plan_cache_capacity: int = 64):
+def connect(
+    config=None,
+    catalog=None,
+    plan_cache_capacity: int = 64,
+    timeout_ms=None,
+    max_concurrency=None,
+    global_memory_budget=None,
+    governor=None,
+):
     """Create a :class:`LevelHeadedEngine` -- the library's front door.
 
     ``config`` is an optional :class:`EngineConfig` of optimizer
     toggles; ``catalog`` lets several engines share registered tables.
+
+    Governance: ``timeout_ms`` sets a default deadline for every query
+    (override per call with ``engine.query(..., timeout_ms=...)``);
+    ``max_concurrency`` and ``global_memory_budget`` (bytes) seed a
+    :class:`~repro.core.governor.Governor` gating query admission on a
+    concurrency slot plus a reserved share of the budget.  Pass an
+    existing ``governor`` instead to share one across engines.
     """
+    if governor is None and (
+        max_concurrency is not None or global_memory_budget is not None
+    ):
+        governor = Governor(
+            max_concurrency=max_concurrency,
+            global_memory_budget_bytes=global_memory_budget,
+        )
     return LevelHeadedEngine(
-        catalog=catalog, config=config, plan_cache_capacity=plan_cache_capacity
+        catalog=catalog,
+        config=config,
+        plan_cache_capacity=plan_cache_capacity,
+        governor=governor,
+        default_timeout_ms=timeout_ms,
     )
 
 
@@ -78,6 +110,10 @@ __all__ = [
     "PlanCache",
     "ResultTable",
     "EngineConfig",
+    "Governor",
+    "CancelToken",
+    "QueryHandle",
+    "retry_admission",
     "Tracer",
     "Span",
     "MetricsRegistry",
@@ -97,5 +133,10 @@ __all__ = [
     "PlanningError",
     "ExecutionError",
     "OutOfMemoryBudgetError",
+    "QueryKilledError",
+    "QueryTimeoutError",
+    "QueryCancelledError",
+    "AdmissionError",
+    "RetryableAdmissionError",
     "__version__",
 ]

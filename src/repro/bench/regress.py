@@ -42,7 +42,7 @@ import numpy as np
 
 from ..core.engine import LevelHeadedEngine
 from ..datasets import TPCH_QUERIES, dense_matrix, dense_vector, generate_tpch, sparse_profile
-from ..la import matmul_sql, matvec_sql, register_coo, register_dense, register_vector
+from ..la import matmul_sql, matvec_sql
 from ..storage import Catalog, Table
 from ..storage.schema import Schema, key
 
@@ -121,16 +121,14 @@ def build_workloads(names: Tuple[str, ...], quick: bool) -> List[Workload]:
             (r, c, v), n = sparse_profile(
                 "nlp240", scale=0.1 if quick else 0.3, seed=2018
             )
-            catalog = LevelHeadedEngine().catalog
-            register_coo(catalog, "m", r, c, v, n=n, domain="dim")
-            engine = LevelHeadedEngine(catalog)
+            engine = LevelHeadedEngine()
+            engine.register_matrix("m", rows=r, cols=c, values=v, n=n, domain="dim")
             workloads.append(_sql_workload(name, engine, matmul_sql("m")))
         elif name == "gemv":
             dense = dense_matrix("16384", scale=0.016 if quick else 0.032, seed=2018)
-            catalog = LevelHeadedEngine().catalog
-            register_dense(catalog, "m", dense, domain="dim")
-            register_vector(catalog, "x", dense_vector(dense.shape[0]), domain="dim")
-            engine = LevelHeadedEngine(catalog)
+            engine = LevelHeadedEngine()
+            engine.register_matrix("m", dense, domain="dim")
+            engine.register_vector("x", dense_vector(dense.shape[0]), domain="dim")
             workloads.append(_sql_workload(name, engine, matvec_sql("m", "x")))
         elif name == "triangle":
             n_nodes, n_edges = (300, 4500) if quick else (600, 9000)

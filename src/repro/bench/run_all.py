@@ -23,7 +23,7 @@ from ..datasets import (
     generate_voters,
     sparse_profile,
 )
-from ..la import matmul_sql, matvec_sql, register_coo, register_dense, register_vector
+from ..la import matmul_sql, matvec_sql
 from ..ml import run_all_pipelines
 from .harness import Measurement, run_guarded
 from .reporting import comparison_row, format_seconds, render_table
@@ -59,9 +59,10 @@ def run_la(matrix_scale: float, dense_scale: float, repeats: int, timeout: float
     rows: List[List[str]] = []
 
     (r, c, v), n = sparse_profile("nlp240", scale=matrix_scale, seed=2018)
-    catalog = LevelHeadedEngine().catalog
-    register_coo(catalog, "m", r, c, v, n=n, domain="dim")
-    register_vector(catalog, "x", dense_vector(n), domain="dim")
+    engine = LevelHeadedEngine()
+    catalog = engine.catalog
+    engine.register_matrix("m", rows=r, cols=c, values=v, n=n, domain="dim")
+    engine.register_vector("x", dense_vector(n), domain="dim")
     package = LAPackage()
     package.load_sparse("m", r, c, v, n)
     package.load_vector("x", dense_vector(n))
@@ -74,9 +75,10 @@ def run_la(matrix_scale: float, dense_scale: float, repeats: int, timeout: float
         )
 
     dense = dense_matrix("16384", scale=dense_scale, seed=2018)
-    catalog = LevelHeadedEngine().catalog
-    register_dense(catalog, "m", dense, domain="dim")
-    register_vector(catalog, "x", dense_vector(dense.shape[0]), domain="dim")
+    engine = LevelHeadedEngine()
+    catalog = engine.catalog
+    engine.register_matrix("m", dense, domain="dim")
+    engine.register_vector("x", dense_vector(dense.shape[0]), domain="dim")
     package = LAPackage()
     package.load_dense("m", dense)
     package.load_vector("x", dense_vector(dense.shape[0]))

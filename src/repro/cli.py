@@ -13,8 +13,10 @@ tables, ``\\d name`` shows a schema, ``\\explain SELECT …`` prints the
 chosen plan, ``\\trace SELECT …`` runs a statement and prints its
 lifecycle span tree, ``\\profile SELECT …`` runs a statement and prints
 its per-trie-level kernel profile (collapsed-stack flamegraph text),
-``\\metrics`` prints the engine's cumulative serving metrics, and
-``\\q`` quits.
+``\\metrics`` prints the engine's cumulative serving metrics,
+``\\timeout [ms|off]`` shows or sets the session's default query
+deadline, ``\\governor [shed on|off]`` shows the admission governor's
+state (or toggles load shedding), and ``\\q`` quits.
 """
 
 from __future__ import annotations
@@ -68,6 +70,39 @@ def run_statement(
     return text
 
 
+def _handle_timeout(engine: LevelHeadedEngine, arg: str) -> str:
+    """Show or set the session default deadline (``\\timeout [ms|off]``)."""
+    if not arg:
+        current = engine.default_timeout_ms
+        return (f"default timeout: {current:g}ms" if current is not None
+                else "default timeout: off")
+    if arg.lower() in ("off", "none", "0"):
+        engine.default_timeout_ms = None
+        return "default timeout: off"
+    try:
+        ms = float(arg)
+    except ValueError:
+        return f"error: \\timeout expects milliseconds or 'off', got {arg!r}"
+    if ms <= 0:
+        return "error: \\timeout expects a positive number of milliseconds"
+    engine.default_timeout_ms = ms
+    return f"default timeout: {ms:g}ms"
+
+
+def _handle_governor(engine: LevelHeadedEngine, arg: str) -> str:
+    """Show the admission governor (``\\governor``) or toggle shedding."""
+    if engine.governor is None:
+        return ("no governor configured (connect with max_concurrency= or "
+                "global_memory_budget= to enable admission control)")
+    if not arg:
+        return engine.governor.describe()
+    parts = arg.split()
+    if len(parts) == 2 and parts[0] == "shed" and parts[1] in ("on", "off"):
+        engine.governor.set_load_shedding(parts[1] == "on")
+        return f"load shedding: {parts[1]}"
+    return f"error: unknown \\governor subcommand {arg!r} (try 'shed on|off')"
+
+
 def _handle_line(engine: LevelHeadedEngine, line: str) -> Optional[str]:
     """One shell interaction; returns output text, or None to quit."""
     stripped = line.strip()
@@ -81,6 +116,10 @@ def _handle_line(engine: LevelHeadedEngine, line: str) -> Optional[str]:
         return _describe_schema(engine, stripped[3:].strip())
     if stripped == "\\metrics":
         return engine.metrics.describe()
+    if stripped == "\\timeout" or stripped.startswith("\\timeout "):
+        return _handle_timeout(engine, stripped[len("\\timeout"):].strip())
+    if stripped == "\\governor" or stripped.startswith("\\governor "):
+        return _handle_governor(engine, stripped[len("\\governor"):].strip())
     explain = False
     trace = False
     profile = False
@@ -113,10 +152,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--explain", action="store_true", help="explain instead of executing"
     )
+    parser.add_argument(
+        "--timeout-ms", type=float, default=None,
+        help="default deadline for every query (override with \\timeout)",
+    )
+    parser.add_argument(
+        "--max-concurrency", type=int, default=None,
+        help="admission-control concurrency limit (enables the governor)",
+    )
+    parser.add_argument(
+        "--memory-budget", type=int, default=None,
+        help="global memory budget in bytes shared across admitted queries",
+    )
     args = parser.parse_args(argv)
 
+    governor = None
+    if args.max_concurrency is not None or args.memory_budget is not None:
+        from .core.governor import Governor
+
+        governor = Governor(
+            max_concurrency=args.max_concurrency,
+            global_memory_budget_bytes=args.memory_budget,
+        )
     try:
-        engine = LevelHeadedEngine(load_catalog(args.data_dir))
+        engine = LevelHeadedEngine(
+            load_catalog(args.data_dir),
+            governor=governor,
+            default_timeout_ms=args.timeout_ms,
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -1,6 +1,23 @@
-"""The engine's public core: :class:`LevelHeadedEngine` and results."""
+"""The engine's public core: :class:`LevelHeadedEngine`, results, governance."""
 
 from .engine import LevelHeadedEngine
+from .governor import (
+    CancelToken,
+    Governor,
+    QueryHandle,
+    cancel_scope,
+    current_cancel,
+    retry_admission,
+)
 from .result import ResultTable
 
-__all__ = ["LevelHeadedEngine", "ResultTable"]
+__all__ = [
+    "LevelHeadedEngine",
+    "ResultTable",
+    "CancelToken",
+    "Governor",
+    "QueryHandle",
+    "cancel_scope",
+    "current_cancel",
+    "retry_admission",
+]

@@ -28,13 +28,22 @@ ordering, the relaxation rule, and BLAS routing can each be disabled.
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import ExecutionError, UnsupportedQueryError
+from ..errors import (
+    ExecutionError,
+    OutOfMemoryBudgetError,
+    QueryCancelledError,
+    QueryKilledError,
+    QueryTimeoutError,
+    RetryableAdmissionError,
+    UnsupportedQueryError,
+)
 from ..obs import NULL_TRACER, KernelProfiler, MetricsRegistry, QueryLog, Tracer
 from ..obs import activate as _activate_profiler
 from ..query.translate import CompiledQuery, translate
@@ -51,6 +60,7 @@ from ..storage.table import Table
 from ..xcution.plan import EngineConfig, PhysicalPlan, build_plan
 from ..xcution.stats import ExecutionStats
 from ..xcution.yannakakis import RawResult, execute_plan
+from .governor import AdmissionSlot, CancelToken, Governor, QueryHandle, cancel_scope
 from .plan_cache import HIT, INVALIDATED, MISS, PlanCache
 from .prepared import PreparedStatement
 from .result import ResultTable
@@ -64,6 +74,8 @@ class LevelHeadedEngine:
         catalog: Optional[Catalog] = None,
         config: Optional[EngineConfig] = None,
         plan_cache_capacity: int = 64,
+        governor: Optional[Governor] = None,
+        default_timeout_ms: Optional[float] = None,
     ):
         self.catalog = catalog if catalog is not None else Catalog()
         self.config = config if config is not None else EngineConfig()
@@ -77,6 +89,18 @@ class LevelHeadedEngine:
         #: threshold configured, ``query()`` forces tracing so slow
         #: events capture the plan and span tree.
         self.query_log: Optional[QueryLog] = None
+        #: optional process-wide :class:`~repro.core.governor.Governor`
+        #: gating query start on a concurrency slot and a share of the
+        #: global memory budget; may be shared by several engines.
+        self.governor = governor
+        #: deadline applied to every query that does not pass its own
+        #: ``timeout_ms`` (None: no default deadline).
+        self.default_timeout_ms = default_timeout_ms
+        if governor is not None:
+            # the engine's contribution to the degradation ladder: under
+            # memory pressure, give cached plan state (tries, annotation
+            # buffers) back before queries start failing admission
+            governor.add_pressure_listener(self._on_memory_pressure)
 
     # -- data ingestion ---------------------------------------------------------
 
@@ -98,6 +122,69 @@ class LevelHeadedEngine:
 
     def table(self, name: str) -> Table:
         return self.catalog.table(name)
+
+    def register_matrix(
+        self,
+        name: str,
+        array: Optional[np.ndarray] = None,
+        *,
+        rows: Optional[np.ndarray] = None,
+        cols: Optional[np.ndarray] = None,
+        values: Optional[np.ndarray] = None,
+        n: Optional[int] = None,
+        domain: Optional[str] = None,
+    ):
+        """Register a matrix as an annotated ``(i, j, v)`` relation.
+
+        Two forms: ``register_matrix(name, array)`` stores a dense
+        square numpy array cell by cell (enabling BLAS routing), and
+        ``register_matrix(name, rows=..., cols=..., values=..., n=...)``
+        stores sparse COO triples over an ``n``-sized dimension domain.
+        ``domain`` names the shared dimension (default ``{name}_dim``);
+        matrices and vectors sharing a domain are join-compatible.
+        Returns a :class:`~repro.la.MatrixHandle` -- reference it in SQL
+        by name, densify with ``.to_dense()``.
+        """
+        from ..la.matrix import MatrixHandle, _register_coo, _register_dense
+
+        if array is not None:
+            if rows is not None or cols is not None or values is not None:
+                raise ValueError("pass either a dense array or COO triples, not both")
+            array = np.asarray(array, dtype=np.float64)
+            table = _register_dense(self.catalog, name, array, domain)
+            size = array.shape[0]
+        else:
+            if rows is None or cols is None or values is None or n is None:
+                raise ValueError(
+                    "COO registration needs rows=, cols=, values=, and n="
+                )
+            table = _register_coo(self.catalog, name, rows, cols, values, n, domain)
+            size = n
+        return MatrixHandle(self.catalog, table, size, domain or f"{name}_dim")
+
+    def register_vector(
+        self,
+        name: str,
+        values: np.ndarray,
+        *,
+        domain: str,
+        indices: Optional[np.ndarray] = None,
+        n: Optional[int] = None,
+    ):
+        """Register a vector as an annotated ``(i, v)`` relation.
+
+        ``domain`` must name an existing dimension domain (usually one
+        a matrix was registered over).  Dense when ``indices`` is
+        omitted; ``n`` overrides the dimension size for sparse vectors
+        (defaults to the number of values).  Returns a
+        :class:`~repro.la.VectorHandle`; densify with ``.to_vector()``.
+        """
+        from ..la.matrix import VectorHandle, _register_vector
+
+        values = np.asarray(values, dtype=np.float64)
+        table = _register_vector(self.catalog, name, values, domain, indices)
+        size = n if n is not None else int(values.size)
+        return VectorHandle(self.catalog, table, size, domain)
 
     # -- querying -----------------------------------------------------------------
 
@@ -127,21 +214,36 @@ class LevelHeadedEngine:
         collect_stats: bool = False,
         trace: bool = False,
         profile: bool = False,
+        timeout_ms: Optional[float] = None,
+        cancel_token: Optional[CancelToken] = None,
     ) -> ResultTable:
         """Execute a compiled plan and decode its result."""
-        if not trace:
-            return self._run_plan(
-                plan, outcome=None, collect_stats=collect_stats, profile=profile
-            )
-        tracer = Tracer()
-        with tracer.span("query"):
-            return self._run_plan(
-                plan,
-                outcome=None,
-                collect_stats=collect_stats,
-                tracer=tracer,
-                profile=profile,
-            )
+        token = self._make_token(timeout_ms, cancel_token)
+        slot = self._admit(cached=True, token=token)
+        try:
+            with cancel_scope(token):
+                if not trace:
+                    return self._run_plan(
+                        plan,
+                        outcome=None,
+                        collect_stats=collect_stats,
+                        profile=profile,
+                        cancel=token,
+                        slot=slot,
+                    )
+                tracer = Tracer()
+                with tracer.span("query"):
+                    return self._run_plan(
+                        plan,
+                        outcome=None,
+                        collect_stats=collect_stats,
+                        tracer=tracer,
+                        profile=profile,
+                        cancel=token,
+                        slot=slot,
+                    )
+        finally:
+            self._release(slot)
 
     def query(
         self,
@@ -151,6 +253,8 @@ class LevelHeadedEngine:
         collect_stats: bool = False,
         trace: bool = False,
         profile: bool = False,
+        timeout_ms: Optional[float] = None,
+        cancel_token: Optional[CancelToken] = None,
     ) -> ResultTable:
         """Run one SQL query end to end.
 
@@ -165,30 +269,98 @@ class LevelHeadedEngine:
         ``profile=True`` the returned table's ``.profile`` is a
         :class:`~repro.obs.KernelProfiler` attributing execution per
         trie level and intersection kernel.
+
+        ``timeout_ms`` (or the engine's ``default_timeout_ms``) sets a
+        deadline covering compile *and* execute: the executors poll
+        cooperatively at chunk granularity and the query dies with
+        :class:`~repro.errors.QueryTimeoutError` carrying the partial
+        stats and span tree.  ``cancel_token`` supplies an external
+        :class:`~repro.core.governor.CancelToken` instead (fire it from
+        any thread).  With a governor attached, the query first acquires
+        an admission slot (and its share of the global memory budget) --
+        see :class:`~repro.core.governor.Governor`.
         """
         params, config = self._shim_positional_config(params, config)
         cfg = config or self.config
         if params is not None:
             return self.prepare(sql, config=cfg).execute(
-                params, collect_stats=collect_stats, trace=trace, profile=profile
-            )
-        tracer = Tracer() if (trace or self._forces_trace()) else NULL_TRACER
-        with tracer.span("query"):
-            t0 = time.perf_counter()
-            plan, outcome = self._cached_plan(sql, cfg, tracer)
-            compile_seconds = (
-                time.perf_counter() - t0 if outcome in (MISS, INVALIDATED) else None
-            )
-            return self._run_plan(
-                plan,
-                outcome,
+                params,
                 collect_stats=collect_stats,
-                tracer=tracer,
-                compile_seconds=compile_seconds,
+                trace=trace,
                 profile=profile,
-                sql=sql,
-                expose_trace=trace,
+                timeout_ms=timeout_ms,
+                cancel_token=cancel_token,
             )
+        token = self._make_token(timeout_ms, cancel_token)
+        cached = self.governor is not None and self.plan_cache.peek(
+            self._plan_key(sql, cfg), self.catalog
+        )
+        slot = self._admit(cached=cached, token=token)
+        try:
+            # a deadlined/cancellable query is always traced: if it is
+            # killed, the error must carry the span tree of what ran
+            tracer = (
+                Tracer()
+                if (trace or token is not None or self._forces_trace())
+                else NULL_TRACER
+            )
+            with cancel_scope(token), tracer.span("query"):
+                t0 = time.perf_counter()
+                plan, outcome = self._cached_plan(sql, cfg, tracer)
+                compile_seconds = (
+                    time.perf_counter() - t0 if outcome in (MISS, INVALIDATED) else None
+                )
+                return self._run_plan(
+                    plan,
+                    outcome,
+                    collect_stats=collect_stats,
+                    tracer=tracer,
+                    compile_seconds=compile_seconds,
+                    profile=profile,
+                    sql=sql,
+                    expose_trace=trace,
+                    cancel=token,
+                    slot=slot,
+                )
+        finally:
+            self._release(slot)
+
+    def submit(
+        self,
+        sql: str,
+        params: ParamValues = None,
+        config: Optional[EngineConfig] = None,
+        collect_stats: bool = False,
+        trace: bool = False,
+        timeout_ms: Optional[float] = None,
+    ) -> QueryHandle:
+        """Run ``query(sql, ...)`` on a background thread.
+
+        Returns a :class:`~repro.core.governor.QueryHandle` immediately:
+        ``handle.cancel()`` fires the query's cancel token from any
+        thread (the executors notice at their next poll),
+        ``handle.result(timeout=...)`` joins and returns the
+        :class:`ResultTable` or re-raises the query's error.
+        """
+        token = self._make_token(timeout_ms, None) or CancelToken()
+        handle = QueryHandle(token, sql)
+        thread = threading.Thread(
+            target=handle._run,
+            args=(
+                lambda: self.query(
+                    sql,
+                    params=params,
+                    config=config,
+                    collect_stats=collect_stats,
+                    trace=trace,
+                    cancel_token=token,
+                ),
+            ),
+            name="repro-query",
+            daemon=True,
+        )
+        thread.start()
+        return handle
 
     def explain(
         self,
@@ -238,6 +410,53 @@ class LevelHeadedEngine:
         result = self.execute(plan, collect_stats=True)
         return result, result.stats
 
+    # -- governance machinery -------------------------------------------------
+
+    def _make_token(
+        self, timeout_ms: Optional[float], cancel_token: Optional[CancelToken]
+    ) -> Optional[CancelToken]:
+        """The query's cancel token: caller-supplied, or a fresh deadline."""
+        if cancel_token is not None:
+            return cancel_token
+        effective = timeout_ms if timeout_ms is not None else self.default_timeout_ms
+        if effective is None:
+            return None
+        return CancelToken(timeout_ms=effective)
+
+    def _admit(
+        self, cached: bool, token: Optional[CancelToken]
+    ) -> Optional[AdmissionSlot]:
+        """Acquire an admission slot (None when no governor is attached)."""
+        if self.governor is None:
+            return None
+        try:
+            slot = self.governor.admit(cached=cached, token=token)
+        except RetryableAdmissionError:
+            self.metrics.inc("admission_rejected")
+            raise
+        self.metrics.inc("admission_admitted")
+        if slot.queued:
+            self.metrics.inc("admission_queued")
+            self.metrics.observe("admission_wait_seconds", slot.waited_seconds)
+        return slot
+
+    def _release(self, slot: Optional[AdmissionSlot]) -> None:
+        if slot is not None and self.governor is not None:
+            self.governor.release(slot)
+
+    def _on_memory_pressure(self) -> None:
+        """Governor pressure listener: shed plan-cache LRU entries."""
+        shed = self.plan_cache.shed_lru()
+        self.metrics.inc("memory_pressure_events")
+        if shed:
+            self.metrics.inc("plan_cache_shed_entries", shed)
+
+    def _effective_budget(self, slot: Optional[AdmissionSlot]):
+        """The memory-budget override for this run (or no-override)."""
+        if slot is not None and slot.memory_share_bytes is not None:
+            return slot.memory_share_bytes
+        return None
+
     # -- internal query machinery ---------------------------------------------
 
     def _shim_positional_config(self, params, config):
@@ -252,6 +471,9 @@ class LevelHeadedEngine:
             return None, params
         return params, config
 
+    def _plan_key(self, sql: str, cfg: EngineConfig) -> Tuple:
+        return (normalize_sql(sql), (), cfg.fingerprint())
+
     def _cached_plan(
         self, sql: str, cfg: EngineConfig, tracer=NULL_TRACER
     ) -> Tuple[PhysicalPlan, str]:
@@ -261,7 +483,7 @@ class LevelHeadedEngine:
         config fingerprint, and catalog domain versions fully determine
         the plan.
         """
-        key = (normalize_sql(sql), (), cfg.fingerprint())
+        key = self._plan_key(sql, cfg)
         with tracer.span("plan_cache.lookup") as span:
             plan, outcome = self.plan_cache.lookup(key, self.catalog)
             span.set(outcome=outcome)
@@ -310,30 +532,72 @@ class LevelHeadedEngine:
         profile: bool = False,
         sql: Optional[str] = None,
         expose_trace: bool = True,
+        cancel: Optional[CancelToken] = None,
+        slot: Optional[AdmissionSlot] = None,
     ) -> ResultTable:
         tracer = tracer or NULL_TRACER
         stats: Optional[ExecutionStats] = None
-        if collect_stats or tracer.active:
+        if collect_stats or tracer.active or cancel is not None:
+            # a governed query always carries stats: a killed query must
+            # report the partial work it did
             stats = ExecutionStats()
             self._note_cache_outcome(stats, outcome)
         profiler = KernelProfiler() if profile else None
+        budget = self._effective_budget(slot)
+        budget_kwargs = {} if budget is None else {"memory_budget_bytes": budget}
         t0 = time.perf_counter()
-        with tracer.span("execute") as span:
-            snapshot = stats.snapshot() if tracer.active else None
-            if profiler is not None:
-                # activate around execution only: the profile attributes
-                # execute_plan, not compilation or result decode
-                t_exec = time.perf_counter()
-                with _activate_profiler(profiler):
+        try:
+            with tracer.span("execute") as span:
+                snapshot = stats.snapshot() if tracer.active else None
+                if profiler is not None:
+                    # activate around execution only: the profile attributes
+                    # execute_plan, not compilation or result decode
+                    t_exec = time.perf_counter()
+                    with _activate_profiler(profiler):
+                        raw = execute_plan(
+                            plan,
+                            stats=stats,
+                            tracer=tracer,
+                            profiler=profiler,
+                            cancel=cancel,
+                            **budget_kwargs,
+                        )
+                    profiler.execute_seconds = time.perf_counter() - t_exec
+                else:
                     raw = execute_plan(
-                        plan, stats=stats, tracer=tracer, profiler=profiler
+                        plan, stats=stats, tracer=tracer, cancel=cancel, **budget_kwargs
                     )
-                profiler.execute_seconds = time.perf_counter() - t_exec
-            else:
-                raw = execute_plan(plan, stats=stats, tracer=tracer)
-            if tracer.active:
-                span.set(mode=plan.mode, rows=raw.num_rows)
-                span.stats = stats.delta_since(snapshot)
+                if tracer.active:
+                    span.set(mode=plan.mode, rows=raw.num_rows)
+                    span.stats = stats.delta_since(snapshot)
+        except (QueryKilledError, OutOfMemoryBudgetError) as exc:
+            self._note_killed(
+                exc,
+                plan,
+                stats,
+                tracer,
+                sql=sql,
+                outcome=outcome,
+                compile_seconds=compile_seconds,
+                execute_seconds=time.perf_counter() - t0,
+            )
+            if isinstance(exc, OutOfMemoryBudgetError):
+                if self.governor is not None:
+                    self.governor.note_memory_pressure()
+                if budget is not None and (
+                    plan.config.memory_budget_bytes is None
+                    or budget < plan.config.memory_budget_bytes
+                ):
+                    # the *governor's share*, not the query's own budget,
+                    # was the binding constraint: concurrent callers get
+                    # retryable backpressure, never an unhandled OOM
+                    retry = RetryableAdmissionError(
+                        f"query exceeded its admitted memory share "
+                        f"({budget} bytes): {exc}",
+                    )
+                    retry.partial_stats = exc.partial_stats
+                    raise retry from exc
+            raise
         with tracer.span("decode"):
             result = self._decode(plan.compiled, plan, raw)
         execute_seconds = time.perf_counter() - t0
@@ -378,6 +642,45 @@ class LevelHeadedEngine:
             stats.plan_cache_misses += 1
         elif outcome == INVALIDATED:
             stats.plan_cache_invalidations += 1
+
+    def _note_killed(
+        self,
+        exc: Union[QueryKilledError, OutOfMemoryBudgetError],
+        plan: PhysicalPlan,
+        stats: Optional[ExecutionStats],
+        tracer,
+        sql: Optional[str],
+        outcome: Optional[str],
+        compile_seconds: Optional[float],
+        execute_seconds: float,
+    ) -> None:
+        """Dress up a killed query: partial stats, trace, metrics, log."""
+        if isinstance(exc, QueryTimeoutError):
+            kind, metric = "timeout", "query_timeouts"
+        elif isinstance(exc, QueryCancelledError):
+            kind, metric = "cancelled", "query_cancellations"
+        else:
+            kind, metric = "oom", "query_oom"
+        self.metrics.inc(metric)
+        if stats is not None and exc.partial_stats is None:
+            exc.partial_stats = stats
+        if tracer.active:
+            tracer.mark("killed", outcome=kind, execute_ms=execute_seconds * 1000)
+        if getattr(exc, "trace_root", None) is None and tracer.active:
+            exc.trace_root = tracer.root
+        log = self.query_log
+        if log is not None:
+            log.record(
+                sql=sql,
+                mode=plan.mode,
+                cache_outcome=outcome,
+                compile_seconds=compile_seconds,
+                execute_seconds=execute_seconds,
+                rows=0,
+                plan_text=plan.explain(),
+                trace_root=tracer.root if tracer.active else None,
+                outcome=kind,
+            )
 
     def _explain_plan(
         self,

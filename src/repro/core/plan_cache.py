@@ -94,6 +94,34 @@ class PlanCache:
         self.stats.hits += 1
         return plan, HIT
 
+    def peek(self, key: Tuple, catalog) -> bool:
+        """Whether ``key`` would hit, without touching counters or LRU order.
+
+        Admission control uses this to classify a query as plan-cached
+        *before* deciding whether to admit it (load shedding rejects
+        non-cached work first); the real ``lookup`` still happens after
+        admission and owns the hit/miss accounting.
+        """
+        plan = self._entries.get(key)
+        return plan is not None and plan.is_current(catalog)
+
+    def shed_lru(self, fraction: float = 0.5, keep: int = 1) -> int:
+        """Drop the least-recently-used ``fraction`` of entries.
+
+        The governor's memory-pressure signal calls this to give cached
+        plan state (tries, annotation buffers) back before queries start
+        failing admission.  Shed entries count as evictions.  Returns
+        the number of entries dropped.
+        """
+        n_drop = min(
+            max(0, len(self._entries) - max(0, keep)),
+            int(len(self._entries) * fraction),
+        )
+        for _ in range(n_drop):
+            self._entries.popitem(last=False)
+        self.stats.evictions += n_drop
+        return n_drop
+
     def store(self, key: Tuple, plan: PhysicalPlan) -> None:
         """Insert ``plan``, evicting the least recently used beyond capacity."""
         self._entries[key] = plan

@@ -34,6 +34,7 @@ from ..sql.params import (
 )
 from ..sql.parser import parse
 from ..xcution.plan import EngineConfig, PhysicalPlan, build_plan
+from .governor import CancelToken, cancel_scope
 from .plan_cache import INVALIDATED, MISS
 
 
@@ -108,6 +109,8 @@ class PreparedStatement:
         collect_stats: bool = False,
         trace: bool = False,
         profile: bool = False,
+        timeout_ms: Optional[float] = None,
+        cancel_token: Optional[CancelToken] = None,
     ):
         """Run the statement with ``params`` bound to its placeholders.
 
@@ -119,28 +122,45 @@ class PreparedStatement:
         executor counters plus this call's plan-cache outcome, with
         ``trace=True`` its ``.trace`` carries the lifecycle span tree,
         and with ``profile=True`` its ``.profile`` carries the
-        per-trie-level kernel profile.
+        per-trie-level kernel profile.  ``timeout_ms`` /
+        ``cancel_token`` govern the run exactly like
+        :meth:`LevelHeadedEngine.query`, including admission when the
+        engine has a governor.
         """
         literals = bind_param_values(params, self.param_slots)
         engine = self._engine
-        tracer = Tracer() if (trace or engine._forces_trace()) else NULL_TRACER
-        with tracer.span("query"):
-            t0 = time.perf_counter()
-            plan, outcome = self._plan_for(literals, tracer)
-            compile_seconds = (
-                time.perf_counter() - t0 if outcome in (MISS, INVALIDATED) else None
+        token = engine._make_token(timeout_ms, cancel_token)
+        cached = engine.governor is not None and engine.plan_cache.peek(
+            self._cache_key(literals), engine.catalog
+        )
+        slot = engine._admit(cached=cached, token=token)
+        try:
+            tracer = (
+                Tracer()
+                if (trace or token is not None or engine._forces_trace())
+                else NULL_TRACER
             )
-            self.executions += 1
-            return engine._run_plan(
-                plan,
-                outcome,
-                collect_stats=collect_stats,
-                tracer=tracer,
-                compile_seconds=compile_seconds,
-                profile=profile,
-                sql=self.sql,
-                expose_trace=trace,
-            )
+            with cancel_scope(token), tracer.span("query"):
+                t0 = time.perf_counter()
+                plan, outcome = self._plan_for(literals, tracer)
+                compile_seconds = (
+                    time.perf_counter() - t0 if outcome in (MISS, INVALIDATED) else None
+                )
+                self.executions += 1
+                return engine._run_plan(
+                    plan,
+                    outcome,
+                    collect_stats=collect_stats,
+                    tracer=tracer,
+                    compile_seconds=compile_seconds,
+                    profile=profile,
+                    sql=self.sql,
+                    expose_trace=trace,
+                    cancel=token,
+                    slot=slot,
+                )
+        finally:
+            engine._release(slot)
 
     __call__ = execute
 

@@ -68,6 +68,26 @@ class ResultTable:
     def to_dict(self) -> Dict[str, list]:
         return {n: [_to_python(v) for v in self.columns[n]] for n in self.names}
 
+    def to_dense(self, n: int) -> np.ndarray:
+        """Materialize an ``(i, j, v)`` LA result as a dense ``n x n`` array.
+
+        The first-class replacement for the deprecated
+        ``repro.la.result_to_dense(result, n)`` free function.
+        """
+        from ..la.matrix import dense_result
+
+        return dense_result(self, n)
+
+    def to_vector(self, n: int) -> np.ndarray:
+        """Materialize an ``(i, v)`` LA result as a dense length-``n`` vector.
+
+        The first-class replacement for the deprecated
+        ``repro.la.result_to_vector(result, n)`` free function.
+        """
+        from ..la.matrix import dense_vector_result
+
+        return dense_vector_result(self, n)
+
     def single_value(self) -> float:
         """The lone cell of a 1x1 result (global aggregates)."""
         if self.num_rows != 1 or len(self.names) != 1:

@@ -49,6 +49,62 @@ class ExecutionError(ReproError):
     """A physical plan failed during execution."""
 
 
+class QueryKilledError(ExecutionError):
+    """Base of the governance kills: the query was stopped mid-flight.
+
+    Carries whatever diagnostics the engine had accumulated when the
+    kill fired, so a killed query is still fully diagnosable:
+    ``partial_stats`` is the merged-so-far
+    :class:`~repro.xcution.stats.ExecutionStats`, and ``trace_root`` the
+    (partial) lifecycle :class:`~repro.obs.Span` tree when the query was
+    traced.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        #: ExecutionStats accumulated up to the kill (None if the engine
+        #: was not collecting stats for this query).
+        self.partial_stats = None
+        #: partial lifecycle span tree (None when the query was untraced).
+        self.trace_root = None
+
+
+class QueryTimeoutError(QueryKilledError):
+    """The query ran past its deadline and was cancelled cooperatively."""
+
+    def __init__(self, message: str, timeout_ms: float = 0.0, elapsed_ms: float = 0.0):
+        super().__init__(message)
+        self.timeout_ms = timeout_ms
+        self.elapsed_ms = elapsed_ms
+
+
+class QueryCancelledError(QueryKilledError):
+    """The query's :class:`~repro.core.governor.CancelToken` was cancelled."""
+
+    def __init__(self, message: str, reason: str = "cancelled"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class AdmissionError(ReproError):
+    """The governor refused to start the query."""
+
+
+class RetryableAdmissionError(AdmissionError):
+    """Admission failed transiently: back off and retry.
+
+    Raised for bounded-queue backpressure (every concurrency slot busy
+    and the wait queue full), load shedding of non-cached plans, and
+    memory-pressure failures attributable to the shared global budget.
+    ``retry_after_ms`` is a jittered backoff hint; callers can also use
+    :func:`repro.core.governor.retry_admission`.
+    """
+
+    def __init__(self, message: str, retry_after_ms: float = 25.0):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
 class OutOfMemoryBudgetError(ExecutionError):
     """An operator exceeded the configured memory budget.
 
@@ -56,9 +112,16 @@ class OutOfMemoryBudgetError(ExecutionError):
     materialize intermediates beyond physical memory (Table II).  Baseline
     engines in this reproduction enforce an explicit budget so the same
     failure mode is observable deterministically.
+
+    ``partial_stats`` carries the merged-so-far
+    :class:`~repro.xcution.stats.ExecutionStats` when the budget blew
+    mid-execution (e.g. during a parallel merge), so the work done up to
+    the failure is not lost to diagnostics.
     """
 
     def __init__(self, message: str, requested_bytes: int = 0, budget_bytes: int = 0):
         super().__init__(message)
         self.requested_bytes = requested_bytes
         self.budget_bytes = budget_bytes
+        #: ExecutionStats accumulated up to the failure (None if unknown).
+        self.partial_stats = None

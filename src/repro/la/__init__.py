@@ -12,6 +12,10 @@ from .kernels import (
     vector_dot_sql,
 )
 from .matrix import (
+    MatrixHandle,
+    VectorHandle,
+    dense_result,
+    dense_vector_result,
     ensure_dimension,
     matrix_schema,
     random_sparse_coo,
@@ -28,9 +32,14 @@ from .sparse import CSRMatrix, coo_to_csr, csr_matmul, csr_matvec, csr_to_dense
 
 __all__ = [
     "blas",
+    "MatrixHandle",
+    "VectorHandle",
     "matrix_schema",
     "vector_schema",
     "ensure_dimension",
+    "dense_result",
+    "dense_vector_result",
+    # deprecated shims (see CHANGES.md removal timeline):
     "register_coo",
     "register_dense",
     "register_vector",

@@ -2,15 +2,24 @@
 
 A matrix is a table ``(i, j, v)`` whose keys share one *dimension
 domain* and whose value column is the annotation (Figure 3 of the
-paper); a vector is ``(i, v)``.  The helpers here register matrices in
-an engine's catalog from COO triples or dense arrays, anchoring the
-dimension domain with a range table so that (a) encoded indices are the
-raw indices and (b) completely dense matrices are detected for the
-icost-0 rule and BLAS routing.
+paper); a vector is ``(i, v)``.  The first-class surface is the engine:
+``engine.register_matrix(...)`` / ``engine.register_vector(...)`` return
+:class:`MatrixHandle` / :class:`VectorHandle` objects that know their
+dimension and materialize back to numpy (``.to_dense()`` /
+``.to_vector()``); query results densify through
+:meth:`~repro.core.result.ResultTable.to_dense` and ``.to_vector``.
+Registration anchors the dimension domain with a range table so that
+(a) encoded indices are the raw indices and (b) completely dense
+matrices are detected for the icost-0 rule and BLAS routing.
+
+The original free functions (``register_coo``, ``register_dense``,
+``register_vector``, ``result_to_dense``, ``result_to_vector``) remain
+as deprecation shims over the same implementations.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Tuple
 
 import numpy as np
@@ -50,7 +59,7 @@ def ensure_dimension(catalog: Catalog, domain: str, n: int) -> None:
     )
 
 
-def register_coo(
+def _register_coo(
     catalog: Catalog,
     name: str,
     rows: np.ndarray,
@@ -59,7 +68,7 @@ def register_coo(
     n: int,
     domain: Optional[str] = None,
 ) -> Table:
-    """Register a sparse matrix from COO triples."""
+    """Register a sparse matrix from COO triples (implementation)."""
     rows = np.asarray(rows)
     cols = np.asarray(cols)
     values = np.asarray(values, dtype=np.float64)
@@ -74,7 +83,7 @@ def register_coo(
     )
 
 
-def register_dense(
+def _register_dense(
     catalog: Catalog, name: str, array: np.ndarray, domain: Optional[str] = None
 ) -> Table:
     """Register a dense square matrix (every cell stored)."""
@@ -83,10 +92,10 @@ def register_dense(
         raise SchemaError(f"expected a square matrix, got shape {array.shape}")
     n = array.shape[0]
     i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
-    return register_coo(catalog, name, i.ravel(), j.ravel(), array.ravel(), n, domain)
+    return _register_coo(catalog, name, i.ravel(), j.ravel(), array.ravel(), n, domain)
 
 
-def register_vector(
+def _register_vector(
     catalog: Catalog,
     name: str,
     values: np.ndarray,
@@ -112,20 +121,157 @@ def to_dense(table: Table, n: int) -> np.ndarray:
     return out
 
 
-def result_to_dense(result, n: int) -> np.ndarray:
-    """Materialize an ``(i, j, v)`` query result to a dense array."""
+def dense_result(result, n: int) -> np.ndarray:
+    """Materialize an ``(i, j, v)`` query result to a dense ``n x n`` array."""
+    if len(result.names) < 3:
+        raise SchemaError(
+            f"expected an (i, j, v) result, got columns {list(result.names)}"
+        )
     out = np.zeros((n, n))
-    for i, j, v in result.to_rows():
-        out[int(i), int(j)] = v
+    i = np.asarray(result.column(result.names[0]), dtype=np.int64)
+    j = np.asarray(result.column(result.names[1]), dtype=np.int64)
+    out[i, j] = np.asarray(result.column(result.names[2]), dtype=np.float64)
     return out
+
+
+def dense_vector_result(result, n: int) -> np.ndarray:
+    """Materialize an ``(i, v)`` query result to a dense length-``n`` vector."""
+    if len(result.names) < 2:
+        raise SchemaError(
+            f"expected an (i, v) result, got columns {list(result.names)}"
+        )
+    out = np.zeros(n)
+    i = np.asarray(result.column(result.names[0]), dtype=np.int64)
+    out[i] = np.asarray(result.column(result.names[1]), dtype=np.float64)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# first-class handles (the engine's register_matrix / register_vector)
+# ---------------------------------------------------------------------------
+
+
+class MatrixHandle:
+    """A registered matrix relation: table + dimension, densifiable.
+
+    Returned by :meth:`LevelHeadedEngine.register_matrix`; reference it
+    in SQL by :attr:`name`.  ``to_dense()`` materializes the stored
+    triples back to an ``n x n`` numpy array.
+    """
+
+    __slots__ = ("catalog", "table", "n", "domain")
+
+    def __init__(self, catalog: Catalog, table: Table, n: int, domain: str):
+        self.catalog = catalog
+        self.table = table
+        self.n = n
+        self.domain = domain
+
+    @property
+    def name(self) -> str:
+        return self.table.schema.name
+
+    @property
+    def nnz(self) -> int:
+        return self.table.num_rows
+
+    def to_dense(self) -> np.ndarray:
+        """The matrix as a dense ``(n, n)`` numpy array."""
+        return to_dense(self.table, self.n)
+
+    def __repr__(self) -> str:
+        return f"MatrixHandle({self.name!r}, n={self.n}, nnz={self.nnz})"
+
+
+class VectorHandle:
+    """A registered vector relation: table + dimension, densifiable."""
+
+    __slots__ = ("catalog", "table", "n", "domain")
+
+    def __init__(self, catalog: Catalog, table: Table, n: int, domain: str):
+        self.catalog = catalog
+        self.table = table
+        self.n = n
+        self.domain = domain
+
+    @property
+    def name(self) -> str:
+        return self.table.schema.name
+
+    @property
+    def nnz(self) -> int:
+        return self.table.num_rows
+
+    def to_vector(self) -> np.ndarray:
+        """The vector as a dense length-``n`` numpy array."""
+        out = np.zeros(self.n)
+        out[np.asarray(self.table.column("i"), dtype=np.int64)] = self.table.column("v")
+        return out
+
+    #: alias so matrix- and vector-densification read the same.
+    to_dense = to_vector
+
+    def __repr__(self) -> str:
+        return f"VectorHandle({self.name!r}, n={self.n}, nnz={self.nnz})"
+
+
+# ---------------------------------------------------------------------------
+# deprecated free-function surface (PR 4 shims; see CHANGES.md timeline)
+# ---------------------------------------------------------------------------
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old}() is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def register_coo(
+    catalog: Catalog,
+    name: str,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    n: int,
+    domain: Optional[str] = None,
+) -> Table:
+    """Deprecated: use ``engine.register_matrix(name, rows=..., cols=..., values=..., n=...)``."""
+    _deprecated("register_coo", "engine.register_matrix(...)")
+    return _register_coo(catalog, name, rows, cols, values, n, domain)
+
+
+def register_dense(
+    catalog: Catalog, name: str, array: np.ndarray, domain: Optional[str] = None
+) -> Table:
+    """Deprecated: use ``engine.register_matrix(name, array)``."""
+    _deprecated("register_dense", "engine.register_matrix(name, array)")
+    return _register_dense(catalog, name, array, domain)
+
+
+def register_vector(
+    catalog: Catalog,
+    name: str,
+    values: np.ndarray,
+    domain: str,
+    indices: Optional[np.ndarray] = None,
+) -> Table:
+    """Deprecated: use ``engine.register_vector(name, values, domain=...)``."""
+    _deprecated("register_vector", "engine.register_vector(...)")
+    return _register_vector(catalog, name, values, domain, indices)
+
+
+def result_to_dense(result, n: int) -> np.ndarray:
+    """Deprecated: use ``result.to_dense(n)``."""
+    _deprecated("result_to_dense", "result.to_dense(n)")
+    return dense_result(result, n)
 
 
 def result_to_vector(result, n: int) -> np.ndarray:
-    """Materialize an ``(i, v)`` query result to a dense vector."""
-    out = np.zeros(n)
-    for i, v in result.to_rows():
-        out[int(i)] = v
-    return out
+    """Deprecated: use ``result.to_vector(n)``."""
+    _deprecated("result_to_vector", "result.to_vector(n)")
+    return dense_vector_result(result, n)
 
 
 def random_sparse_coo(

@@ -139,6 +139,7 @@ class QueryLog:
         #: events written since construction (for tests / introspection).
         self.events_written = 0
         self.slow_events_written = 0
+        self.killed_events_written = 0
 
     @property
     def captures_traces(self) -> bool:
@@ -156,8 +157,18 @@ class QueryLog:
         rows: int,
         plan_text: Optional[str] = None,
         trace_root: Optional[Span] = None,
+        outcome: str = "ok",
     ) -> None:
-        """Append one query event; thread-safe, one line per call."""
+        """Append one query event; thread-safe, one line per call.
+
+        ``outcome`` is ``"ok"`` for served queries; killed queries pass
+        ``"timeout"`` / ``"cancelled"`` / ``"oom"`` and are logged as
+        ``killed_query`` events that *always* capture the plan text and
+        span tree (a query the governor killed is precisely the one to
+        diagnose afterwards).  Extra fields are only emitted for killed
+        queries so the ordinary event schema stays unchanged.
+        """
+        killed = outcome != "ok"
         slow = (
             self.slow_query_seconds is not None
             and execute_seconds >= self.slow_query_seconds
@@ -165,7 +176,7 @@ class QueryLog:
         # Stable field order: parsers and golden tests rely on it.
         event: Dict[str, object] = {
             "ts": round(self._clock(), 6),
-            "event": "slow_query" if slow else "query",
+            "event": "killed_query" if killed else ("slow_query" if slow else "query"),
             "sql": sql,
             "mode": mode,
             "cache_outcome": cache_outcome,
@@ -176,8 +187,11 @@ class QueryLog:
             "rows": int(rows),
             "slow": slow,
         }
-        if slow:
+        if killed:
+            event["outcome"] = outcome
+        if slow and not killed:
             event["threshold_ms"] = round(self.slow_query_seconds * 1000, 4)
+        if slow or killed:
             event["plan"] = plan_text
             event["trace"] = None if trace_root is None else trace_root.as_dict()
         line = json.dumps(event, separators=(",", ":"))
@@ -189,6 +203,8 @@ class QueryLog:
             self.events_written += 1
             if slow:
                 self.slow_events_written += 1
+            if killed:
+                self.killed_events_written += 1
 
     def close(self) -> None:
         if self._owns_stream:

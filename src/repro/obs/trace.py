@@ -138,6 +138,26 @@ class Tracer:
         if self._stack:
             self._stack[-1].payload.update(payload)
 
+    def mark(self, name: str, **payload) -> Optional[Span]:
+        """Record a zero-duration event span under the innermost open span.
+
+        Used for point-in-time facts -- "the deadline fired here", "the
+        query was cancelled here" -- that have a position in the tree
+        but no extent.
+        """
+        now = self._clock()
+        span = Span(name, now)
+        span.end = now
+        if payload:
+            span.payload.update(payload)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        elif self.root is not None:
+            self.root.children.append(span)
+        else:
+            self.root = span
+        return span
+
 
 class _NullSpan:
     """The shared inert span yielded by :data:`NULL_TRACER`."""
@@ -163,6 +183,9 @@ class NullTracer:
 
     def annotate(self, **payload) -> None:
         pass
+
+    def mark(self, name: str, **payload):
+        return None
 
 
 _NULL_SPAN = _NullSpan()

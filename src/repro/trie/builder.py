@@ -152,6 +152,17 @@ def _build_trie_impl(
     if n_rows == 0:
         return _empty_trie(key_attrs, annotations, domain_sizes, len(cols))
 
+    # Builds can dominate compile time for large relations; poll the
+    # ambient cancel token (set by the engine's ``cancel_scope``) once
+    # per level pass so deadlines fire during compilation too.  Imported
+    # lazily: ``repro.core`` imports the engine, which imports this
+    # module.
+    from ..core.governor import current_cancel
+
+    cancel = current_cancel()
+    if cancel is not None:
+        cancel.check()
+
     order = np.lexsort(tuple(reversed(cols)))
     cols = [c[order] for c in cols]
 
@@ -165,6 +176,8 @@ def _build_trie_impl(
     starts_per_level: list[np.ndarray] = []
     node_ids_per_level: list[np.ndarray] = []
     for depth, col in enumerate(cols):
+        if cancel is not None:
+            cancel.check()
         changed = np.zeros(n_rows, dtype=bool)
         changed[0] = True
         changed[1:] = col[1:] != col[:-1]

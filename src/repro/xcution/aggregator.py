@@ -27,6 +27,7 @@ class GroupAggregator:
         agg_funcs: Sequence[str],
         memory_budget_bytes: Optional[int] = None,
         group_width: int = 0,
+        allow_degraded: bool = True,
     ):
         self.agg_funcs = tuple(agg_funcs)
         self.n_aggs = len(agg_funcs)
@@ -42,6 +43,18 @@ class GroupAggregator:
         self._budget = memory_budget_bytes
         self._group_width = group_width
         self._since_check = 0
+        #: graceful degradation under budget pressure: instead of dying,
+        #: the dict-backed accumulation state spills into sorted-sparse
+        #: columnar runs (8 bytes per cell instead of a keyed dict
+        #: entry's ~64-byte overhead); ``result_arrays`` merges the runs
+        #: back with a sort + segmented reduce, so results are identical
+        #: to the dense path up to row order.
+        self._allow_degraded = allow_degraded and group_width > 0
+        self._spilled: List[Tuple[List[np.ndarray], np.ndarray]] = []
+        self._spilled_rows = 0
+        #: degradations performed (mirrored into
+        #: ``ExecutionStats.aggregator_spills`` by the executor).
+        self.spills = 0
 
     def add(self, key: Tuple, contribution: np.ndarray) -> None:
         """Merge one contribution vector into ``key``'s accumulator."""
@@ -107,6 +120,9 @@ class GroupAggregator:
             self.add(key, value)
         self._batches.extend(other._batches)
         self._batch_rows += other._batch_rows
+        self._spilled.extend(other._spilled)
+        self._spilled_rows += other._spilled_rows
+        self.spills += other.spills
         if self._budget is not None:
             self._check_budget()
 
@@ -128,38 +144,141 @@ class GroupAggregator:
         by the kernel profiler's per-node memory high-water.
         """
         per_group = 64 + 8 * (self._group_width + self.n_aggs)
-        return per_group * (len(self.groups) + self._batch_rows)
+        # spilled runs are pure columnar arrays: 8 bytes per cell plus a
+        # small per-row allowance, with no keyed-dict overhead -- that
+        # difference is exactly what degrading buys.
+        per_spilled = 8 + 8 * (self._group_width + self.n_aggs)
+        return (
+            per_group * (len(self.groups) + self._batch_rows)
+            + per_spilled * self._spilled_rows
+        )
 
     def _check_budget(self) -> None:
         self._since_check = 0
         if self._budget is None:
             return
         used = self.approx_bytes()
+        if used > self._budget and self._allow_degraded:
+            self._spill()
+            used = self.approx_bytes()
         if used > self._budget:
             raise OutOfMemoryBudgetError(
                 f"aggregation state exceeded memory budget "
                 f"({used} > {self._budget} bytes, "
-                f"{len(self.groups) + self._batch_rows} groups)",
+                f"{len(self.groups) + self._batch_rows + self._spilled_rows} groups)",
                 requested_bytes=used,
                 budget_bytes=self._budget,
             )
 
+    def _spill(self) -> bool:
+        """Degrade: move live state into sorted columnar runs.
+
+        Both the dict-backed groups and the pending unique batches move
+        into runs sorted by group key, so ``result_arrays`` can merge
+        every run (and late dict re-adds of already-spilled keys) with
+        one lexsort + segmented reduce per aggregate function.  Spilled
+        rows are accounted at the lean columnar rate, which is exactly
+        what degrading buys under budget pressure.
+        """
+        spilled_any = False
+        if self.groups:
+            keys = list(self.groups.keys())
+            columns = [
+                np.array([key[i] for key in keys], dtype=np.int64)
+                for i in range(self._group_width)
+            ]
+            matrix = np.vstack([self.groups[key] for key in keys])
+            order = np.lexsort(tuple(reversed(columns)))
+            self._spilled.append(([col[order] for col in columns], matrix[order]))
+            self._spilled_rows += len(keys)
+            self.groups.clear()
+            spilled_any = True
+        if self._batches:
+            columns = [
+                np.concatenate([batch[0][i] for batch in self._batches])
+                for i in range(self._group_width)
+            ]
+            matrix = np.vstack([batch[1] for batch in self._batches])
+            order = np.lexsort(tuple(reversed(columns)))
+            self._spilled.append(([col[order] for col in columns], matrix[order]))
+            self._spilled_rows += int(matrix.shape[0])
+            self._batches.clear()
+            self._batch_rows = 0
+            spilled_any = True
+        if spilled_any:
+            self.spills += 1
+        return spilled_any
+
+    def _merge_spilled(self) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Combine the spilled runs and any live dict groups, deduplicated.
+
+        Duplicate keys (a group touched both before and after a spill,
+        or present in several parfor partials) are reduced with each
+        aggregate's own combine: addition for SUM/COUNT, elementwise
+        min/max for MIN/MAX -- the same semiring ops the dense path
+        applies incrementally, so values match it exactly for integer
+        -valued aggregates and up to float re-association otherwise.
+        """
+        runs = list(self._spilled)
+        if self.groups:
+            keys = list(self.groups.keys())
+            runs.append(
+                (
+                    [
+                        np.array([key[i] for key in keys], dtype=np.int64)
+                        for i in range(self._group_width)
+                    ],
+                    np.vstack([self.groups[key] for key in keys]),
+                )
+            )
+        columns = [
+            np.concatenate([run[0][i] for run in runs])
+            for i in range(self._group_width)
+        ]
+        matrix = np.vstack([run[1] for run in runs])
+        order = np.lexsort(tuple(reversed(columns)))
+        columns = [col[order] for col in columns]
+        matrix = matrix[order]
+        new_group = np.zeros(matrix.shape[0], dtype=bool)
+        new_group[0] = True
+        for col in columns:
+            new_group[1:] |= col[1:] != col[:-1]
+        starts = np.flatnonzero(new_group)
+        out = np.empty((starts.size, self.n_aggs))
+        for a_idx in range(self.n_aggs):
+            func = self.agg_funcs[a_idx]
+            if func == "min":
+                out[:, a_idx] = np.minimum.reduceat(matrix[:, a_idx], starts)
+            elif func == "max":
+                out[:, a_idx] = np.maximum.reduceat(matrix[:, a_idx], starts)
+            else:
+                out[:, a_idx] = np.add.reduceat(matrix[:, a_idx], starts)
+        return [col[starts] for col in columns], out
+
     def __len__(self) -> int:
-        return len(self.groups) + self._batch_rows
+        """Groups held (an upper bound while degraded: a key spilled and
+        then touched again counts once per run until ``result_arrays``
+        deduplicates)."""
+        return len(self.groups) + self._batch_rows + self._spilled_rows
 
     def result_arrays(self) -> Tuple[List[np.ndarray], np.ndarray]:
         """Return (columnar group-key arrays, matrix of aggregate values)."""
         width = self._group_width
-        dict_keys = list(self.groups.keys())
-        columns: List[np.ndarray] = []
         matrices: List[np.ndarray] = []
-        if dict_keys:
-            key_cols = [
-                np.array([key[i] for key in dict_keys]) for i in range(width)
-            ]
-            matrices.append(np.vstack([self.groups[k] for k in dict_keys]))
+        if self._spilled:
+            # degraded mode: sorted-sparse runs (plus any post-spill dict
+            # re-adds) merge through one sort + segmented reduce
+            key_cols, merged = self._merge_spilled()
+            matrices.append(merged)
         else:
-            key_cols = [np.empty(0, dtype=np.int64) for _ in range(width)]
+            dict_keys = list(self.groups.keys())
+            if dict_keys:
+                key_cols = [
+                    np.array([key[i] for key in dict_keys]) for i in range(width)
+                ]
+                matrices.append(np.vstack([self.groups[k] for k in dict_keys]))
+            else:
+                key_cols = [np.empty(0, dtype=np.int64) for _ in range(width)]
         if self._batches:
             batch_cols: List[List[np.ndarray]] = [[] for _ in range(width)]
             for columns, matrix in self._batches:

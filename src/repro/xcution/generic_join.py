@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ExecutionError
+from ..errors import ExecutionError, OutOfMemoryBudgetError
 from ..sets.ops import intersect_many
 from .aggregator import GroupAggregator
 from .parfor import chunk_slices, parfor_chunks
@@ -42,11 +42,17 @@ class NodeExecutor:
         config: Optional[EngineConfig] = None,
         stats: Optional[ExecutionStats] = None,
         profiler=None,
+        cancel=None,
     ):
         self.node = node
         self.stats = stats if stats is not None else ExecutionStats()
         self.bindings = list(bindings)
         self.config = config or EngineConfig()
+        #: optional :class:`~repro.core.governor.CancelToken` polled at
+        #: chunk granularity (per loop value / vectorized batch); shared
+        #: verbatim with parfor worker clones so a ``cancel()`` or an
+        #: elapsed deadline stops every thread at its next poll.
+        self.cancel = cancel
         self.attrs = node.attrs
         n_attrs = len(self.attrs)
         #: optional :class:`repro.obs.KernelProfiler`; when set, the
@@ -115,6 +121,7 @@ class NodeExecutor:
             [a.func for a in self.aggs],
             memory_budget_bytes=self.config.memory_budget_bytes,
             group_width=len(node.walk_layout),
+            allow_degraded=self.config.allow_degraded_aggregation,
         )
 
     # -- public entry ---------------------------------------------------------
@@ -122,6 +129,8 @@ class NodeExecutor:
     def run(self) -> GroupAggregator:
         if not self.attrs:
             raise ExecutionError("join node with no attributes (use the scan path)")
+        if self.cancel is not None:
+            self.cancel.check()
         self.stats.nodes_executed += 1
         # The flat kernel is already fully vectorized (whole-node numpy
         # passes), so it runs as-is under parallel=True too: chunking a
@@ -138,7 +147,10 @@ class NodeExecutor:
             flat = self._try_flat_two_level()
         if flat:
             self.stats.flat_kernels += 1
+            if self.cancel is not None:
+                self.stats.cancel_checks += 1
             self.stats.groups_emitted += len(self.aggregator)
+            self.stats.aggregator_spills += self.aggregator.spills
             self._record_profile()
             return self.aggregator
         if self.config.parallel:
@@ -147,6 +159,7 @@ class NodeExecutor:
             self._recurse(0, ())
         self.aggregator.check_budget()
         self.stats.groups_emitted += len(self.aggregator)
+        self.stats.aggregator_spills += self.aggregator.spills
         self._record_profile()
         return self.aggregator
 
@@ -199,6 +212,7 @@ class NodeExecutor:
                 _serial(self.config, worker_budget),
                 stats=worker_stats,
                 profiler=self.profiler,
+                cancel=self.cancel,
             )
             if not chunk_safe_unique:
                 clone._unique_groups = False
@@ -206,10 +220,18 @@ class NodeExecutor:
             return clone.aggregator, worker_stats, clone._level_incl
 
         for partial, worker_stats, worker_incl in parfor_chunks(
-            worker, arr.size, self.config.num_threads
+            worker, arr.size, self.config.num_threads, cancel=self.cancel
         ):
-            self.aggregator.merge(partial)
+            # merge the worker's stats BEFORE its aggregate state: a
+            # budget blowout during the merge must not lose the deltas
+            # of work that was already done (the exception carries the
+            # merged-so-far counters as partial_stats).
             self.stats.merge(worker_stats)
+            try:
+                self.aggregator.merge(partial)
+            except OutOfMemoryBudgetError as exc:
+                exc.partial_stats = self.stats
+                raise
             if worker_incl is not None:
                 # sum of worker thread times: under parallel execution
                 # the per-level profile reports aggregate thread time,
@@ -229,6 +251,9 @@ class NodeExecutor:
         last = len(self.attrs) - 1
         if last == 0 and self._tail_ok(0):
             self.stats.tail_batches -= n_chunks - 1
+            if self.cancel is not None:
+                # the per-batch poll is likewise one logical check
+                self.stats.cancel_checks -= n_chunks - 1
         elif self.node.relaxed and last == 1 and self._relaxed_ok(0):
             self.stats.relaxed_unions -= n_chunks - 1
 
@@ -431,7 +456,12 @@ class NodeExecutor:
             (bi, self.slots_at[bi]) for bi, lvl in parts if lvl == self.last_level[bi]
         ]
         self.stats.loop_values += int(arr.size)
+        tick = self.cancel.tick if self.cancel is not None else None
+        if tick is not None:
+            self.stats.cancel_checks += int(arr.size)
         for idx in range(arr.size):
+            if tick is not None:
+                tick()
             value = int(arr[idx])
             self.current_code[attr] = value
             saved_states = []
@@ -497,6 +527,11 @@ class NodeExecutor:
 
     def _vector_tail(self, p: int, group_parts: Tuple, arr: np.ndarray, child_ids) -> None:
         self.stats.tail_batches += 1
+        if self.cancel is not None:
+            # one poll per vectorized batch: the numpy pass itself is the
+            # unit of interruptibility
+            self.stats.cancel_checks += 1
+            self.cancel.tick(int(arr.size))
         local = self._tail_env(p, arr, child_ids)
         n = arr.size
         if self.attrs[p] in self.materialized_set:
@@ -584,12 +619,17 @@ class NodeExecutor:
         parts = self.at_attr[p]
         self.stats.relaxed_unions += 1
         self.stats.loop_values += int(arr.size)
+        tick = self.cancel.tick if self.cancel is not None else None
+        if tick is not None:
+            self.stats.cancel_checks += int(arr.size)
         collected_keys: List[np.ndarray] = []
         collected_vals: List[np.ndarray] = []
         completions = [
             (bi, self.slots_at[bi]) for bi, lvl in parts if lvl == self.last_level[bi]
         ]
         for idx in range(arr.size):
+            if tick is not None:
+                tick()
             saved_states = []
             saved_slots = []
             for (bi, _lvl), ids in zip(parts, child_ids):

@@ -53,8 +53,20 @@ def chunk_slices(total: int, chunks: int) -> List[slice]:
     return slices
 
 
-def parfor_chunks(worker: Callable[[slice], T], total: int, num_threads: int) -> Iterator[T]:
-    """Run ``worker`` over contiguous chunks of ``range(total)`` in parallel."""
+def parfor_chunks(
+    worker: Callable[[slice], T], total: int, num_threads: int, cancel=None
+) -> Iterator[T]:
+    """Run ``worker`` over contiguous chunks of ``range(total)`` in parallel.
+
+    ``cancel`` (an optional :class:`~repro.core.governor.CancelToken`)
+    is checked before dispatch and between chunk results; the workers
+    themselves poll the same token inside their loops, so a fired token
+    stops every chunk at its next poll and the first worker's
+    ``QueryCancelledError``/``QueryTimeoutError`` propagates out of the
+    generator through its future.
+    """
+    if cancel is not None:
+        cancel.check()
     slices = chunk_slices(total, num_threads)
     if len(slices) <= 1:
         for sl in slices:
@@ -63,4 +75,8 @@ def parfor_chunks(worker: Callable[[slice], T], total: int, num_threads: int) ->
     with ThreadPoolExecutor(max_workers=len(slices)) as pool:
         futures = [pool.submit(worker, sl) for sl in slices]
         for future in futures:
+            # a fired token makes the remaining workers fail fast at
+            # their next poll, so draining the futures stays bounded
             yield future.result()
+            if cancel is not None and cancel.cancelled:
+                cancel.check()

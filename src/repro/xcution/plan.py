@@ -44,6 +44,19 @@ def _default_parallel() -> bool:
     )
 
 
+def _default_num_threads() -> int:
+    """Default for ``EngineConfig.num_threads``: ``REPRO_NUM_THREADS`` or 4.
+
+    CI's governance job runs the suite across a small thread matrix
+    (2 and 4) so chunking-dependent bugs surface without every test
+    hand-constructing configs.
+    """
+    raw = os.environ.get("REPRO_NUM_THREADS", "").strip()
+    if raw.isdigit() and int(raw) > 0:
+        return int(raw)
+    return 4
+
+
 @dataclass
 class EngineConfig:
     """Optimizer and executor toggles (the Table III ablations)."""
@@ -54,8 +67,12 @@ class EngineConfig:
     enable_blas: bool = True
     force_single_node_ghd: bool = False
     parallel: bool = field(default_factory=_default_parallel)
-    num_threads: int = 4
+    num_threads: int = field(default_factory=_default_num_threads)
     memory_budget_bytes: Optional[int] = None
+    #: under memory-budget pressure the group aggregator may degrade
+    #: from dict-backed dense accumulation to sorted-sparse columnar
+    #: runs instead of raising ``OutOfMemoryBudgetError`` outright.
+    allow_degraded_aggregation: bool = True
     #: pin the root node's attribute order (Figure 5b/5c experiments
     #: compare explicit orders); must be a permutation of the root's
     #: attributes that keeps materialized attributes first, except for

@@ -38,6 +38,16 @@ class ExecutionStats:
     fetches: int = 0
     #: output groups produced.
     groups_emitted: int = 0
+    #: cooperative cancellation polls issued by the executors.  Counted
+    #: per *value iterated* (not per clock read), so the total is
+    #: deterministic and identical under serial and parallel execution
+    #: -- the governance differential tests assert exactly that.
+    cancel_checks: int = 0
+    #: aggregator degradations: dict-backed group state spilled to a
+    #: sorted-sparse columnar run under memory-budget pressure.  Spill
+    #: opportunities depend on the per-worker budget split, so this
+    #: counter is *not* parallel-invariant (unlike the ones above).
+    aggregator_spills: int = 0
     #: plan-cache hits for the query these stats belong to (0 or 1 per
     #: query; cumulative across merges).
     plan_cache_hits: int = 0

@@ -12,7 +12,7 @@ aggregates.  Scan and BLAS plans dispatch to their own executors.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -57,11 +57,17 @@ class RawResult:
         return int(self.matrix.shape[0])
 
 
+#: sentinel: "no memory-budget override" (None is a real value: unbounded).
+_UNSET = object()
+
+
 def execute_plan(
     plan: PhysicalPlan,
     stats: Optional[ExecutionStats] = None,
     tracer=None,
     profiler=None,
+    cancel=None,
+    memory_budget_bytes=_UNSET,
 ) -> RawResult:
     """Execute a physical plan of any mode.
 
@@ -72,9 +78,17 @@ def execute_plan(
     mix.  ``profiler`` (optional, a :class:`repro.obs.KernelProfiler`)
     attributes join execution per trie level and kernel; the caller is
     responsible for also activating it (``repro.obs.activate``) so the
-    set/trie hot-path hooks see it.
+    set/trie hot-path hooks see it.  ``cancel`` (optional, a
+    :class:`repro.core.governor.CancelToken`) is polled between and
+    inside the node passes, so a deadline or ``cancel()`` stops the plan
+    at chunk granularity.  ``memory_budget_bytes`` overrides the plan
+    config's budget for this execution only (the governor passes each
+    query its reserved share of the global budget without mutating the
+    cached plan).
     """
     tracer = tracer or NULL_TRACER
+    if cancel is not None:
+        cancel.check()
     if plan.mode == "scan":
         with tracer.span("scan.execute", alias=plan.scan.alias):
             key_columns, matrix = execute_scan(plan.scan)
@@ -90,7 +104,14 @@ def execute_plan(
         with tracer.span("blas.execute", einsum=plan.blas.einsum_spec):
             return _execute_blas(plan)
     if plan.mode == "join":
-        aggregator = _execute_node(plan.root, plan.config, stats, tracer, profiler)
+        config = plan.config
+        if memory_budget_bytes is not _UNSET:
+            budget = memory_budget_bytes
+            if config.memory_budget_bytes is not None and budget is not None:
+                budget = min(budget, config.memory_budget_bytes)
+            if budget != config.memory_budget_bytes:
+                config = replace(config, memory_budget_bytes=budget)
+        aggregator = _execute_node(plan.root, config, stats, tracer, profiler, cancel)
         start = time.perf_counter() if profiler is not None else 0.0
         key_columns, matrix = aggregator.result_arrays()
         if profiler is not None:
@@ -143,11 +164,14 @@ def _execute_node(
     stats: Optional[ExecutionStats] = None,
     tracer=NULL_TRACER,
     profiler=None,
+    cancel=None,
 ):
     child_bindings = [
-        _materialize_child(child, config, stats, tracer, profiler)
+        _materialize_child(child, config, stats, tracer, profiler, cancel)
         for child in node.children
     ]
+    if cancel is not None:
+        cancel.check()
     with tracer.span("node.execute") as span:
         start = time.perf_counter() if profiler is not None else 0.0
         executor = NodeExecutor(
@@ -156,6 +180,7 @@ def _execute_node(
             config,
             stats=stats,
             profiler=profiler,
+            cancel=cancel,
         )
         if profiler is not None:
             profiler.add_category("node.setup", time.perf_counter() - start)
@@ -192,13 +217,16 @@ def _materialize_child(
     stats: Optional[ExecutionStats] = None,
     tracer=NULL_TRACER,
     profiler=None,
+    cancel=None,
 ) -> RelationBinding:
     """Run a child node and wrap its result as a trie-backed relation."""
     if not child.materialized:
         raise ExecutionError(
             "child GHD node shares no vertex with its parent (disconnected plan)"
         )
-    aggregator = _execute_node(child, config, stats, tracer, profiler)
+    aggregator = _execute_node(child, config, stats, tracer, profiler, cancel)
+    if cancel is not None:
+        cancel.check()
     start = time.perf_counter() if profiler is not None else 0.0
     key_columns, matrix = aggregator.result_arrays()
     if profiler is not None:

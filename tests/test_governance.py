@@ -1,0 +1,395 @@
+"""Governance tests: deadlines, cancellation, admission, degradation.
+
+Pins the PR-4 contract end to end:
+
+* a deadline kills an adversarial triangle count within 1.5x the
+  requested ``timeout_ms``, carrying partial stats and a span tree, and
+  the engine serves the next query normally;
+* ``QueryHandle.cancel()`` fires cross-thread cooperative cancellation;
+* eight concurrent sessions behind one two-slot governor all complete
+  (or surface :class:`RetryableAdmissionError`) -- never an unhandled
+  :class:`OutOfMemoryBudgetError`;
+* the degraded (sorted-sparse) aggregator returns rows identical to the
+  dense dict-backed path;
+* ``cancel_checks`` is a parallel-invariant counter (serial == 2 == 4
+  threads);
+* the deprecated free-function LA surface warns and delegates to the
+  handle-first API.
+"""
+
+import threading
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    EngineConfig,
+    LevelHeadedEngine,
+    OutOfMemoryBudgetError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    RetryableAdmissionError,
+    retry_admission,
+)
+from repro.core.governor import Governor
+from repro.storage import Catalog, Schema, Table, key
+
+TRIANGLE_SQL = (
+    "SELECT count(*) AS triangles FROM edges e1, edges e2, edges e3 "
+    "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src"
+)
+
+DEGREE_SQL = "SELECT src, count(*) AS degree FROM edges GROUP BY src"
+
+
+def graph_catalog(n_nodes: int, n_edges: int, seed: int = 7) -> Catalog:
+    rng = np.random.default_rng(seed)
+    pairs = sorted(
+        {(int(a), int(b)) for a, b in rng.integers(0, n_nodes, size=(n_edges, 2))}
+    )
+    catalog = Catalog()
+    catalog.register(
+        Table.from_columns(Schema("__v", [key("v", domain="node")]), v=np.arange(n_nodes))
+    )
+    catalog.register(
+        Table.from_columns(
+            Schema("edges", [key("src", domain="node"), key("dst", domain="node")]),
+            src=np.array([p[0] for p in pairs]),
+            dst=np.array([p[1] for p in pairs]),
+        )
+    )
+    return catalog
+
+
+# ---------------------------------------------------------------------------
+# deadlines
+# ---------------------------------------------------------------------------
+
+
+def test_timeout_kills_adversarial_triangle_within_budget():
+    # ~2s of serial work; the 150ms deadline must kill it within 1.5x.
+    engine = LevelHeadedEngine(
+        graph_catalog(500, 20_000), config=EngineConfig(parallel=False)
+    )
+    start = time.perf_counter()
+    with pytest.raises(QueryTimeoutError) as excinfo:
+        engine.query(TRIANGLE_SQL, timeout_ms=150)
+    elapsed_ms = (time.perf_counter() - start) * 1000
+    assert elapsed_ms <= 1.5 * 150, f"kill took {elapsed_ms:.1f}ms"
+
+    exc = excinfo.value
+    assert exc.partial_stats is not None
+    assert exc.partial_stats.cancel_checks > 0
+    assert exc.trace_root is not None  # span tree for the slow-query log
+    spans = exc.trace_root.render()
+    assert "query" in spans
+
+    # the engine is healthy afterwards: same session, next query runs.
+    assert engine.query("SELECT count(*) AS n FROM edges").single_value() > 0
+    assert engine.metrics.counter("query_timeouts") >= 1
+
+
+def test_connect_default_timeout_applies_to_every_query():
+    engine = repro.connect(catalog=graph_catalog(500, 20_000), timeout_ms=100)
+    with pytest.raises(QueryTimeoutError):
+        engine.query(TRIANGLE_SQL)
+    # per-call override beats the session default.
+    assert engine.query(DEGREE_SQL, timeout_ms=60_000).num_rows > 0
+
+
+def test_timeout_error_reaches_prepared_statements():
+    engine = LevelHeadedEngine(graph_catalog(500, 20_000))
+    stmt = engine.prepare(TRIANGLE_SQL)
+    with pytest.raises(QueryTimeoutError) as excinfo:
+        stmt.execute(timeout_ms=100)
+    assert excinfo.value.partial_stats is not None
+
+
+# ---------------------------------------------------------------------------
+# cooperative cancellation
+# ---------------------------------------------------------------------------
+
+
+def test_cross_thread_cancel_via_query_handle():
+    engine = LevelHeadedEngine(graph_catalog(500, 20_000))
+    handle = engine.submit(TRIANGLE_SQL)
+    time.sleep(0.05)  # let the worker get into the join loops
+    assert handle.cancel("operator hit the red button")
+    with pytest.raises(QueryCancelledError) as excinfo:
+        handle.result(timeout=30)
+    assert "red button" in str(excinfo.value)
+    assert excinfo.value.partial_stats is not None
+    assert handle.done
+    assert engine.metrics.counter("query_cancellations") >= 1
+
+
+def test_cancel_token_shared_across_threads():
+    engine = LevelHeadedEngine(graph_catalog(500, 20_000))
+    token = repro.CancelToken()
+    errors = []
+
+    def run():
+        try:
+            engine.query(TRIANGLE_SQL, cancel_token=token)
+        except QueryCancelledError as exc:
+            errors.append(exc)
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    time.sleep(0.05)
+    token.cancel("shutdown")
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert len(errors) == 1 and "shutdown" in str(errors[0])
+
+
+# ---------------------------------------------------------------------------
+# admission control
+# ---------------------------------------------------------------------------
+
+
+def test_eight_concurrent_sessions_complete_or_shed():
+    catalog = graph_catalog(150, 3_000)
+    governor = Governor(
+        max_concurrency=2, global_memory_budget_bytes=64 * 1024 * 1024
+    )
+    expected = LevelHeadedEngine(catalog).query(DEGREE_SQL).sorted_rows()
+
+    results, failures = [], []
+
+    def session(i: int) -> None:
+        engine = LevelHeadedEngine(catalog, governor=governor)
+        try:
+            rows = retry_admission(
+                lambda: engine.query(DEGREE_SQL).sorted_rows(), attempts=8
+            )
+            results.append(rows)
+        except RetryableAdmissionError as exc:
+            failures.append(exc)  # an acceptable, typed shed
+        except OutOfMemoryBudgetError as exc:  # pragma: no cover
+            pytest.fail(f"unhandled OOM escaped admission control: {exc}")
+
+    threads = [threading.Thread(target=session, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert all(not t.is_alive() for t in threads)
+    assert len(results) + len(failures) == 8
+    assert results, "admission starved every session"
+    for rows in results:
+        assert rows == expected
+    assert governor.counters["admitted"] >= len(results)
+
+
+def test_queue_full_rejects_with_retryable_error():
+    governor = Governor(max_concurrency=1, max_queue=0)
+    engine = LevelHeadedEngine(
+        graph_catalog(40, 300), governor=governor
+    )
+    held = governor.admit(cached=True, token=None)
+    try:
+        with pytest.raises(RetryableAdmissionError) as excinfo:
+            engine.query(DEGREE_SQL)
+        assert excinfo.value.retry_after_ms > 0
+    finally:
+        governor.release(held)
+    # slot freed: the same query is admitted and runs.
+    assert engine.query(DEGREE_SQL).num_rows > 0
+    prom = engine.metrics.to_prometheus()
+    assert "admission_rejected" in prom
+    assert "admission_admitted" in prom
+
+
+def test_load_shedding_rejects_non_cached_plans_first():
+    catalog = graph_catalog(40, 300)
+    engine = LevelHeadedEngine(catalog, governor=Governor(max_concurrency=4))
+    engine.query(DEGREE_SQL)  # warm the plan cache
+    engine.governor.set_load_shedding(True)
+    try:
+        # cached plan: cheap, still admitted.
+        assert engine.query(DEGREE_SQL).num_rows > 0
+        # non-cached plan: shed.
+        with pytest.raises(RetryableAdmissionError):
+            engine.query("SELECT count(*) AS n FROM edges")
+    finally:
+        engine.governor.set_load_shedding(False)
+    assert engine.governor.counters["rejected_shedding"] >= 1
+
+
+def test_memory_share_oom_converts_to_retryable():
+    # The governor's per-slot share (not the plan's own budget) is the
+    # binding constraint, so the kill surfaces as a typed, retryable
+    # admission error rather than an unhandled OOM.
+    engine = LevelHeadedEngine(
+        graph_catalog(200, 6_000),
+        config=EngineConfig(parallel=False, allow_degraded_aggregation=False),
+        governor=Governor(max_concurrency=2, global_memory_budget_bytes=2_000),
+    )
+    with pytest.raises(RetryableAdmissionError) as excinfo:
+        engine.query(DEGREE_SQL)
+    assert "memory share" in str(excinfo.value)
+    # without a governor the same query raises nothing (no budget at all).
+    free = LevelHeadedEngine(
+        graph_catalog(200, 6_000),
+        config=EngineConfig(parallel=False, allow_degraded_aggregation=False),
+    )
+    assert free.query(DEGREE_SQL).num_rows > 0
+
+
+# ---------------------------------------------------------------------------
+# graceful degradation
+# ---------------------------------------------------------------------------
+
+
+def _degradation_budget(catalog) -> int:
+    # between the sorted-sparse footprint (8 + 8*(w+a) bytes/group) and
+    # the dict footprint (64 + 8*(w+a) bytes/group) for DEGREE_SQL's
+    # (src, count) groups: forces a spill that then fits.
+    groups = len(set(catalog.table("edges").column("src").tolist()))
+    return 48 * groups
+
+
+def test_degraded_aggregator_matches_dense_results():
+    catalog = graph_catalog(400, 12_000)
+    dense = LevelHeadedEngine(
+        catalog, config=EngineConfig(parallel=False)
+    ).query(DEGREE_SQL, collect_stats=True)
+    assert dense.stats.aggregator_spills == 0
+
+    budget = _degradation_budget(catalog)
+    degraded = LevelHeadedEngine(
+        catalog,
+        config=EngineConfig(parallel=False, memory_budget_bytes=budget),
+    ).query(DEGREE_SQL, collect_stats=True)
+    assert degraded.stats.aggregator_spills > 0
+    assert degraded.sorted_rows() == dense.sorted_rows()
+
+
+def test_degradation_disabled_raises_oom():
+    catalog = graph_catalog(400, 12_000)
+    engine = LevelHeadedEngine(
+        catalog,
+        config=EngineConfig(
+            parallel=False,
+            memory_budget_bytes=_degradation_budget(catalog),
+            allow_degraded_aggregation=False,
+        ),
+    )
+    with pytest.raises(OutOfMemoryBudgetError):
+        engine.query(DEGREE_SQL)
+
+
+def test_memory_pressure_sheds_plan_cache():
+    governor = Governor(max_concurrency=2)
+    engine = LevelHeadedEngine(graph_catalog(40, 300), governor=governor)
+    for sql in (DEGREE_SQL, "SELECT count(*) AS n FROM edges"):
+        engine.query(sql)
+    assert len(engine.plan_cache) == 2
+    governor.note_memory_pressure()
+    assert len(engine.plan_cache) < 2
+    assert engine.metrics.counter("memory_pressure_events") >= 1
+    assert engine.metrics.counter("plan_cache_shed_entries") >= 1
+
+
+def test_plan_cache_peek_does_not_count_or_touch():
+    engine = LevelHeadedEngine(graph_catalog(40, 300))
+    engine.query(DEGREE_SQL)
+    hits = engine.plan_cache.stats.hits
+    key = engine._plan_key(DEGREE_SQL, engine.config)
+    assert engine.plan_cache.peek(key, engine.catalog) is True
+    assert engine.plan_cache.stats.hits == hits  # peek is not a hit
+    assert engine.plan_cache.peek(("nope", (), ()), engine.catalog) is False
+
+
+# ---------------------------------------------------------------------------
+# parallel invariance
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("threads", [2, 4])
+def test_cancel_checks_counter_is_parallel_invariant(threads):
+    catalog = graph_catalog(120, 1_500)
+    serial = LevelHeadedEngine(
+        catalog, config=EngineConfig(parallel=False)
+    ).query(TRIANGLE_SQL, collect_stats=True, timeout_ms=600_000)
+    parallel = LevelHeadedEngine(
+        catalog, config=EngineConfig(parallel=True, num_threads=threads)
+    ).query(TRIANGLE_SQL, collect_stats=True, timeout_ms=600_000)
+    assert serial.single_value() == parallel.single_value()
+    assert serial.stats.cancel_checks > 0
+    assert serial.stats.cancel_checks == parallel.stats.cancel_checks
+
+
+# ---------------------------------------------------------------------------
+# the handle-first LA surface and its deprecation shims
+# ---------------------------------------------------------------------------
+
+
+def test_register_matrix_handles_round_trip():
+    engine = LevelHeadedEngine()
+    rng = np.random.default_rng(3)
+    dense = rng.normal(size=(6, 6))
+    m = engine.register_matrix("m", dense, domain="dim")
+    assert m.n == 6 and m.nnz == 36
+    assert np.allclose(m.to_dense(), dense)
+
+    vec = rng.normal(size=6)
+    v = engine.register_vector("x", vec, domain="dim")
+    assert np.allclose(v.to_vector(), vec)
+    assert np.allclose(v.to_dense(), vec)  # alias
+
+    from repro.la import matvec_sql
+
+    result = engine.query(matvec_sql("m", "x"))
+    assert np.allclose(result.to_vector(6), dense @ vec)
+
+
+def test_register_matrix_coo_form():
+    engine = LevelHeadedEngine()
+    m = engine.register_matrix(
+        "m",
+        rows=np.array([0, 1]),
+        cols=np.array([1, 2]),
+        values=np.array([2.0, 3.0]),
+        n=4,
+    )
+    assert m.nnz == 2
+    expected = np.zeros((4, 4))
+    expected[[0, 1], [1, 2]] = [2.0, 3.0]
+    assert np.allclose(m.to_dense(), expected)
+
+
+def test_deprecated_la_free_functions_warn_and_delegate():
+    from repro.la import register_coo, register_vector, result_to_vector
+    from repro.la import matvec_sql
+
+    engine = LevelHeadedEngine()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        register_coo(
+            engine.catalog, "m",
+            np.array([0, 1]), np.array([0, 1]), np.array([1.0, 2.0]), n=2,
+            domain="dim",
+        )
+        register_vector(engine.catalog, "x", np.array([3.0, 4.0]), domain="dim")
+    assert sum(issubclass(w.category, DeprecationWarning) for w in caught) == 2
+
+    result = engine.query(matvec_sql("m", "x"))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        out = result_to_vector(result, 2)
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    assert np.allclose(out, [3.0, 8.0])
+    assert np.allclose(result.to_vector(2), out)
+
+
+def test_explain_analyze_shim_still_warns():
+    engine = LevelHeadedEngine(graph_catalog(20, 80))
+    with pytest.warns(DeprecationWarning):
+        engine.explain_analyze(DEGREE_SQL)
+    with pytest.warns(DeprecationWarning):
+        engine.execute_with_stats(engine.compile(DEGREE_SQL))
