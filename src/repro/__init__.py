@@ -65,6 +65,31 @@ from .xcution.plan import EngineConfig
 
 __version__ = "1.0.0"
 
+#: lazily-imported serving layer (keeps ``import repro`` light; the
+#: server/client modules pull in socketserver/http machinery).
+_LAZY_EXPORTS = {
+    "ReproServer": ("repro.server", "ReproServer"),
+    "MetricsHTTPServer": ("repro.server", "MetricsHTTPServer"),
+    "ReproClient": ("repro.client", "ReproClient"),
+    "RemoteStatement": ("repro.client", "RemoteStatement"),
+}
+
+
+def __getattr__(name):
+    entry = _LAZY_EXPORTS.get(name)
+    if entry is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(entry[0])
+    value = getattr(module, entry[1])
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_LAZY_EXPORTS))
+
 
 def connect(
     config=None,
@@ -138,5 +163,9 @@ __all__ = [
     "QueryCancelledError",
     "AdmissionError",
     "RetryableAdmissionError",
+    "ReproServer",
+    "MetricsHTTPServer",
+    "ReproClient",
+    "RemoteStatement",
     "__version__",
 ]

@@ -135,12 +135,59 @@ def run_application(n_voters: int, iterations: int) -> str:
     )
 
 
+def run_server(scale_factor: float, repeats: int) -> str:
+    """Serving-layer round-trip overhead: in-process vs over-the-wire.
+
+    Starts a :class:`~repro.server.ReproServer` on an ephemeral
+    localhost port, runs each TPC-H query in-process and through a
+    :class:`~repro.client.ReproClient`, and reports both medians plus
+    the wire overhead (framing + JSON + result reassembly).
+    """
+    from ..client import connect as client_connect
+    from ..server import ReproServer
+
+    catalog = generate_tpch(scale_factor=scale_factor, seed=2018)
+    engine = LevelHeadedEngine(catalog)
+    server = ReproServer(engine, port=0)
+    server.start()
+    rows: List[List[str]] = []
+    try:
+        with client_connect(server.host, server.port) as client:
+            for name, sql in TPCH_QUERIES.items():
+                local = run_guarded(lambda s=sql: engine.query(s), repeats=repeats)
+                wire = run_guarded(lambda s=sql: client.query(s), repeats=repeats)
+                overhead = (
+                    f"{(wire.seconds - local.seconds) * 1000:.2f}ms"
+                    if local.ok and wire.ok
+                    else "n/a"
+                )
+                rows.append(
+                    [
+                        name,
+                        format_seconds(local.seconds) if local.ok else local.label,
+                        format_seconds(wire.seconds) if wire.ok else wire.label,
+                        overhead,
+                    ]
+                )
+    finally:
+        server.stop()
+    return render_table(
+        f"Serving: wire round-trip at SF {scale_factor}",
+        ["query", "in-process", "over-the-wire", "overhead"],
+        rows,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.bench.run_all")
     parser.add_argument("--quick", action="store_true", help="tiny scales, 1 repeat")
     parser.add_argument("--sf", type=float, default=None, help="TPC-H scale factor")
     parser.add_argument("--matrix-scale", type=float, default=None)
     parser.add_argument("--voters", type=int, default=None)
+    parser.add_argument(
+        "--only", choices=["bi", "la", "app", "server"], default=None,
+        help="run a single section instead of the whole sweep",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -152,11 +199,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     voters = args.voters if args.voters is not None else voters
     timeout, budget = 60.0, 512 * 1024 * 1024
 
-    print(run_bi(sf, repeats, timeout, budget))
-    print()
-    print(run_la(mscale, dscale, repeats, timeout, budget))
-    print()
-    print(run_application(voters, iterations=5))
+    sections = {
+        "bi": lambda: run_bi(sf, repeats, timeout, budget),
+        "la": lambda: run_la(mscale, dscale, repeats, timeout, budget),
+        "app": lambda: run_application(voters, iterations=5),
+        "server": lambda: run_server(sf, repeats),
+    }
+    chosen = [args.only] if args.only else list(sections)
+    for index, key in enumerate(chosen):
+        if index:
+            print()
+        print(sections[key]())
     return 0
 
 

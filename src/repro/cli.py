@@ -1,10 +1,19 @@
-"""A small SQL shell over a saved catalog.
+"""A small SQL shell over a saved catalog, plus ``serve`` / remote modes.
 
 Usage::
 
     python -m repro.cli DATA_DIR               # interactive shell
     python -m repro.cli DATA_DIR -e "SELECT …" # one statement, then exit
     python -m repro.cli DATA_DIR --explain -e "SELECT …"
+
+    python -m repro.cli serve --load DATA_DIR --port 5433 --http-port 8181
+    python -m repro.cli --connect 127.0.0.1:5433 -e "SELECT …"
+    python -m repro.cli --connect 127.0.0.1:5433   # remote shell
+
+``serve`` loads a saved catalog and runs a
+:class:`~repro.server.ReproServer` until interrupted; ``--connect``
+turns the shell into a :class:`~repro.client.ReproClient` speaking to
+such a server instead of opening the catalog in-process.
 
 ``DATA_DIR`` is a directory written by
 :func:`repro.storage.persist.save_catalog` (``schema.json`` plus
@@ -140,11 +149,162 @@ def _handle_line(engine: LevelHeadedEngine, line: str) -> Optional[str]:
         return f"error: {exc}"
 
 
+# ---------------------------------------------------------------------------
+# remote mode (--connect host:port)
+# ---------------------------------------------------------------------------
+
+
+def run_remote_statement(client, sql: str, explain: bool = False) -> str:
+    """Execute one statement over the wire and render it like the shell."""
+    if explain:
+        return client.explain(sql)
+    start = time.perf_counter()
+    result = client.query(sql)
+    elapsed = (time.perf_counter() - start) * 1000
+    return f"{result.to_text()}\n({result.num_rows} rows in {elapsed:.1f}ms)"
+
+
+def _remote_repl(client) -> int:
+    print(f"LevelHeaded remote shell -- session {client.session} "
+          f"on {client.host}:{client.port} (\\q to quit)")
+    while True:
+        try:
+            line = input("lh> ")
+        except EOFError:
+            break
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped in ("\\q", "quit", "exit"):
+            break
+        explain = False
+        if stripped.startswith("\\explain "):
+            explain = True
+            stripped = stripped[len("\\explain "):]
+        try:
+            print(run_remote_statement(client, stripped, explain=explain))
+        except ReproError as exc:
+            print(f"error: {exc}")
+    return 0
+
+
+def _remote_main(args) -> int:
+    from .client import connect as client_connect
+
+    host, _, port = args.connect.rpartition(":")
+    try:
+        client = client_connect(host or "127.0.0.1", int(port))
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: cannot connect to {args.connect}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.execute:
+            status = 0
+            for sql in args.execute:
+                try:
+                    print(run_remote_statement(client, sql, explain=args.explain))
+                except ReproError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    status = 1
+            return status
+        return _remote_repl(client)
+    finally:
+        client.close()
+
+
+# ---------------------------------------------------------------------------
+# serve mode (repro.cli serve --load DATA_DIR)
+# ---------------------------------------------------------------------------
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.cli serve``: run a network server over a catalog."""
+    from .server import ReproServer
+    from .server.protocol import DEFAULT_BATCH_ROWS
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve",
+        description="serve a saved LevelHeaded catalog over TCP",
+    )
+    parser.add_argument(
+        "--load", required=True, metavar="DATA_DIR",
+        help="directory written by save_catalog to preload and serve",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=5433)
+    parser.add_argument(
+        "--http-port", type=int, default=None,
+        help="also serve GET /metrics and /healthz on this port",
+    )
+    parser.add_argument("--max-concurrency", type=int, default=None)
+    parser.add_argument("--memory-budget", type=int, default=None)
+    parser.add_argument("--timeout-ms", type=float, default=None)
+    parser.add_argument(
+        "--batch-rows", type=int, default=DEFAULT_BATCH_ROWS,
+        help="rows per result batch frame",
+    )
+    args = parser.parse_args(argv)
+
+    governor = None
+    if args.max_concurrency is not None or args.memory_budget is not None:
+        from .core.governor import Governor
+
+        governor = Governor(
+            max_concurrency=args.max_concurrency,
+            global_memory_budget_bytes=args.memory_budget,
+        )
+    try:
+        engine = LevelHeadedEngine(
+            load_catalog(args.load),
+            governor=governor,
+            default_timeout_ms=args.timeout_ms,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    server = ReproServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        http_port=args.http_port,
+        batch_rows=args.batch_rows,
+    )
+    try:
+        host, port = server.start()
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    tables = len(list(engine.catalog.names()))
+    print(f"serving {tables} tables on {host}:{port}", flush=True)
+    if server.http_port is not None:
+        print(f"metrics on http://{host}:{server.http_port}/metrics", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.stop()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="SQL shell over a saved LevelHeaded catalog"
     )
-    parser.add_argument("data_dir", help="directory written by save_catalog")
+    parser.add_argument(
+        "data_dir", nargs="?", default=None,
+        help="directory written by save_catalog",
+    )
+    parser.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="connect to a running 'repro.cli serve' instead of a data dir",
+    )
     parser.add_argument(
         "-e", "--execute", action="append", default=None,
         help="execute this statement and exit (repeatable)",
@@ -165,6 +325,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="global memory budget in bytes shared across admitted queries",
     )
     args = parser.parse_args(argv)
+
+    if args.connect is not None:
+        return _remote_main(args)
+    if args.data_dir is None:
+        parser.error("data_dir is required unless --connect is given")
 
     governor = None
     if args.max_concurrency is not None or args.memory_budget is not None:

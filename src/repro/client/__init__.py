@@ -1,0 +1,26 @@
+"""``repro.client``: the reference client for :mod:`repro.server`.
+
+::
+
+    import repro.client
+
+    with repro.client.connect("127.0.0.1", 5433) as client:
+        result = client.query("SELECT COUNT(*) FROM lineitem")
+        print(result.single_value())
+
+        stmt = client.prepare("SELECT ... WHERE l_quantity < :qty")
+        print(stmt.execute({"qty": 24}).num_rows)
+
+Results come back as ordinary
+:class:`~repro.core.result.ResultTable` objects, and server-side
+failures raise the *same* typed exceptions as the in-process API
+(:class:`~repro.errors.QueryTimeoutError`,
+:class:`~repro.errors.RetryableAdmissionError`, ...), so code written
+against ``repro.connect()`` -- including
+:func:`repro.core.governor.retry_admission` backoff loops -- works
+unchanged against a server.
+"""
+
+from .client import ReproClient, RemoteStatement, connect
+
+__all__ = ["ReproClient", "RemoteStatement", "connect"]

@@ -1,0 +1,324 @@
+"""Blocking TCP client speaking the :mod:`repro.server.protocol` frames.
+
+One :class:`ReproClient` wraps one connection.  The client is
+deliberately simple -- one request/response exchange at a time -- but
+:meth:`ReproClient.cancel` and :meth:`ReproClient.cancel_active` only
+take the write lock, so another thread can kill an in-flight query on
+the same connection (that is the whole point of running queries on
+server-side worker threads).
+
+Row batches are reassembled into a real
+:class:`~repro.core.result.ResultTable`: the ``result_header`` frame
+carries per-column dtype tags, so numeric columns come back as
+``int64``/``float64`` arrays exactly like the in-process engine
+produced them, not as JSON-shaped lists.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..core.result import ResultTable
+from ..errors import ReproError, error_from_wire
+from ..server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["ReproClient", "RemoteStatement", "connect"]
+
+#: dtype tag -> numpy dtype used to rebuild result columns.
+_TAG_DTYPES = {"int": np.int64, "float": np.float64, "bool": np.bool_}
+
+
+def _rebuild_result(names: List[str], dtypes: List[str], rows: List[list]) -> ResultTable:
+    columns = []
+    for index, tag in enumerate(dtypes):
+        values = [row[index] for row in rows]
+        dtype = _TAG_DTYPES.get(tag)
+        if dtype is None:
+            column = np.empty(len(values), dtype=object)
+            column[:] = values
+        else:
+            column = np.array(values, dtype=dtype)
+        columns.append(column)
+    return ResultTable(names, columns)
+
+
+class RemoteStatement:
+    """A prepared statement living in the server-side session."""
+
+    def __init__(self, client: "ReproClient", stmt_id: int, params: int):
+        self._client = client
+        self.stmt_id = stmt_id
+        #: number of parameter slots the statement expects.
+        self.params = params
+        self.closed = False
+
+    def execute(
+        self,
+        params: Optional[Dict] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> ResultTable:
+        if self.closed:
+            raise ReproError("prepared statement is closed")
+        return self._client._run(
+            {"type": "execute", "stmt": self.stmt_id},
+            params=params,
+            timeout_ms=timeout_ms,
+        )
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._client._close_statement(self.stmt_id)
+
+    def __enter__(self) -> "RemoteStatement":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"RemoteStatement(stmt={self.stmt_id}, params={self.params}, {state})"
+
+
+class ReproClient:
+    """One connection to a :class:`~repro.server.ReproServer`.
+
+    Thread model: queries are serialized (one exchange at a time under
+    an internal lock); ``cancel``/``cancel_active`` may be called from
+    any thread while a query is in flight.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        connect_timeout: float = 10.0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        # blocking I/O from here on; query runtimes are governed
+        # server-side (timeout_ms), not by socket timeouts
+        self._sock.settimeout(None)
+        # request frames are flushed whole -- Nagle would trade 40ms of
+        # latency per round-trip for nothing
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._write_lock = threading.Lock()  # frame writes (cancel interleaves)
+        self._exchange_lock = threading.RLock()  # request/response conversations
+        self._next_qid = 1
+        self._active_qid: Optional[int] = None
+        self.closed = False
+        self.session: Optional[str] = None
+        self.batch_rows: Optional[int] = None
+        self.server: Optional[str] = None
+        try:
+            self._handshake()
+        except BaseException:
+            self._teardown()
+            raise
+
+    # -- public API -------------------------------------------------------------
+
+    def query(
+        self,
+        sql: str,
+        params: Optional[Dict] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> ResultTable:
+        """Run ``sql`` on the server and return its full result."""
+        return self._run({"type": "query", "sql": sql}, params=params, timeout_ms=timeout_ms)
+
+    def explain(self, sql: str, params: Optional[Dict] = None) -> str:
+        """The server's plan text for ``sql``."""
+        with self._exchange_lock:
+            qid = self._start({"type": "query", "sql": sql, "explain": True}, params, None)
+            try:
+                frame = self._read_for(qid)
+                if frame["type"] != "explain":
+                    raise ProtocolError(
+                        f"expected explain frame, got {frame['type']!r}"
+                    )
+                return frame["text"]
+            finally:
+                self._active_qid = None
+
+    def prepare(self, sql: str) -> RemoteStatement:
+        """Compile ``sql`` server-side; returns the reusable handle."""
+        with self._exchange_lock:
+            self._ensure_open()
+            self._write({"type": "prepare", "sql": sql})
+            frame = self._read_for(None)
+            if frame["type"] != "prepared":
+                raise ProtocolError(f"expected prepared frame, got {frame['type']!r}")
+            return RemoteStatement(self, frame["stmt"], frame["params"])
+
+    def cancel(self, qid: int, reason: str = "cancelled by client") -> None:
+        """Ask the server to kill in-flight query ``qid`` (thread-safe)."""
+        self._write({"type": "cancel", "qid": qid, "reason": reason})
+
+    def cancel_active(self, reason: str = "cancelled by client") -> bool:
+        """Cancel whatever query this client currently has in flight."""
+        qid = self._active_qid
+        if qid is None:
+            return False
+        self.cancel(qid, reason)
+        return True
+
+    def close(self) -> None:
+        """Say goodbye and drop the connection (idempotent)."""
+        if self.closed:
+            return
+        try:
+            with self._exchange_lock:
+                self._write({"type": "close"})
+                frame = read_frame(self._rfile, self.max_frame_bytes)
+                if frame is not None and frame["type"] not in ("bye", "error"):
+                    pass  # tolerate stragglers; we are leaving either way
+        except (ReproError, ConnectionError, OSError, ValueError):
+            pass
+        finally:
+            self._teardown()
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"session={self.session}"
+        return f"ReproClient({self.host}:{self.port}, {state})"
+
+    # -- exchange machinery -------------------------------------------------------
+
+    def _handshake(self) -> None:
+        self._write({"type": "hello", "version": PROTOCOL_VERSION, "client": "repro.client/1"})
+        frame = read_frame(self._rfile, self.max_frame_bytes)
+        if frame is None:
+            raise ProtocolError("server closed the connection during handshake")
+        if frame["type"] == "error":
+            raise error_from_wire(frame["error"])
+        if frame["type"] != "hello":
+            raise ProtocolError(f"expected hello frame, got {frame['type']!r}")
+        self.session = frame.get("session")
+        self.batch_rows = frame.get("batch_rows")
+        self.server = frame.get("server")
+
+    def _run(
+        self,
+        request: Dict,
+        params: Optional[Dict],
+        timeout_ms: Optional[float],
+    ) -> ResultTable:
+        with self._exchange_lock:
+            qid = self._start(request, params, timeout_ms)
+            try:
+                return self._collect(qid)
+            finally:
+                self._active_qid = None
+
+    def _start(self, request: Dict, params: Optional[Dict], timeout_ms: Optional[float]) -> int:
+        self._ensure_open()
+        qid = self._next_qid
+        self._next_qid += 1
+        request = dict(request, qid=qid)
+        if params is not None:
+            request["params"] = params
+        if timeout_ms is not None:
+            request["timeout_ms"] = timeout_ms
+        # publish before sending so cancel_active() from another thread
+        # can never miss a query that is already on the wire
+        self._active_qid = qid
+        self._write(request)
+        return qid
+
+    def _collect(self, qid: int) -> ResultTable:
+        frame = self._read_for(qid)
+        if frame["type"] != "result_header":
+            raise ProtocolError(f"expected result_header frame, got {frame['type']!r}")
+        names: List[str] = frame["names"]
+        dtypes: List[str] = frame["dtypes"]
+        rows: List[list] = []
+        while True:
+            frame = self._read_for(qid)
+            if frame["type"] == "batch":
+                rows.extend(frame["rows"])
+            elif frame["type"] == "done":
+                return _rebuild_result(names, dtypes, rows)
+            else:
+                raise ProtocolError(
+                    f"expected batch/done frame, got {frame['type']!r}"
+                )
+
+    def _read_for(self, qid: Optional[int]) -> Dict:
+        """Next frame for ``qid``; raises the typed error on error frames."""
+        while True:
+            frame = read_frame(self._rfile, self.max_frame_bytes)
+            if frame is None:
+                self._teardown()
+                raise ProtocolError("server closed the connection mid-exchange")
+            if frame["type"] == "error":
+                raise error_from_wire(frame["error"])
+            if qid is None or frame.get("qid") == qid:
+                return frame
+            # a straggler from a cancelled earlier query: drop it
+
+    def _close_statement(self, stmt_id: int) -> None:
+        if self.closed:
+            return
+        with self._exchange_lock:
+            self._write({"type": "close_stmt", "stmt": stmt_id})
+            frame = self._read_for(None)
+            if frame["type"] != "closed":
+                raise ProtocolError(f"expected closed frame, got {frame['type']!r}")
+
+    def _write(self, frame: Dict) -> None:
+        self._ensure_open()
+        try:
+            with self._write_lock:
+                write_frame(self._wfile, frame, self.max_frame_bytes)
+        except (ConnectionError, OSError, ValueError) as exc:
+            self._teardown()
+            raise ProtocolError(f"connection to server lost: {exc}") from exc
+
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise ReproError("client connection is closed")
+
+    def _teardown(self) -> None:
+        self.closed = True
+        for stream in (getattr(self, "_wfile", None), getattr(self, "_rfile", None)):
+            try:
+                if stream is not None:
+                    stream.close()
+            except (OSError, ValueError):
+                pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    connect_timeout: float = 10.0,
+) -> ReproClient:
+    """Open a connection and complete the protocol handshake."""
+    return ReproClient(host, port, connect_timeout=connect_timeout)

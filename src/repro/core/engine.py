@@ -333,6 +333,7 @@ class LevelHeadedEngine:
         collect_stats: bool = False,
         trace: bool = False,
         timeout_ms: Optional[float] = None,
+        cancel_token: Optional[CancelToken] = None,
     ) -> QueryHandle:
         """Run ``query(sql, ...)`` on a background thread.
 
@@ -341,8 +342,17 @@ class LevelHeadedEngine:
         thread (the executors notice at their next poll),
         ``handle.result(timeout=...)`` joins and returns the
         :class:`ResultTable` or re-raises the query's error.
+        ``cancel_token`` shares an external token (a serving session's,
+        say) instead of minting a fresh one.
+
+        The handle owns its governor slot for as long as the query
+        runs: release it deterministically with ``handle.close()`` (or
+        a ``with`` block).  A handle that is dropped without
+        ``result()``/``cancel()``/``close()`` is caught by a finalizer
+        that cancels the query on garbage collection, so abandoned
+        handles cannot pin admission slots.
         """
-        token = self._make_token(timeout_ms, None) or CancelToken()
+        token = self._make_token(timeout_ms, cancel_token) or CancelToken()
         handle = QueryHandle(token, sql)
         thread = threading.Thread(
             target=handle._run,

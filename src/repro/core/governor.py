@@ -35,6 +35,7 @@ from __future__ import annotations
 import random
 import threading
 import time
+import weakref
 from collections import deque
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional
@@ -53,6 +54,8 @@ __all__ = [
     "retry_admission",
     "cancel_scope",
     "current_cancel",
+    "admission_scope",
+    "current_admission_session",
 ]
 
 
@@ -172,6 +175,30 @@ def current_cancel() -> Optional[CancelToken]:
     return getattr(_SCOPE, "token", None)
 
 
+# A serving layer tags every admission with the client session it acts
+# for, again through a thread-local scope so the tag never has to be
+# plumbed through ``engine.query`` / ``PreparedStatement.execute``:
+# the server wraps each request in ``admission_scope(session_id)`` and
+# :meth:`Governor.admit` picks the tag up ambiently.
+_ADMISSION_SCOPE = threading.local()
+
+
+@contextmanager
+def admission_scope(session: Optional[str]):
+    """Attribute this thread's admissions to ``session`` (a label)."""
+    previous = getattr(_ADMISSION_SCOPE, "session", None)
+    _ADMISSION_SCOPE.session = session
+    try:
+        yield session
+    finally:
+        _ADMISSION_SCOPE.session = previous
+
+
+def current_admission_session() -> Optional[str]:
+    """This thread's ambient admission-session label (None outside)."""
+    return getattr(_ADMISSION_SCOPE, "session", None)
+
+
 # ---------------------------------------------------------------------------
 # admission control
 # ---------------------------------------------------------------------------
@@ -183,16 +210,25 @@ class AdmissionSlot:
     ``memory_share_bytes`` is this query's reserved share of the
     governor's global memory budget (None when no global budget is
     configured); the executor apportions it further across parfor
-    workers.  Release through :meth:`Governor.release` (the engine does
-    this in a ``finally``).
+    workers.  ``session`` is the admission-session label the grant was
+    attributed to (see :func:`admission_scope`; None for untagged
+    callers).  Release through :meth:`Governor.release` (the engine
+    does this in a ``finally``).
     """
 
-    __slots__ = ("memory_share_bytes", "waited_seconds", "queued", "_released")
+    __slots__ = ("memory_share_bytes", "waited_seconds", "queued", "session", "_released")
 
-    def __init__(self, memory_share_bytes: Optional[int], waited_seconds: float, queued: bool):
+    def __init__(
+        self,
+        memory_share_bytes: Optional[int],
+        waited_seconds: float,
+        queued: bool,
+        session: Optional[str] = None,
+    ):
         self.memory_share_bytes = memory_share_bytes
         self.waited_seconds = waited_seconds
         self.queued = queued
+        self.session = session
         self._released = False
 
 
@@ -241,6 +277,10 @@ class Governor:
         self._lock = threading.Lock()
         self._active = 0
         self._waiters: deque[_Waiter] = deque()
+        #: active slots per admission-session label (serving layers tag
+        #: admissions via :func:`admission_scope`; untagged slots are
+        #: not tracked here).
+        self._session_active: Dict[str, int] = {}
         self._shedding = False
         self._pressure_listeners: List[Callable[[], None]] = []
         self._rng = random.Random(0x1eaded)
@@ -286,16 +326,25 @@ class Governor:
         return base * (1.0 + jitter)
 
     def admit(
-        self, cached: bool = False, token: Optional[CancelToken] = None
+        self,
+        cached: bool = False,
+        token: Optional[CancelToken] = None,
+        session: Optional[str] = None,
     ) -> AdmissionSlot:
         """Block until a slot is free; returns the granted slot.
 
         ``cached`` marks a query whose plan is already compiled (load
         shedding rejects non-cached plans first -- a cached plan costs
         no compile work and frees its slot sooner).  ``token`` bounds
-        the wait by the query's own deadline.  Raises
+        the wait by the query's own deadline.  ``session`` attributes
+        the grant to a serving session (defaults to the thread's
+        ambient :func:`admission_scope` label); per-session active
+        counts appear in :meth:`snapshot` so a leaked slot is traceable
+        to the client that leaked it.  Raises
         :class:`RetryableAdmissionError` on backpressure.
         """
+        if session is None:
+            session = current_admission_session()
         t0 = time.monotonic()
         waiter: Optional[_Waiter] = None
         with self._lock:
@@ -311,7 +360,7 @@ class Governor:
                 if not self._waiters or self.max_concurrency is None:
                     self._active += 1
                     self.counters["admitted"] += 1
-                    return AdmissionSlot(self.memory_share_bytes, 0.0, queued=False)
+                    return self._grant_locked(session, 0.0, queued=False)
             if len(self._waiters) >= self.max_queue:
                 self.counters["rejected_queue_full"] += 1
                 if not cached:
@@ -340,12 +389,13 @@ class Governor:
         )
         waited = time.monotonic() - t0
         if granted:
-            return AdmissionSlot(self.memory_share_bytes, waited, queued=True)
+            with self._lock:
+                return self._grant_locked(session, waited, queued=True)
         # timed out (or the token's deadline elapsed while queued):
         # withdraw from the queue -- unless a grant raced the timeout.
         with self._lock:
             if waiter.granted:
-                return AdmissionSlot(self.memory_share_bytes, waited, queued=True)
+                return self._grant_locked(session, waited, queued=True)
             try:
                 self._waiters.remove(waiter)
             except ValueError:
@@ -361,12 +411,28 @@ class Governor:
     def _retry_hint_ms_locked(self, base: float = 25.0) -> float:
         return base * (1.0 + self._rng.random())
 
+    def _grant_locked(
+        self, session: Optional[str], waited: float, queued: bool
+    ) -> AdmissionSlot:
+        """Build the granted slot and book its session (lock held)."""
+        if session is not None:
+            self._session_active[session] = self._session_active.get(session, 0) + 1
+        return AdmissionSlot(
+            self.memory_share_bytes, waited, queued=queued, session=session
+        )
+
     def release(self, slot: AdmissionSlot) -> None:
         """Free one slot, handing it to the longest waiter (FIFO)."""
         if slot is None or slot._released:
             return
         slot._released = True
         with self._lock:
+            if slot.session is not None:
+                remaining = self._session_active.get(slot.session, 0) - 1
+                if remaining > 0:
+                    self._session_active[slot.session] = remaining
+                else:
+                    self._session_active.pop(slot.session, None)
             # hand the slot straight to the next waiter: active count is
             # unchanged and the grant order is strictly FIFO
             while self._waiters:
@@ -405,6 +471,7 @@ class Governor:
                 "active": self._active,
                 "waiting": len(self._waiters),
                 "load_shedding": self._shedding,
+                "sessions": dict(self._session_active),
                 "counters": dict(self.counters),
             }
 
@@ -421,6 +488,11 @@ class Governor:
             f"  (queue bound {snap['max_queue']})",
             f"  load_shedding: {'on' if snap['load_shedding'] else 'off'}",
         ]
+        if snap["sessions"]:
+            active = ", ".join(
+                f"{name}={count}" for name, count in sorted(snap["sessions"].items())
+            )
+            lines.append(f"  sessions: {active}")
         for name in sorted(snap["counters"]):
             lines.append(f"  {name}: {snap['counters'][name]}")
         return "\n".join(lines)
@@ -464,6 +536,16 @@ def retry_admission(
 # ---------------------------------------------------------------------------
 
 
+def _abandon_handle(token: CancelToken, done: threading.Event) -> None:
+    """Finalizer for a garbage-collected, still-running QueryHandle.
+
+    Module-level on purpose: a ``weakref.finalize`` callback must not
+    hold a reference back to the handle it guards.
+    """
+    if not done.is_set():
+        token.cancel("QueryHandle abandoned without result(), cancel(), or close()")
+
+
 class QueryHandle:
     """A future-like handle over one in-flight query.
 
@@ -473,6 +555,14 @@ class QueryHandle:
     next poll and the query dies with
     :class:`~repro.errors.QueryCancelledError` (re-raised from
     :meth:`result`).
+
+    A handle owns a governor slot for as long as its query runs, so an
+    abandoned handle must not pin the slot forever: :meth:`close`
+    cancels a still-running query and waits for the slot to come back,
+    handles work as context managers, and a handle that is simply
+    dropped is caught by a ``weakref`` finalizer that fires the cancel
+    token on garbage collection.  The serving layer relies on this for
+    client-disconnect cleanup.
     """
 
     def __init__(self, token: CancelToken, sql: str):
@@ -481,6 +571,7 @@ class QueryHandle:
         self._done = threading.Event()
         self._result = None
         self._exception: Optional[BaseException] = None
+        self._finalizer = weakref.finalize(self, _abandon_handle, token, self._done)
 
     # -- driver side ----------------------------------------------------------
 
@@ -516,6 +607,27 @@ class QueryHandle:
         if self._exception is not None:
             raise self._exception
         return self._result
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Release the handle: cancel if still running, reclaim the slot.
+
+        Safe to call any number of times and after ``result()``.  A
+        still-running query is cancelled (reason ``"query handle
+        closed"``) and ``close`` waits up to ``timeout`` seconds
+        (default: forever) for the background thread to finish -- at
+        which point its governor slot is guaranteed released.  The
+        query's outcome (result or error) stays readable afterwards.
+        """
+        self._finalizer.detach()
+        if not self._done.is_set():
+            self.token.cancel("query handle closed")
+        self._done.wait(timeout)
+
+    def __enter__(self) -> "QueryHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         state = "done" if self.done else "running"

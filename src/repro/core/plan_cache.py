@@ -24,6 +24,7 @@ evictions are all counted, and surfaced per-query through
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -71,9 +72,13 @@ class PlanCache:
         if self.capacity < 1:
             raise ValueError("plan cache capacity must be >= 1")
         self._entries: "OrderedDict[Tuple, PhysicalPlan]" = OrderedDict()
+        # one engine's cache is shared by every serving thread; the LRU
+        # reorder + counter pairs below must be atomic under concurrency
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def lookup(self, key: Tuple, catalog) -> Tuple[Optional[PhysicalPlan], str]:
         """Return ``(plan, outcome)``; outcome is hit/miss/invalidated.
@@ -82,17 +87,18 @@ class PlanCache:
         is dropped (its tries hold codes from superseded dictionaries)
         and the lookup reports ``invalidated`` so the caller recompiles.
         """
-        plan = self._entries.get(key)
-        if plan is None:
-            self.stats.misses += 1
-            return None, MISS
-        if not plan.is_current(catalog):
-            del self._entries[key]
-            self.stats.invalidations += 1
-            return None, INVALIDATED
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return plan, HIT
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.stats.misses += 1
+                return None, MISS
+            if not plan.is_current(catalog):
+                del self._entries[key]
+                self.stats.invalidations += 1
+                return None, INVALIDATED
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return plan, HIT
 
     def peek(self, key: Tuple, catalog) -> bool:
         """Whether ``key`` would hit, without touching counters or LRU order.
@@ -102,8 +108,9 @@ class PlanCache:
         non-cached work first); the real ``lookup`` still happens after
         admission and owns the hit/miss accounting.
         """
-        plan = self._entries.get(key)
-        return plan is not None and plan.is_current(catalog)
+        with self._lock:
+            plan = self._entries.get(key)
+            return plan is not None and plan.is_current(catalog)
 
     def shed_lru(self, fraction: float = 0.5, keep: int = 1) -> int:
         """Drop the least-recently-used ``fraction`` of entries.
@@ -113,33 +120,37 @@ class PlanCache:
         failing admission.  Shed entries count as evictions.  Returns
         the number of entries dropped.
         """
-        n_drop = min(
-            max(0, len(self._entries) - max(0, keep)),
-            int(len(self._entries) * fraction),
-        )
-        for _ in range(n_drop):
-            self._entries.popitem(last=False)
-        self.stats.evictions += n_drop
-        return n_drop
+        with self._lock:
+            n_drop = min(
+                max(0, len(self._entries) - max(0, keep)),
+                int(len(self._entries) * fraction),
+            )
+            for _ in range(n_drop):
+                self._entries.popitem(last=False)
+            self.stats.evictions += n_drop
+            return n_drop
 
     def store(self, key: Tuple, plan: PhysicalPlan) -> None:
         """Insert ``plan``, evicting the least recently used beyond capacity."""
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def invalidate_stale(self, catalog) -> int:
         """Proactively drop every entry stale against ``catalog``."""
-        stale = [k for k, p in self._entries.items() if not p.is_current(catalog)]
-        for key in stale:
-            del self._entries[key]
-        self.stats.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [k for k, p in self._entries.items() if not p.is_current(catalog)]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __repr__(self) -> str:
         return (

@@ -3,9 +3,20 @@
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still distinguishing parse errors from planning or resource errors.
+
+The hierarchy is also the server wire contract: :func:`error_to_wire`
+flattens any library error into a JSON-ready dict with a stable ``code``
+plus the fields a remote caller needs to react (``retry_after_ms`` for
+backoff, ``timeout_ms``/``elapsed_ms`` for deadlines, ...), and
+:func:`error_from_wire` rebuilds the matching typed exception on the
+client so ``except QueryTimeoutError`` and
+:func:`repro.core.governor.retry_admission` work identically in-process
+and over the network.
 """
 
 from __future__ import annotations
+
+from typing import Dict
 
 
 class ReproError(Exception):
@@ -125,3 +136,76 @@ class OutOfMemoryBudgetError(ExecutionError):
         self.budget_bytes = budget_bytes
         #: ExecutionStats accumulated up to the failure (None if unknown).
         self.partial_stats = None
+
+
+# ---------------------------------------------------------------------------
+# wire serialization (the repro.server / repro.client error contract)
+# ---------------------------------------------------------------------------
+
+#: stable wire codes, one per exception class.  Codes are part of the
+#: network protocol (docs/server.md): never reuse or renumber them.
+_CODE_BY_CLASS = {
+    ParseError: "parse",
+    BindError: "bind",
+    SchemaError: "schema",
+    UnsupportedQueryError: "unsupported",
+    PlanningError: "planning",
+    QueryTimeoutError: "timeout",
+    QueryCancelledError: "cancelled",
+    OutOfMemoryBudgetError: "oom",
+    ExecutionError: "execution",
+    RetryableAdmissionError: "admission_retry",
+    AdmissionError: "admission",
+    ReproError: "internal",
+}
+
+_CLASS_BY_CODE = {code: cls for cls, code in _CODE_BY_CLASS.items()}
+
+#: extra per-class fields carried across the wire (attribute names map
+#: 1:1 onto constructor keywords of the matching class).
+_WIRE_FIELDS = {
+    "parse": ("position",),
+    "timeout": ("timeout_ms", "elapsed_ms"),
+    "cancelled": ("reason",),
+    "oom": ("requested_bytes", "budget_bytes"),
+    "admission_retry": ("retry_after_ms",),
+}
+
+
+def error_to_wire(exc: BaseException) -> Dict:
+    """Flatten ``exc`` into a JSON-ready dict: ``{"code", "message", ...}``.
+
+    Library errors keep their typed identity (most-derived class wins);
+    anything else -- a genuine server bug -- becomes ``code:
+    "internal"`` so clients never see a raw traceback frame.
+    """
+    code = "internal"
+    for cls in type(exc).__mro__:
+        if cls in _CODE_BY_CLASS:
+            code = _CODE_BY_CLASS[cls]
+            break
+    payload: Dict = {"code": code, "message": str(exc)}
+    for field in _WIRE_FIELDS.get(code, ()):
+        value = getattr(exc, field, None)
+        if value is not None:
+            payload[field] = value
+    return payload
+
+
+def error_from_wire(payload: Dict) -> ReproError:
+    """Rebuild the typed exception :func:`error_to_wire` flattened.
+
+    Unknown codes degrade to plain :class:`ReproError` (a newer server
+    talking to an older client must still produce a catchable error).
+    """
+    code = payload.get("code", "internal")
+    message = payload.get("message", "unknown server error")
+    cls = _CLASS_BY_CODE.get(code, ReproError)
+    kwargs = {}
+    for field in _WIRE_FIELDS.get(code, ()):
+        if field in payload:
+            kwargs[field] = payload[field]
+    try:
+        return cls(message, **kwargs)
+    except TypeError:  # pragma: no cover -- malformed extras from a peer
+        return cls(message)

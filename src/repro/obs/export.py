@@ -70,6 +70,14 @@ def to_prometheus(registry, namespace: str = "repro") -> str:
         out.append(f"# TYPE {metric} counter")
         out.append(f"{metric} {_fmt(snap['counters'][name])}")
 
+    # point-in-time gauges (active connections, live sessions, ...);
+    # absent from older snapshots, so .get keeps external dicts working
+    for name in sorted(snap.get("gauges", {})):
+        metric = f"{namespace}_{_metric_name(name)}"
+        out.append(f"# HELP {metric} Gauge '{name}'.")
+        out.append(f"# TYPE {metric} gauge")
+        out.append(f"{metric} {_fmt(snap['gauges'][name])}")
+
     metric = f"{namespace}_plan_cache_hit_rate"
     out.append(f"# HELP {metric} Plan-cache hits over hit+miss lookups.")
     out.append(f"# TYPE {metric} gauge")

@@ -91,12 +91,23 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, float] = {}
 
     # -- recording ----------------------------------------------------------
 
     def inc(self, name: str, by: int = 1) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + by
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge (active connections, queue depth...)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def inc_gauge(self, name: str, by: float = 1) -> None:
+        """Adjust a gauge by ``by`` (negative to decrement)."""
+        with self._lock:
+            self._gauges[name] = self._gauges.get(name, 0) + by
 
     def observe(self, name: str, value: float) -> None:
         with self._lock:
@@ -132,6 +143,10 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def gauge(self, name: str) -> float:
+        with self._lock:
+            return self._gauges.get(name, 0)
+
     def histogram(self, name: str) -> Optional[Histogram]:
         with self._lock:
             return self._histograms.get(name)
@@ -156,6 +171,7 @@ class MetricsRegistry:
         """
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             histograms = {
                 name: histogram.as_dict()
                 for name, histogram in self._histograms.items()
@@ -165,6 +181,7 @@ class MetricsRegistry:
         total = hits + misses
         return {
             "counters": counters,
+            "gauges": gauges,
             "histograms": histograms,
             "cache_hit_rate": hits / total if total else 0.0,
         }
@@ -185,6 +202,8 @@ class MetricsRegistry:
         lines = ["metrics:"]
         for name in sorted(snap["counters"]):
             lines.append(f"  {name}: {snap['counters'][name]}")
+        for name in sorted(snap["gauges"]):
+            lines.append(f"  {name}: {snap['gauges'][name]:g} (gauge)")
         lines.append(f"  cache_hit_rate: {snap['cache_hit_rate']:.3f}")
         for name in sorted(snap["histograms"]):
             h = snap["histograms"][name]
@@ -199,3 +218,4 @@ class MetricsRegistry:
         with self._lock:
             self._counters.clear()
             self._histograms.clear()
+            self._gauges.clear()

@@ -1,0 +1,31 @@
+"""``repro.server``: a multi-client network front-end over one engine.
+
+The serving layer turns a single governed
+:class:`~repro.core.engine.LevelHeadedEngine` into a multi-tenant
+service: length-prefixed JSON frames over localhost TCP
+(:mod:`repro.server.protocol`), one :class:`~repro.server.session.Session`
+per connection owning prepared statements and cancel tokens, and an
+optional HTTP sidecar exposing Prometheus metrics and a health probe
+(:mod:`repro.server.http`).  The reference client lives in
+:mod:`repro.client`.
+"""
+
+from .http import MetricsHTTPServer
+from .protocol import (
+    DEFAULT_BATCH_ROWS,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from .server import ReproServer
+from .session import Session
+
+__all__ = [
+    "DEFAULT_BATCH_ROWS",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "MetricsHTTPServer",
+    "ProtocolError",
+    "ReproServer",
+    "Session",
+]

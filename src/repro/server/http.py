@@ -1,0 +1,110 @@
+"""A tiny HTTP sidecar: ``GET /metrics`` and ``GET /healthz``.
+
+Operational surfaces only -- queries never travel over HTTP.  The
+handler is stdlib ``http.server`` on a dedicated thread pool
+(``ThreadingHTTPServer``), so a slow scraper cannot stall the frame
+protocol, and request logging is silenced (scrapes hit every few
+seconds; they are telemetry, not traffic worth a log line each).
+
+* ``/metrics`` renders ``engine.metrics`` via
+  :func:`repro.obs.export.to_prometheus` -- one scrape covers engine
+  counters/histograms *and* the ``server_*`` serving metrics, since
+  the server records into the same registry.
+* ``/healthz`` answers ``{"status": "ok", ...}`` with live session and
+  governor gauges; load balancers and the CI server job poll it to know
+  the process is up.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+__all__ = ["MetricsHTTPServer"]
+
+logger = logging.getLogger("repro.server.http")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 -- http.server API
+        owner: "MetricsHTTPServer" = self.server.owner  # type: ignore[attr-defined]
+        if self.path == "/metrics":
+            body = owner.engine.metrics.to_prometheus().encode("utf-8")
+            self._reply(200, "text/plain; version=0.0.4; charset=utf-8", body)
+        elif self.path == "/healthz":
+            body = json.dumps(owner.health(), separators=(",", ":")).encode("utf-8")
+            self._reply(200, "application/json", body)
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (ConnectionError, OSError):  # pragma: no cover -- scraper gone
+            pass
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("http: " + format, *args)
+
+
+class MetricsHTTPServer:
+    """Serve ``/metrics`` and ``/healthz`` for one engine."""
+
+    def __init__(self, engine, host: str = "127.0.0.1", port: int = 0, governor=None):
+        self.engine = engine
+        self.governor = governor if governor is not None else engine.governor
+        self.host = host
+        self.port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def health(self) -> dict:
+        payload = {
+            "status": "ok",
+            "active_connections": int(
+                self.engine.metrics.gauge("server_active_connections")
+            ),
+        }
+        if self.governor is not None:
+            snap = self.governor.snapshot()
+            payload["governor"] = {
+                "active": snap["active"],
+                "waiting": snap["waiting"],
+            }
+        return payload
+
+    def start(self) -> Tuple[str, int]:
+        if self._httpd is not None:
+            raise RuntimeError("metrics server already started")
+        self._httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.owner = self  # type: ignore[attr-defined]
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-server-http",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("metrics on http://%s:%d/metrics", self.host, self.port)
+        return self.host, self.port
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None

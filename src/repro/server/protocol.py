@@ -1,0 +1,135 @@
+"""The wire protocol: length-prefixed JSON frames over a byte stream.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding a single object with a ``type`` field.
+The format is deliberately boring -- any language with sockets and JSON
+can speak it -- and bounded: a peer announcing a frame larger than
+``max_frame_bytes`` is cut off before a single payload byte is read, so
+a malicious or broken client cannot balloon server memory.  Results
+stream back in bounded row batches (``batch`` frames) for the same
+reason: a billion-row result never materializes as one frame.
+
+Request types (client -> server)::
+
+    hello      {version, client?}               -- must be first
+    query      {qid, sql, params?, timeout_ms?, explain?}
+    prepare    {sql}
+    execute    {qid, stmt, params?, timeout_ms?}
+    cancel     {qid, reason?}
+    close_stmt {stmt}
+    close      {}
+
+Response types (server -> client)::
+
+    hello         {version, server, session, batch_rows}
+    result_header {qid, names, dtypes}
+    batch         {qid, rows}                   -- row-major, <= batch_rows
+    done          {qid, rows, elapsed_ms}
+    explain       {qid, text}
+    prepared      {stmt, params}
+    closed        {stmt}
+    error         {qid?, error: {code, message, ...}}
+    bye           {}
+
+Every response to an in-flight statement carries its ``qid`` so a
+client can multiplex several queries over one connection; errors embed
+the :mod:`repro.errors` wire form (see :func:`repro.errors.error_to_wire`)
+and the reference client rebuilds the typed exception.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO, Dict, Optional
+
+from .. import errors as _errors
+from ..errors import ReproError, error_to_wire
+
+#: protocol version spoken by this module (bumped on breaking changes).
+PROTOCOL_VERSION = 1
+
+#: hard ceiling on a single frame, requests and responses alike.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: default rows per ``batch`` frame (servers may lower, never raise,
+#: what the client asks for).
+DEFAULT_BATCH_ROWS = 1024
+
+_LENGTH = struct.Struct("!I")
+
+
+class ProtocolError(ReproError):
+    """The byte stream violated the framing or message contract."""
+
+
+# register the wire code here rather than in repro.errors: the error
+# taxonomy stays dependency-free while protocol violations still cross
+# the wire as a typed code instead of "internal"
+_errors._CODE_BY_CLASS[ProtocolError] = "protocol"
+_errors._CLASS_BY_CODE["protocol"] = ProtocolError
+
+
+def write_frame(stream: BinaryIO, message: Dict, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Serialize ``message`` as one frame onto ``stream`` and flush."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > max_frame_bytes:
+        raise ProtocolError(
+            f"outgoing frame of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte frame limit"
+        )
+    stream.write(_LENGTH.pack(len(payload)) + payload)
+    stream.flush()
+
+
+def _read_exact(stream: BinaryIO, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if remaining == n:
+                return None  # clean EOF between frames
+            raise ProtocolError(
+                f"truncated frame: peer closed after {n - remaining} of {n} bytes"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(stream: BinaryIO, max_frame_bytes: int = MAX_FRAME_BYTES) -> Optional[Dict]:
+    """Read one frame; returns the decoded dict, or None on clean EOF.
+
+    Raises :class:`ProtocolError` on a truncated prefix or payload, an
+    announced length beyond ``max_frame_bytes``, payload bytes that are
+    not a JSON object, or an object without a string ``type`` field.
+    """
+    prefix = _read_exact(stream, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"incoming frame announces {length} bytes, over the "
+            f"{max_frame_bytes}-byte frame limit"
+        )
+    payload = _read_exact(stream, length) if length else b""
+    if payload is None:  # pragma: no cover -- only reachable for length 0 EOF
+        payload = b""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame payload: {exc}") from exc
+    if not isinstance(message, dict) or not isinstance(message.get("type"), str):
+        raise ProtocolError("frame payload must be an object with a string 'type'")
+    return message
+
+
+def error_frame(exc: BaseException, qid: Optional[int] = None) -> Dict:
+    """The ``error`` response frame for ``exc`` (optionally query-tagged)."""
+    frame: Dict = {"type": "error", "error": error_to_wire(exc)}
+    if qid is not None:
+        frame["qid"] = qid
+    return frame

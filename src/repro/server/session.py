@@ -1,0 +1,142 @@
+"""Per-connection serving state: prepared handles + in-flight queries.
+
+Each accepted connection owns exactly one :class:`Session`.  The
+session is the unit of cleanup: prepared-statement handles live and die
+with it, every in-flight query is registered under its client-chosen
+``qid`` with a :class:`~repro.core.governor.CancelToken`, and
+:meth:`close` -- called on ``close`` frames, protocol violations, and
+client disconnects alike -- cancels whatever is still running so the
+governor gets its slots back the moment the client goes away.
+
+Admissions performed on behalf of the session are tagged with its id
+through :func:`~repro.core.governor.admission_scope`, so a governor
+snapshot (and ``\\governor`` in the CLI) attributes active slots to the
+sessions holding them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from ..core.governor import CancelToken
+from ..core.prepared import PreparedStatement
+from ..errors import ReproError
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One client connection's server-side state."""
+
+    def __init__(self, session_id: str, engine, peer: str = ""):
+        self.id = session_id
+        self.engine = engine
+        self.peer = peer
+        self.started = time.monotonic()
+        self._lock = threading.Lock()
+        self._statements: Dict[int, PreparedStatement] = {}
+        self._next_stmt = 1
+        self._inflight: Dict[int, CancelToken] = {}
+        self._closed = False
+        #: queries this session started (reported at close).
+        self.queries = 0
+
+    # -- in-flight queries ----------------------------------------------------
+
+    def register_query(self, qid: int, timeout_ms: Optional[float]) -> CancelToken:
+        """Mint and register the cancel token for query ``qid``.
+
+        Called synchronously by the connection's frame reader *before*
+        execution starts, so a ``cancel`` frame arriving immediately
+        after the ``query`` frame always finds its target.
+        """
+        token = CancelToken(timeout_ms=timeout_ms)
+        with self._lock:
+            if self._closed:
+                raise ReproError("session is closed")
+            if qid in self._inflight:
+                raise ReproError(f"query id {qid} is already in flight")
+            self._inflight[qid] = token
+            self.queries += 1
+        return token
+
+    def finish_query(self, qid: int) -> None:
+        with self._lock:
+            self._inflight.pop(qid, None)
+
+    def cancel_query(self, qid: int, reason: str = "cancelled by client") -> bool:
+        """Fire the token of in-flight query ``qid``; False if unknown."""
+        with self._lock:
+            token = self._inflight.get(qid)
+        if token is None:
+            return False
+        return token.cancel(reason)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    # -- prepared statements ---------------------------------------------------
+
+    def prepare(self, sql: str) -> int:
+        """Compile ``sql`` and return the session-scoped statement id."""
+        statement = self.engine.prepare(sql)
+        with self._lock:
+            if self._closed:
+                raise ReproError("session is closed")
+            stmt_id = self._next_stmt
+            self._next_stmt += 1
+            self._statements[stmt_id] = statement
+        return stmt_id
+
+    def statement(self, stmt_id: int) -> PreparedStatement:
+        with self._lock:
+            statement = self._statements.get(stmt_id)
+        if statement is None:
+            raise ReproError(f"unknown prepared statement id {stmt_id}")
+        return statement
+
+    def close_statement(self, stmt_id: int) -> bool:
+        with self._lock:
+            return self._statements.pop(stmt_id, None) is not None
+
+    @property
+    def statements(self) -> int:
+        with self._lock:
+            return len(self._statements)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, reason: str = "session closed") -> int:
+        """Tear the session down; returns how many queries were killed.
+
+        Idempotent.  Cancels every in-flight token (the executors
+        notice at their next poll and release their governor slots) and
+        drops the prepared-statement handles.
+        """
+        with self._lock:
+            if self._closed:
+                return 0
+            self._closed = True
+            tokens = list(self._inflight.values())
+            self._inflight.clear()
+            self._statements.clear()
+        killed = 0
+        for token in tokens:
+            if token.cancel(reason):
+                killed += 1
+        return killed
+
+    def elapsed_seconds(self) -> float:
+        return time.monotonic() - self.started
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Session({self.id}, peer={self.peer!r}, {state})"

@@ -393,3 +393,60 @@ def test_explain_analyze_shim_still_warns():
         engine.explain_analyze(DEGREE_SQL)
     with pytest.warns(DeprecationWarning):
         engine.execute_with_stats(engine.compile(DEGREE_SQL))
+
+
+# ---------------------------------------------------------------------------
+# QueryHandle slot hygiene (the PR-5 leak fix)
+# ---------------------------------------------------------------------------
+
+
+def test_abandoned_handle_releases_its_governor_slot():
+    import gc
+
+    governor = Governor(max_concurrency=1)
+    engine = LevelHeadedEngine(
+        graph_catalog(500, 20_000),
+        config=EngineConfig(parallel=False),
+        governor=governor,
+    )
+    handle = engine.submit(TRIANGLE_SQL)
+    deadline = time.time() + 10
+    while governor.snapshot()["active"] == 0 and time.time() < deadline:
+        time.sleep(0.005)  # wait for the slot grant
+    assert governor.snapshot()["active"] == 1
+    # drop the only reference without result()/cancel()/close(): the
+    # finalizer must fire the token and the slot must come back
+    del handle
+    gc.collect()
+    deadline = time.time() + 20
+    while governor.snapshot()["active"] and time.time() < deadline:
+        time.sleep(0.01)
+    assert governor.snapshot()["active"] == 0
+    # the freed slot admits the next query normally
+    assert engine.query(DEGREE_SQL).num_rows > 0
+
+
+def test_handle_close_cancels_and_reclaims_slot():
+    governor = Governor(max_concurrency=1)
+    engine = LevelHeadedEngine(
+        graph_catalog(500, 20_000),
+        config=EngineConfig(parallel=False),
+        governor=governor,
+    )
+    with engine.submit(TRIANGLE_SQL) as handle:
+        pass  # __exit__ closes: cancel + wait for the slot
+    assert handle.done
+    assert isinstance(handle.exception(), QueryCancelledError)
+    assert "query handle closed" in str(handle.exception())
+    assert governor.snapshot()["active"] == 0
+    handle.close()  # idempotent
+    assert engine.query(DEGREE_SQL).num_rows > 0
+
+
+def test_handle_close_after_result_keeps_result_readable():
+    engine = LevelHeadedEngine(graph_catalog(40, 300), governor=Governor(max_concurrency=2))
+    handle = engine.submit(DEGREE_SQL)
+    rows = handle.result(timeout=60).num_rows
+    handle.close()
+    assert handle.result().num_rows == rows  # still readable after close
+    assert engine.governor.snapshot()["active"] == 0
