@@ -19,7 +19,7 @@ from repro.baselines import LAPackage, NaiveWCOJEngine, PairwiseEngine
 from repro.bench import Measurement, best_of, render_table, run_guarded
 from repro.datasets import dense_vector, sparse_profile
 from repro.datasets.tpch import Q5
-from repro.la import matvec_sql, register_coo, register_vector
+from repro.la import matvec_sql
 
 from .conftest import BUDGET, MATRIX_SCALE, REPEATS, TIMEOUT
 
@@ -47,9 +47,10 @@ def test_fig1_landscape(benchmark, tpch_catalog, report_log):
 
     # LA side: SMV on the hv15r profile
     (rows, cols, vals), n = sparse_profile("hv15r", scale=MATRIX_SCALE, seed=2018)
-    catalog = LevelHeadedEngine().catalog
-    register_coo(catalog, "m", rows, cols, vals, n=n, domain="dim")
-    register_vector(catalog, "x", dense_vector(n), domain="dim")
+    loader = LevelHeadedEngine()
+    loader.register_matrix("m", rows=rows, cols=cols, values=vals, n=n, domain="dim")
+    loader.register_vector("x", dense_vector(n), domain="dim")
+    catalog = loader.catalog
     package = LAPackage()
     package.load_sparse("m", rows, cols, vals, n)
     package.load_vector("x", dense_vector(n))

@@ -15,7 +15,7 @@ import pytest
 from repro import EngineConfig, LevelHeadedEngine
 from repro.bench import Measurement, format_seconds, render_table, run_guarded
 from repro.datasets import sparse_profile
-from repro.la import matmul_sql, register_coo
+from repro.la import matmul_sql
 
 from .conftest import MATRIX_SCALE, REPEATS, TIMEOUT
 
@@ -27,9 +27,9 @@ def smm_setup():
     # Fig 5b uses nlp240; a slightly smaller instance keeps the bad
     # order's runtime bounded.
     (rows, cols, vals), n = sparse_profile("nlp240", scale=MATRIX_SCALE * 0.6, seed=2018)
-    catalog = LevelHeadedEngine().catalog
-    register_coo(catalog, "m", rows, cols, vals, n=n, domain="dim")
-    return catalog, matmul_sql("m")
+    loader = LevelHeadedEngine()
+    loader.register_matrix("m", rows=rows, cols=cols, values=vals, n=n, domain="dim")
+    return loader.catalog, matmul_sql("m")
 
 
 def _order_config(catalog, sql, order):

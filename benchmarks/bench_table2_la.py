@@ -21,7 +21,7 @@ from repro import LevelHeadedEngine
 from repro.baselines import LAPackage, NaiveWCOJEngine, PairwiseEngine
 from repro.bench import Measurement, comparison_row, render_table, run_guarded
 from repro.datasets import dense_matrix, dense_vector, sparse_profile
-from repro.la import matmul_sql, matvec_sql, register_coo, register_dense, register_vector
+from repro.la import matmul_sql, matvec_sql
 
 from .conftest import BUDGET, DENSE_SCALE, MATRIX_SCALE, REPEATS, TIMEOUT
 
@@ -32,8 +32,8 @@ _rows = {}
 def _sparse_setup(name):
     (rows, cols, vals), n = sparse_profile(name, scale=MATRIX_SCALE, seed=2018)
     engine = LevelHeadedEngine()
-    register_coo(engine.catalog, "m", rows, cols, vals, n=n, domain="dim")
-    register_vector(engine.catalog, "x", dense_vector(n), domain="dim")
+    engine.register_matrix("m", rows=rows, cols=cols, values=vals, n=n, domain="dim")
+    engine.register_vector("x", dense_vector(n), domain="dim")
     package = LAPackage()
     package.load_sparse("m", rows, cols, vals, n)
     package.load_vector("x", dense_vector(n))
@@ -44,8 +44,8 @@ def _dense_setup(label):
     matrix = dense_matrix(label, scale=DENSE_SCALE, seed=2018)
     n = matrix.shape[0]
     engine = LevelHeadedEngine()
-    register_dense(engine.catalog, "m", matrix, domain="dim")
-    register_vector(engine.catalog, "x", dense_vector(n), domain="dim")
+    engine.register_matrix("m", matrix, domain="dim")
+    engine.register_vector("x", dense_vector(n), domain="dim")
     package = LAPackage()
     package.load_dense("m", matrix)
     package.load_vector("x", dense_vector(n))

@@ -16,7 +16,7 @@ import pytest
 from repro import EngineConfig, LevelHeadedEngine
 from repro.bench import Measurement, format_seconds, render_table, run_guarded
 from repro.datasets import TPCH_QUERIES, dense_matrix, dense_vector, sparse_profile
-from repro.la import matmul_sql, matvec_sql, register_coo, register_dense, register_vector
+from repro.la import matmul_sql, matvec_sql
 
 from .conftest import DENSE_SCALE, MATRIX_SCALE, REPEATS, TIMEOUT, TPCH_SF
 
@@ -80,9 +80,10 @@ def test_tpch_ablations(benchmark, tpch_catalog, query, report_log):
 @pytest.mark.parametrize("kernel", ["SMV", "SMM"])
 def test_sparse_ablations(benchmark, profile, kernel, report_log):
     (rows, cols, vals), n = sparse_profile(profile, scale=MATRIX_SCALE, seed=2018)
-    catalog = LevelHeadedEngine().catalog
-    register_coo(catalog, "m", rows, cols, vals, n=n, domain="dim")
-    register_vector(catalog, "x", dense_vector(n), domain="dim")
+    loader = LevelHeadedEngine()
+    loader.register_matrix("m", rows=rows, cols=cols, values=vals, n=n, domain="dim")
+    loader.register_vector("x", dense_vector(n), domain="dim")
+    catalog = loader.catalog
     sql = matvec_sql("m", "x") if kernel == "SMV" else matmul_sql("m")
 
     lh = LevelHeadedEngine(catalog)
@@ -106,9 +107,10 @@ def test_sparse_ablations(benchmark, profile, kernel, report_log):
 def test_dense_ablations(benchmark, kernel, report_log):
     matrix = dense_matrix("16384", scale=DENSE_SCALE, seed=2018)
     n = matrix.shape[0]
-    catalog = LevelHeadedEngine().catalog
-    register_dense(catalog, "m", matrix, domain="dim")
-    register_vector(catalog, "x", dense_vector(n), domain="dim")
+    loader = LevelHeadedEngine()
+    loader.register_matrix("m", matrix, domain="dim")
+    loader.register_vector("x", dense_vector(n), domain="dim")
+    catalog = loader.catalog
     sql = matvec_sql("m", "x") if kernel == "DMV" else matmul_sql("m")
 
     lh = LevelHeadedEngine(catalog)

@@ -21,7 +21,7 @@ from repro import LevelHeadedEngine
 from repro.baselines import LAPackage
 from repro.bench import format_seconds, measure, render_table
 from repro.datasets import dense_vector, sparse_profile
-from repro.la import coo_to_csr, matvec_sql, register_coo, register_vector
+from repro.la import coo_to_csr, matvec_sql
 
 from .conftest import MATRIX_SCALE, REPEATS
 
@@ -31,9 +31,10 @@ _rows = {}
 @pytest.mark.parametrize("profile", ["harbor", "hv15r", "nlp240"])
 def test_conversion_vs_smv(benchmark, profile, report_log):
     (rows, cols, vals), n = sparse_profile(profile, scale=MATRIX_SCALE, seed=2018)
-    catalog = LevelHeadedEngine().catalog
-    register_coo(catalog, "m", rows, cols, vals, n=n, domain="dim")
-    register_vector(catalog, "x", dense_vector(n), domain="dim")
+    loader = LevelHeadedEngine()
+    loader.register_matrix("m", rows=rows, cols=cols, values=vals, n=n, domain="dim")
+    loader.register_vector("x", dense_vector(n), domain="dim")
+    catalog = loader.catalog
     sql = matvec_sql("m", "x")
 
     lh = LevelHeadedEngine(catalog)

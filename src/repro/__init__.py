@@ -99,11 +99,16 @@ def connect(
     max_concurrency=None,
     global_memory_budget=None,
     governor=None,
+    join_strategy=None,
 ):
     """Create a :class:`LevelHeadedEngine` -- the library's front door.
 
     ``config`` is an optional :class:`EngineConfig` of optimizer
     toggles; ``catalog`` lets several engines share registered tables.
+    ``join_strategy`` (``"auto"`` | ``"wcoj"`` | ``"binary"``) picks the
+    per-node execution engine without spelling out a full config; it
+    overrides both the ``REPRO_JOIN_STRATEGY`` environment default and
+    the ``config`` argument's own setting.
 
     Governance: ``timeout_ms`` sets a default deadline for every query
     (override per call with ``engine.query(..., timeout_ms=...)``);
@@ -112,6 +117,11 @@ def connect(
     concurrency slot plus a reserved share of the budget.  Pass an
     existing ``governor`` instead to share one across engines.
     """
+    if join_strategy is not None:
+        from dataclasses import replace
+
+        base = config if config is not None else EngineConfig()
+        config = replace(base, join_strategy=join_strategy)
     if governor is None and (
         max_concurrency is not None or global_memory_budget is not None
     ):

@@ -23,6 +23,15 @@ is not.
 ``--inject-slowdown NAME`` multiplies one workload's runtime by
 ``--inject-factor`` (sleeping proportionally) -- the CI self-test that
 proves the gate actually fires.
+
+A full run (no ``--workloads`` subset) additionally times a
+``strategy_compare`` section: each strategy workload runs under all
+three ``join_strategy`` modes (auto / wcoj / binary) on the same
+pinned dataset, the per-mode row counts are cross-checked, and the
+auto-vs-wcoj gap is recorded per workload.  ``auto`` regressing past
+the gate relative to pure WCOJ on any strategy workload fails the run
+-- the hybrid planner must never cost more than the engine it
+replaces.
 """
 
 from __future__ import annotations
@@ -45,11 +54,17 @@ from ..datasets import TPCH_QUERIES, dense_matrix, dense_vector, generate_tpch, 
 from ..la import matmul_sql, matvec_sql
 from ..storage import Catalog, Table
 from ..storage.schema import Schema, key
+from ..xcution.plan import EngineConfig
 
 SCHEMA_VERSION = 1
 BENCH_PATTERN = re.compile(r"^BENCH_(\d{4})\.json$")
 #: the pinned workload names, in run order.
 WORKLOAD_NAMES = ("tpch_q1", "tpch_q3", "tpch_q5", "smm", "gemv", "triangle")
+#: join_strategy modes compared by the strategy_compare section.
+STRATEGY_MODES = ("auto", "wcoj", "binary")
+#: workloads timed under every mode (gemv is excluded: the dense path
+#: short-circuits to BLAS and never reaches the join planner).
+STRATEGY_WORKLOAD_NAMES = ("tpch_q1", "tpch_q3", "tpch_q5", "smm", "triangle")
 
 TRIANGLE_SQL = (
     "SELECT count(*) AS triangles FROM edges e1, edges e2, edges e3 "
@@ -138,6 +153,96 @@ def build_workloads(names: Tuple[str, ...], quick: bool) -> List[Workload]:
         else:
             raise SystemExit(f"unknown workload {name!r}; know {WORKLOAD_NAMES}")
     return workloads
+
+
+def _strategy_engine_factory(
+    name: str, quick: bool
+) -> Tuple[Callable[[EngineConfig], LevelHeadedEngine], str]:
+    """One strategy workload: an engine factory over a shared pinned
+    dataset (built once, reused for every mode) plus its SQL."""
+    if name.startswith("tpch_"):
+        catalog = generate_tpch(scale_factor=0.002 if quick else 0.01, seed=2018)
+        sql = TPCH_QUERIES[name[len("tpch_"):].upper()]
+        return lambda cfg: LevelHeadedEngine(catalog, config=cfg), sql
+    if name == "smm":
+        (r, c, v), n = sparse_profile("nlp240", scale=0.1 if quick else 0.3, seed=2018)
+
+        def make(cfg: EngineConfig) -> LevelHeadedEngine:
+            engine = LevelHeadedEngine(config=cfg)
+            engine.register_matrix("m", rows=r, cols=c, values=v, n=n, domain="dim")
+            return engine
+
+        return make, matmul_sql("m")
+    if name == "triangle":
+        n_nodes, n_edges = (300, 4500) if quick else (600, 9000)
+        catalog = _graph_catalog(n_nodes, n_edges, seed=2018)
+        return lambda cfg: LevelHeadedEngine(catalog, config=cfg), TRIANGLE_SQL
+    raise SystemExit(
+        f"unknown strategy workload {name!r}; know {STRATEGY_WORKLOAD_NAMES}"
+    )
+
+
+def run_strategy_compare(
+    names: Tuple[str, ...],
+    quick: bool,
+    best_of: int,
+    threshold: float,
+    min_delta_ms: float,
+    log: Callable[[str], None] = print,
+) -> Tuple[Dict[str, object], List[str]]:
+    """Time each strategy workload under every join_strategy mode.
+
+    Returns ``(section, regressions)``.  Two findings regress:
+
+    * the three modes disagree on result rows (a correctness bug in one
+      executor -- timing is meaningless then);
+    * ``auto`` is slower than pure ``wcoj`` past the same ratio+delta
+      gate the main diff uses.  The hybrid planner's whole claim is
+      that falling back to WCOJ costs (at most) a scoring pass, so
+      ``auto`` losing to ``wcoj`` anywhere is a planner defect, not
+      noise to wave through.
+
+    ``binary`` is recorded but never gated: forced pairwise execution
+    has no performance contract -- on cyclic shapes its cost depends
+    entirely on how far the dataset sits from the AGM worst case, and
+    recording that gap per dataset is the point of the section.
+    """
+    section: Dict[str, object] = {"modes": list(STRATEGY_MODES), "workloads": {}}
+    regressions: List[str] = []
+    for name in names:
+        factory, sql = _strategy_engine_factory(name, quick)
+        best: Dict[str, float] = {}
+        rows: Dict[str, int] = {}
+        for mode in STRATEGY_MODES:
+            engine = factory(EngineConfig(join_strategy=mode))
+            workload = _sql_workload(f"{name}[{mode}]", engine, sql)
+            entry = time_workload(workload, best_of)
+            best[mode] = entry["best_seconds"]
+            rows[mode] = workload.rows
+        if len(set(rows.values())) != 1:
+            regressions.append(
+                f"strategy {name}: modes disagree on result rows {rows}"
+            )
+        auto, wcoj = best["auto"], best["wcoj"]
+        ratio = auto / wcoj if wcoj > 0 else 1.0
+        delta_ms = (auto - wcoj) * 1000.0
+        section["workloads"][name] = {
+            "best_seconds": best,
+            "rows": rows["auto"],
+            "auto_vs_wcoj_ratio": round(ratio, 4),
+            "auto_vs_wcoj_delta_ms": round(delta_ms, 3),
+        }
+        log(
+            f"  strategy {name}: auto {auto * 1000:.2f}ms, "
+            f"wcoj {wcoj * 1000:.2f}ms, binary {best['binary'] * 1000:.2f}ms "
+            f"(auto/wcoj {ratio:.2f}x)"
+        )
+        if ratio > threshold and delta_ms > min_delta_ms:
+            regressions.append(
+                f"strategy {name}: auto {auto * 1000:.2f}ms is slower than "
+                f"wcoj {wcoj * 1000:.2f}ms ({ratio:.2f}x, +{delta_ms:.2f}ms)"
+            )
+    return section, regressions
 
 
 def _inject(run: Callable[[], object], factor: float) -> Callable[[], object]:
@@ -274,6 +379,8 @@ def run_regression(
     inject_factor: float = 2.0,
     bless: bool = False,
     workloads: Optional[Tuple[str, ...]] = None,
+    strategy: Optional[bool] = None,
+    strategy_workloads: Optional[Tuple[str, ...]] = None,
     log: Callable[[str], None] = print,
 ) -> int:
     """Run the pinned workloads, diff against the latest baseline.
@@ -285,6 +392,10 @@ def run_regression(
     out_dir = Path(out_dir) if out_dir is not None else Path(__file__).resolve().parents[3]
     best_of = best_of if best_of is not None else (3 if quick else 5)
     names = workloads if workloads is not None else WORKLOAD_NAMES
+    # the strategy comparison rides along on full runs by default; a
+    # --workloads subset is someone chasing one workload, so skip it
+    if strategy is None:
+        strategy = workloads is None
     if inject_slowdown is not None and inject_slowdown not in names:
         raise SystemExit(
             f"--inject-slowdown {inject_slowdown!r} is not among {names}"
@@ -312,16 +423,32 @@ def run_regression(
         log(f"  {workload.name}: best {entry['best_seconds'] * 1000:.2f}ms "
             f"over {best_of} runs, {entry['rows']} rows")
 
-    baseline_path = latest_bench(out_dir)
     regressions: List[str] = []
+    if strategy:
+        strategy_names = (
+            strategy_workloads if strategy_workloads is not None
+            else STRATEGY_WORKLOAD_NAMES
+        )
+        log(f"regress: strategy_compare over {len(strategy_names)} workloads "
+            f"x {len(STRATEGY_MODES)} modes")
+        section, strategy_regressions = run_strategy_compare(
+            tuple(strategy_names), quick, best_of, threshold, min_delta_ms, log
+        )
+        document["strategy_compare"] = section
+        regressions.extend(strategy_regressions)
+
+    baseline_path = latest_bench(out_dir)
     if baseline_path is None:
         log("regress: no prior BENCH_*.json; nothing to compare against")
+        for line in regressions:
+            log(f"  REGRESSION: {line}")
     else:
         with open(baseline_path, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
-        regressions, warnings = compare_runs(
+        timing_regressions, warnings = compare_runs(
             baseline, document, threshold, min_delta_ms
         )
+        regressions.extend(timing_regressions)
         log(f"regress: compared against {baseline_path.name}")
         for line in warnings:
             log(f"  warning: {line}")
@@ -368,6 +495,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the new BENCH file even with regressions")
     parser.add_argument("--workloads", default=None,
                         help="comma-separated subset of " + ",".join(WORKLOAD_NAMES))
+    strategy_group = parser.add_mutually_exclusive_group()
+    strategy_group.add_argument(
+        "--strategy", dest="strategy", action="store_true", default=None,
+        help="force the join-strategy comparison section on")
+    strategy_group.add_argument(
+        "--no-strategy", dest="strategy", action="store_false",
+        help="skip the join-strategy comparison section")
     args = parser.parse_args(argv)
 
     workloads = tuple(args.workloads.split(",")) if args.workloads else None
@@ -382,6 +516,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         inject_factor=args.inject_factor,
         bless=args.bless,
         workloads=workloads,
+        strategy=args.strategy,
     )
 
 

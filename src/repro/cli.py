@@ -24,8 +24,10 @@ lifecycle span tree, ``\\profile SELECT …`` runs a statement and prints
 its per-trie-level kernel profile (collapsed-stack flamegraph text),
 ``\\metrics`` prints the engine's cumulative serving metrics,
 ``\\timeout [ms|off]`` shows or sets the session's default query
-deadline, ``\\governor [shed on|off]`` shows the admission governor's
-state (or toggles load shedding), and ``\\q`` quits.
+deadline, ``\\strategy [auto|wcoj|binary]`` shows or sets the session's
+join strategy (per-GHD-node engine choice), ``\\governor [shed on|off]``
+shows the admission governor's state (or toggles load shedding), and
+``\\q`` quits.
 """
 
 from __future__ import annotations
@@ -38,6 +40,15 @@ from typing import List, Optional
 from .core.engine import LevelHeadedEngine
 from .errors import ReproError
 from .storage.persist import load_catalog
+
+
+def _cli_config(join_strategy: Optional[str]):
+    """An EngineConfig honoring ``--join-strategy`` (None: env/default)."""
+    if join_strategy is None:
+        return None
+    from .xcution.plan import EngineConfig
+
+    return EngineConfig(join_strategy=join_strategy)
 
 
 def _describe_tables(engine: LevelHeadedEngine) -> str:
@@ -98,6 +109,21 @@ def _handle_timeout(engine: LevelHeadedEngine, arg: str) -> str:
     return f"default timeout: {ms:g}ms"
 
 
+def _handle_strategy(engine: LevelHeadedEngine, arg: str) -> str:
+    """Show or set the join strategy (``\\strategy [auto|wcoj|binary]``)."""
+    from .optimizer.strategy import JOIN_STRATEGIES
+
+    if not arg:
+        return f"join strategy: {engine.config.join_strategy}"
+    if arg not in JOIN_STRATEGIES:
+        return (f"error: \\strategy expects one of "
+                f"{', '.join(JOIN_STRATEGIES)}, got {arg!r}")
+    from dataclasses import replace
+
+    engine.config = replace(engine.config, join_strategy=arg)
+    return f"join strategy: {arg}"
+
+
 def _handle_governor(engine: LevelHeadedEngine, arg: str) -> str:
     """Show the admission governor (``\\governor``) or toggle shedding."""
     if engine.governor is None:
@@ -127,6 +153,8 @@ def _handle_line(engine: LevelHeadedEngine, line: str) -> Optional[str]:
         return engine.metrics.describe()
     if stripped == "\\timeout" or stripped.startswith("\\timeout "):
         return _handle_timeout(engine, stripped[len("\\timeout"):].strip())
+    if stripped == "\\strategy" or stripped.startswith("\\strategy "):
+        return _handle_strategy(engine, stripped[len("\\strategy"):].strip())
     if stripped == "\\governor" or stripped.startswith("\\governor "):
         return _handle_governor(engine, stripped[len("\\governor"):].strip())
     explain = False
@@ -240,6 +268,10 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--memory-budget", type=int, default=None)
     parser.add_argument("--timeout-ms", type=float, default=None)
     parser.add_argument(
+        "--join-strategy", choices=("auto", "wcoj", "binary"), default=None,
+        help="per-GHD-node engine choice (default: REPRO_JOIN_STRATEGY or auto)",
+    )
+    parser.add_argument(
         "--batch-rows", type=int, default=DEFAULT_BATCH_ROWS,
         help="rows per result batch frame",
     )
@@ -256,6 +288,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     try:
         engine = LevelHeadedEngine(
             load_catalog(args.load),
+            config=_cli_config(args.join_strategy),
             governor=governor,
             default_timeout_ms=args.timeout_ms,
         )
@@ -324,6 +357,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--memory-budget", type=int, default=None,
         help="global memory budget in bytes shared across admitted queries",
     )
+    parser.add_argument(
+        "--join-strategy", choices=("auto", "wcoj", "binary"), default=None,
+        help="per-GHD-node engine choice (default: REPRO_JOIN_STRATEGY or auto)",
+    )
     args = parser.parse_args(argv)
 
     if args.connect is not None:
@@ -342,6 +379,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         engine = LevelHeadedEngine(
             load_catalog(args.data_dir),
+            config=_cli_config(args.join_strategy),
             governor=governor,
             default_timeout_ms=args.timeout_ms,
         )

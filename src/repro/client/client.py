@@ -127,6 +127,8 @@ class ReproClient:
         self.session: Optional[str] = None
         self.batch_rows: Optional[int] = None
         self.server: Optional[str] = None
+        #: the serving engine's configured join strategy (from hello).
+        self.join_strategy: Optional[str] = None
         try:
             self._handshake()
         except BaseException:
@@ -219,6 +221,7 @@ class ReproClient:
         self.session = frame.get("session")
         self.batch_rows = frame.get("batch_rows")
         self.server = frame.get("server")
+        self.join_strategy = frame.get("join_strategy")
 
     def _run(
         self,

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import threading
 import time
-import warnings
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -280,7 +279,6 @@ class LevelHeadedEngine:
         an admission slot (and its share of the global memory budget) --
         see :class:`~repro.core.governor.Governor`.
         """
-        params, config = self._shim_positional_config(params, config)
         cfg = config or self.config
         if params is not None:
             return self.prepare(sql, config=cfg).execute(
@@ -389,7 +387,6 @@ class LevelHeadedEngine:
         ``format`` is ``"text"`` (one printable block) or ``"json"``
         (a plain dict, ready for ``json.dumps``).
         """
-        params, config = self._shim_positional_config(params, config)
         cfg = config or self.config
         if params is not None:
             return self.prepare(sql, config=cfg).explain(
@@ -397,28 +394,6 @@ class LevelHeadedEngine:
             )
         plan, outcome = self._cached_plan(sql, cfg)
         return self._explain_plan(plan, outcome, analyze=analyze, format=format)
-
-    # -- deprecated shims -----------------------------------------------------
-
-    def explain_analyze(self, sql: str, config: Optional[EngineConfig] = None) -> str:
-        """Deprecated: use ``explain(sql, analyze=True)``."""
-        warnings.warn(
-            "explain_analyze() is deprecated; use explain(sql, analyze=True)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.explain(sql, config=config, analyze=True)
-
-    def execute_with_stats(self, plan: PhysicalPlan):
-        """Deprecated: use ``execute(plan, collect_stats=True)`` and ``.stats``."""
-        warnings.warn(
-            "execute_with_stats() is deprecated; use "
-            "execute(plan, collect_stats=True) and read result.stats",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        result = self.execute(plan, collect_stats=True)
-        return result, result.stats
 
     # -- governance machinery -------------------------------------------------
 
@@ -468,18 +443,6 @@ class LevelHeadedEngine:
         return None
 
     # -- internal query machinery ---------------------------------------------
-
-    def _shim_positional_config(self, params, config):
-        """Accept legacy ``query(sql, config)`` positional calls."""
-        if isinstance(params, EngineConfig):
-            warnings.warn(
-                "passing EngineConfig as the second positional argument is "
-                "deprecated; use the config= keyword",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            return None, params
-        return params, config
 
     def _plan_key(self, sql: str, cfg: EngineConfig) -> Tuple:
         return (normalize_sql(sql), (), cfg.fingerprint())
@@ -722,6 +685,7 @@ class LevelHeadedEngine:
             return {
                 "mode": plan.mode,
                 "plan": plan.explain(),
+                "plan_nodes": plan.node_summaries(),
                 "plan_cache": {"outcome": outcome, **cache.as_dict()},
                 "domain_versions": dict(plan.domain_versions),
                 "stats": stats.as_dict() if stats is not None else None,

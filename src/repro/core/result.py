@@ -69,21 +69,13 @@ class ResultTable:
         return {n: [_to_python(v) for v in self.columns[n]] for n in self.names}
 
     def to_dense(self, n: int) -> np.ndarray:
-        """Materialize an ``(i, j, v)`` LA result as a dense ``n x n`` array.
-
-        The first-class replacement for the deprecated
-        ``repro.la.result_to_dense(result, n)`` free function.
-        """
+        """Materialize an ``(i, j, v)`` LA result as a dense ``n x n`` array."""
         from ..la.matrix import dense_result
 
         return dense_result(self, n)
 
     def to_vector(self, n: int) -> np.ndarray:
-        """Materialize an ``(i, v)`` LA result as a dense length-``n`` vector.
-
-        The first-class replacement for the deprecated
-        ``repro.la.result_to_vector(result, n)`` free function.
-        """
+        """Materialize an ``(i, v)`` LA result as a dense length-``n`` vector."""
         from ..la.matrix import dense_vector_result
 
         return dense_vector_result(self, n)

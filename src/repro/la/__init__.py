@@ -19,11 +19,6 @@ from .matrix import (
     ensure_dimension,
     matrix_schema,
     random_sparse_coo,
-    register_coo,
-    register_dense,
-    register_vector,
-    result_to_dense,
-    result_to_vector,
     to_dense,
     vector_schema,
 )
@@ -39,13 +34,7 @@ __all__ = [
     "ensure_dimension",
     "dense_result",
     "dense_vector_result",
-    # deprecated shims (see CHANGES.md removal timeline):
-    "register_coo",
-    "register_dense",
-    "register_vector",
     "to_dense",
-    "result_to_dense",
-    "result_to_vector",
     "random_sparse_coo",
     "CSRMatrix",
     "coo_to_csr",

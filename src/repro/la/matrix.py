@@ -11,15 +11,10 @@ dimension and materialize back to numpy (``.to_dense()`` /
 Registration anchors the dimension domain with a range table so that
 (a) encoded indices are the raw indices and (b) completely dense
 matrices are detected for the icost-0 rule and BLAS routing.
-
-The original free functions (``register_coo``, ``register_dense``,
-``register_vector``, ``result_to_dense``, ``result_to_vector``) remain
-as deprecation shims over the same implementations.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional, Tuple
 
 import numpy as np
@@ -213,65 +208,6 @@ class VectorHandle:
 
     def __repr__(self) -> str:
         return f"VectorHandle({self.name!r}, n={self.n}, nnz={self.nnz})"
-
-
-# ---------------------------------------------------------------------------
-# deprecated free-function surface (PR 4 shims; see CHANGES.md timeline)
-# ---------------------------------------------------------------------------
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old}() is deprecated; use {new}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def register_coo(
-    catalog: Catalog,
-    name: str,
-    rows: np.ndarray,
-    cols: np.ndarray,
-    values: np.ndarray,
-    n: int,
-    domain: Optional[str] = None,
-) -> Table:
-    """Deprecated: use ``engine.register_matrix(name, rows=..., cols=..., values=..., n=...)``."""
-    _deprecated("register_coo", "engine.register_matrix(...)")
-    return _register_coo(catalog, name, rows, cols, values, n, domain)
-
-
-def register_dense(
-    catalog: Catalog, name: str, array: np.ndarray, domain: Optional[str] = None
-) -> Table:
-    """Deprecated: use ``engine.register_matrix(name, array)``."""
-    _deprecated("register_dense", "engine.register_matrix(name, array)")
-    return _register_dense(catalog, name, array, domain)
-
-
-def register_vector(
-    catalog: Catalog,
-    name: str,
-    values: np.ndarray,
-    domain: str,
-    indices: Optional[np.ndarray] = None,
-) -> Table:
-    """Deprecated: use ``engine.register_vector(name, values, domain=...)``."""
-    _deprecated("register_vector", "engine.register_vector(...)")
-    return _register_vector(catalog, name, values, domain, indices)
-
-
-def result_to_dense(result, n: int) -> np.ndarray:
-    """Deprecated: use ``result.to_dense(n)``."""
-    _deprecated("result_to_dense", "result.to_dense(n)")
-    return dense_result(result, n)
-
-
-def result_to_vector(result, n: int) -> np.ndarray:
-    """Deprecated: use ``result.to_vector(n)``."""
-    _deprecated("result_to_vector", "result.to_vector(n)")
-    return dense_vector_result(result, n)
 
 
 def random_sparse_coo(

@@ -8,6 +8,17 @@ relaxation of the materialized-attributes-first constraint.
 """
 
 from .attribute_order import OrderDecision, candidate_orders, choose_order, order_cost
+from .strategy import (
+    BINARY_COST_FACTOR,
+    JOIN_STRATEGIES,
+    MIN_BINARY_INPUT_ROWS,
+    STRATEGY_SCHEMA_VERSION,
+    EdgeStats,
+    StrategyDecision,
+    decide_strategy,
+    is_acyclic,
+    pairwise_cost,
+)
 from .icost import (
     ICOST,
     guess_layouts,
@@ -32,4 +43,13 @@ __all__ = [
     "candidate_orders",
     "choose_order",
     "order_cost",
+    "BINARY_COST_FACTOR",
+    "JOIN_STRATEGIES",
+    "MIN_BINARY_INPUT_ROWS",
+    "STRATEGY_SCHEMA_VERSION",
+    "EdgeStats",
+    "StrategyDecision",
+    "decide_strategy",
+    "is_acyclic",
+    "pairwise_cost",
 ]

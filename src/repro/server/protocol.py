@@ -21,7 +21,7 @@ Request types (client -> server)::
 
 Response types (server -> client)::
 
-    hello         {version, server, session, batch_rows}
+    hello         {version, server, session, batch_rows, join_strategy}
     result_header {qid, names, dtypes}
     batch         {qid, rows}                   -- row-major, <= batch_rows
     done          {qid, rows, elapsed_ms}

@@ -145,6 +145,7 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 "server": server.server_name,
                 "session": session.id,
                 "batch_rows": server.batch_rows,
+                "join_strategy": server.engine.config.join_strategy,
             }
         )
 

@@ -149,32 +149,25 @@ class Table:
 
     # -- tries ---------------------------------------------------------------
 
-    def get_trie(
+    def trie_inputs(
         self,
         key_order: Sequence[str],
         annotations: Sequence[AnnotationRequest] = (),
         row_mask: Optional[np.ndarray] = None,
-        force_layout: Optional[Layout] = None,
-    ) -> Trie:
-        """Build (or fetch from cache) a trie over ``key_order``.
+    ):
+        """Resolve encoded builder inputs for ``key_order`` + annotations.
 
-        Only the requested key attributes and annotation buffers are
-        materialized (attribute elimination).  Builds with a
-        ``row_mask`` (pushed-down selections) are never cached: their
-        cost is part of query execution, as in the paper.
+        Returns ``(key_columns, domain_sizes, specs)``: dictionary-coded
+        key columns (row-masked), per-level domain sizes, and
+        :class:`AnnotationSpec` objects whose values are the raw
+        per-row arrays (string columns dictionary-encoded).  Shared by
+        trie construction and the hybrid executor's columnar frames, so
+        both engines see byte-identical codes.
         """
         key_order = tuple(key_order)
         for attr_name in key_order:
             if self.schema.attribute(attr_name).kind is not Kind.KEY:
                 raise SchemaError(f"'{attr_name}' is not a key attribute")
-        cacheable = row_mask is None
-        token = None
-        if cacheable:
-            token = (key_order, tuple(a.cache_token() for a in annotations), force_layout)
-            versions = tuple(self._domain_version(a) for a in key_order)
-            if token in self._trie_cache and self._cache_domain_versions.get(token) == versions:
-                return self._trie_cache[token]
-
         key_columns = []
         domain_sizes = []
         for attr_name in key_order:
@@ -199,13 +192,51 @@ class Table:
             if values is not None and row_mask is not None:
                 values = values[row_mask]
             specs.append(AnnotationSpec(req.name, values, req.level, req.combine, dictionary))
+        return key_columns, domain_sizes, specs
 
+    def get_trie(
+        self,
+        key_order: Sequence[str],
+        annotations: Sequence[AnnotationRequest] = (),
+        row_mask: Optional[np.ndarray] = None,
+        force_layout: Optional[Layout] = None,
+        lazy: bool = False,
+    ) -> Trie:
+        """Build (or fetch from cache) a trie over ``key_order``.
+
+        Only the requested key attributes and annotation buffers are
+        materialized (attribute elimination).  Builds with a
+        ``row_mask`` (pushed-down selections) are never cached: their
+        cost is part of query execution, as in the paper.  ``lazy=True``
+        defers that cost further, to first probe: filtered builds
+        return a prunable :class:`repro.trie.LazyTrie` that materializes
+        only the sub-tries under probed roots.  Cacheable (unfiltered)
+        builds ignore ``lazy`` -- they are shared across queries, built
+        once, and excluded from query timing anyway.
+        """
+        key_order = tuple(key_order)
+        cacheable = row_mask is None
+        token = None
+        if cacheable:
+            for attr_name in key_order:
+                if self.schema.attribute(attr_name).kind is not Kind.KEY:
+                    raise SchemaError(f"'{attr_name}' is not a key attribute")
+            token = (key_order, tuple(a.cache_token() for a in annotations), force_layout)
+            versions = tuple(self._domain_version(a) for a in key_order)
+            if token in self._trie_cache and self._cache_domain_versions.get(token) == versions:
+                return self._trie_cache[token]
+
+        key_columns, domain_sizes, specs = self.trie_inputs(
+            key_order, annotations, row_mask
+        )
         trie = build_trie(
             key_columns,
             key_order,
             specs,
             domain_sizes=domain_sizes,
             force_layout=force_layout,
+            lazy=lazy and not cacheable,
+            prunable=lazy and not cacheable,
         )
         if cacheable:
             self._trie_cache[token] = trie

@@ -7,6 +7,7 @@ for vectorized construction with annotation pre-aggregation.
 
 from .builder import AnnotationSpec, build_trie
 from .dictionary import Dictionary
+from .lazy import LazyTrie
 from .trie import Annotation, Trie, TrieLevel
 
 __all__ = [
@@ -14,6 +15,7 @@ __all__ = [
     "build_trie",
     "Dictionary",
     "Annotation",
+    "LazyTrie",
     "Trie",
     "TrieLevel",
 ]

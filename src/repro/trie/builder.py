@@ -94,7 +94,9 @@ def build_trie(
     annotations: Sequence[AnnotationSpec] = (),
     domain_sizes: Sequence[int] | None = None,
     force_layout: Layout | None = None,
-) -> Trie:
+    lazy: bool = False,
+    prunable: bool = False,
+):
     """Build a trie over encoded (uint32) key columns.
 
     ``key_columns`` are parallel arrays of dictionary codes, one per key
@@ -102,10 +104,29 @@ def build_trie(
     per level) enable the completely-dense-level detection used by the
     optimizer's icost-0 rule and the BLAS routing.
 
+    With ``lazy=True`` no structuring happens here: the returned
+    :class:`repro.trie.lazy.LazyTrie` materializes its root level on
+    first probe and the rest on demand (restricted to probed roots when
+    ``prunable=True``), turning trie construction from a per-query
+    fixed cost into a pay-per-probe cost on selective queries.
+
     When a :class:`repro.obs.KernelProfiler` is active (builds of child
     results during execution), the build's wall time and the resulting
-    trie's per-level byte footprint are recorded.
+    trie's per-level byte footprint are recorded; lazy builds record
+    under their own ``trie.lazy_build`` category at materialization
+    time instead.
     """
+    if lazy:
+        from .lazy import LazyTrie
+
+        return LazyTrie(
+            key_columns,
+            key_attrs,
+            annotations,
+            domain_sizes=domain_sizes,
+            force_layout=force_layout,
+            prunable=prunable,
+        )
     prof = _profile.ACTIVE
     if prof is None:
         return _build_trie_impl(

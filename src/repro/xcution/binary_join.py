@@ -1,0 +1,378 @@
+"""Pairwise hash/merge-join execution over columnar frames.
+
+The hybrid optimizer (:mod:`repro.optimizer.strategy`) sends acyclic,
+selective GHD nodes here instead of the generic WCOJ interpreter: on
+TPC-H-shaped fragments a Selinger-ordered sequence of vectorized binary
+joins beats the per-value trie walk, exactly the trade-off Free Join
+(arXiv 2301.10841) formalizes.
+
+A :class:`RelationFrame` is the binary engine's input: the *raw
+filtered rows* of one relation occurrence, with key columns holding the
+same dictionary codes a trie build would produce (both come from
+``Table.trie_inputs``) and slot columns holding raw per-row annotation
+values.  No deduplication and no ``__mult_`` counting happens --
+multiplicity is physical in the rows, so aggregate terms simply skip
+the implicit count slots (summing raw per-row products equals summing
+trie-pre-aggregated products, because the join condition depends only
+on keys; min/max are idempotent, so duplicate rows are harmless).
+
+Joins are sort-merge over packed composite keys (dictionary codes fit
+32 bits; multi-vertex keys are packed pairwise with a dense re-encode
+between steps).  Group-by reduction is one ``np.unique`` over a record
+view of the key columns followed by ``reduceat`` per aggregate.  The
+whole node runs single-threaded through vectorized kernels, so its
+counters (``binary_joins``, ``binary_rows``) are parallel-invariant by
+construction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError, OutOfMemoryBudgetError
+
+
+@dataclass
+class RelationFrame:
+    """Raw filtered rows of one relation occurrence, dictionary-coded."""
+
+    alias: str
+    vertices: Tuple[str, ...]
+    #: parallel to ``vertices``; uint32 dictionary codes.
+    key_columns: List[np.ndarray]
+    #: slot id -> raw per-row values (already string-encoded).
+    slot_columns: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: decode dictionaries for string-valued slots (parity with tries).
+    slot_dictionaries: Dict[str, object] = field(default_factory=dict)
+    #: slot ids represented implicitly by row duplication (``count``
+    #: combines, i.e. the ``__mult_<alias>`` multiplicities).
+    implicit_mult: FrozenSet[str] = frozenset()
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.key_columns[0].size) if self.key_columns else 0
+
+    def approx_bytes(self) -> int:
+        total = sum(c.nbytes for c in self.key_columns)
+        total += sum(np.asarray(c).nbytes for c in self.slot_columns.values())
+        return total
+
+
+def build_frame(
+    table,
+    vertices: Tuple[str, ...],
+    key_order: Tuple[str, ...],
+    requests: Sequence,
+    row_mask: Optional[np.ndarray],
+) -> RelationFrame:
+    """Build a frame through the same encoding path as a trie build."""
+    key_columns, _domains, specs = table.trie_inputs(key_order, requests, row_mask)
+    slot_columns: Dict[str, np.ndarray] = {}
+    slot_dictionaries: Dict[str, object] = {}
+    implicit = set()
+    for spec in specs:
+        if spec.combine == "count" or spec.values is None:
+            implicit.add(spec.name)
+            continue
+        slot_columns[spec.name] = np.asarray(spec.values)
+        if spec.dictionary is not None:
+            slot_dictionaries[spec.name] = spec.dictionary
+    return RelationFrame(
+        alias=table.name,
+        vertices=tuple(vertices),
+        key_columns=[np.asarray(c) for c in key_columns],
+        slot_columns=slot_columns,
+        slot_dictionaries=slot_dictionaries,
+        implicit_mult=frozenset(implicit),
+    )
+
+
+class BinaryNodeResult:
+    """Grouped output of a binary node; duck-types ``GroupAggregator``."""
+
+    spills = 0
+
+    def __init__(self, key_columns: List[np.ndarray], matrix: np.ndarray):
+        self._key_columns = key_columns
+        self._matrix = matrix
+
+    def result_arrays(self) -> Tuple[List[np.ndarray], np.ndarray]:
+        return self._key_columns, self._matrix
+
+    def __len__(self) -> int:
+        return int(self._matrix.shape[0])
+
+    def approx_bytes(self) -> int:
+        return sum(c.nbytes for c in self._key_columns) + self._matrix.nbytes
+
+
+# ---------------------------------------------------------------------------
+# join kernels
+# ---------------------------------------------------------------------------
+
+
+def _composite_keys(
+    left_cols: List[np.ndarray], right_cols: List[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack parallel multi-column keys into comparable int64 scalars.
+
+    Codes fit 32 bits; packing is pairwise with a dense re-encode of the
+    accumulated key between steps, so arbitrarily many columns stay
+    within 64 bits.
+    """
+    lkey = left_cols[0].astype(np.int64)
+    rkey = right_cols[0].astype(np.int64)
+    for lc, rc in zip(left_cols[1:], right_cols[1:]):
+        n_left = lkey.size
+        both = np.concatenate([lkey, rkey])
+        _, inverse = np.unique(both, return_inverse=True)
+        lkey = inverse[:n_left] << np.int64(32) | lc.astype(np.int64)
+        rkey = inverse[n_left:] << np.int64(32) | rc.astype(np.int64)
+    return lkey, rkey
+
+
+def _merge_join(
+    lkey: np.ndarray, rkey: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-index pairs of the equi-join, vectorized sort-merge."""
+    order_r = np.argsort(rkey, kind="stable")
+    rsorted = rkey[order_r]
+    lo = np.searchsorted(rsorted, lkey, side="left")
+    hi = np.searchsorted(rsorted, lkey, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    left_idx = np.repeat(np.arange(lkey.size, dtype=np.int64), counts)
+    bases = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(bases, counts)
+    right_idx = order_r[np.repeat(lo, counts) + within]
+    return left_idx, right_idx
+
+
+class _Assembled:
+    """The growing joined intermediate: one column per vertex and slot."""
+
+    def __init__(self, frame: RelationFrame):
+        self.vertex_columns: Dict[str, np.ndarray] = {
+            v: col for v, col in zip(frame.vertices, frame.key_columns)
+        }
+        self.slot_columns: Dict[str, np.ndarray] = dict(frame.slot_columns)
+        self.implicit_mult = set(frame.implicit_mult)
+        self.num_rows = frame.num_rows
+
+    def approx_bytes(self) -> int:
+        total = sum(c.nbytes for c in self.vertex_columns.values())
+        total += sum(c.nbytes for c in self.slot_columns.values())
+        return total
+
+    def join(self, frame: RelationFrame, shared: List[str]) -> int:
+        """Equi-join ``frame`` in on ``shared`` vertices; returns rows out."""
+        if shared:
+            lkey, rkey = _composite_keys(
+                [self.vertex_columns[v] for v in shared],
+                [frame.key_columns[frame.vertices.index(v)] for v in shared],
+            )
+            left_idx, right_idx = _merge_join(lkey, rkey)
+        else:  # disconnected fragment: cross product
+            n_left, n_right = self.num_rows, frame.num_rows
+            left_idx = np.repeat(np.arange(n_left, dtype=np.int64), n_right)
+            right_idx = np.tile(np.arange(n_right, dtype=np.int64), n_left)
+        self.vertex_columns = {
+            v: col[left_idx] for v, col in self.vertex_columns.items()
+        }
+        self.slot_columns = {
+            s: col[left_idx] for s, col in self.slot_columns.items()
+        }
+        for v, col in zip(frame.vertices, frame.key_columns):
+            if v not in self.vertex_columns:
+                self.vertex_columns[v] = col[right_idx]
+        for s, col in frame.slot_columns.items():
+            self.slot_columns[s] = col[right_idx]
+        self.implicit_mult |= frame.implicit_mult
+        self.num_rows = int(left_idx.size)
+        return self.num_rows
+
+
+# ---------------------------------------------------------------------------
+# node execution
+# ---------------------------------------------------------------------------
+
+
+def execute_binary_node(
+    node,
+    frames: List[RelationFrame],
+    config,
+    stats=None,
+    tracer=None,
+    profiler=None,
+    cancel=None,
+) -> BinaryNodeResult:
+    """Run one binary-strategy GHD node: join, fetch, group, reduce.
+
+    ``frames`` holds the node's base-relation frames plus one frame per
+    child result.  The join order is greedy smallest-connected-first
+    over actual (post-filter) cardinalities.  Cancellation is polled
+    once per join and once per group stage -- deterministic counts, so
+    ``cancel_checks`` stays parallel-invariant.
+    """
+    start = time.perf_counter() if profiler is not None else 0.0
+    if not frames:
+        raise ExecutionError("binary node has no input frames")
+    budget = config.memory_budget_bytes
+
+    def check_budget(nbytes: int) -> None:
+        if budget is not None and nbytes > budget:
+            raise OutOfMemoryBudgetError(
+                f"binary join intermediate needs ~{nbytes} bytes "
+                f"(budget {budget})",
+                requested_bytes=nbytes,
+                budget_bytes=budget,
+            )
+
+    def poll() -> None:
+        if stats is not None:
+            stats.cancel_checks += 1
+        if cancel is not None:
+            cancel.check()
+
+    poll()
+    if any(f.num_rows == 0 for f in frames):
+        result = _reduce_groups(node, None, stats)
+    else:
+        remaining = sorted(frames, key=lambda f: (f.num_rows, f.alias))
+        assembled = _Assembled(remaining.pop(0))
+        while remaining:
+            pick = None
+            for i, frame in enumerate(remaining):
+                if any(v in assembled.vertex_columns for v in frame.vertices):
+                    pick = i
+                    break
+            if pick is None:
+                pick = 0  # disconnected: cross product with the smallest
+            frame = remaining.pop(pick)
+            shared = [v for v in frame.vertices if v in assembled.vertex_columns]
+            rows = assembled.join(frame, shared)
+            if stats is not None:
+                stats.binary_joins += 1
+                stats.binary_rows += rows
+            check_budget(assembled.approx_bytes())
+            poll()
+            if rows == 0:
+                assembled = None
+                break
+        result = _reduce_groups(node, assembled, stats)
+    if stats is not None:
+        stats.nodes_executed += 1
+        stats.groups_emitted += len(result)
+    if profiler is not None:
+        profiler.add_category("binary.execute", time.perf_counter() - start)
+    return result
+
+
+def _fetch_columns(node, assembled: _Assembled) -> Dict[str, np.ndarray]:
+    """Resolve walk-fetcher annotation columns via batched trie lookups.
+
+    Every surviving row's determining-vertex combination comes from an
+    actual row of the fetch relation, so the batched lookup cannot miss
+    (same invariant ``_append_deferred_annotations`` relies on).
+    """
+    out: Dict[str, np.ndarray] = {}
+    for fetcher in node.group_fetchers:
+        codes = [
+            np.asarray(assembled.vertex_columns[v], dtype=np.uint32)
+            for v in fetcher.vertices
+        ]
+        nodes = fetcher.trie.lookup_nodes_batch(codes)
+        out[fetcher.ref_id] = fetcher.trie.annotation(fetcher.ref_id).values[nodes]
+    return out
+
+
+def _row_values(node, assembled: _Assembled) -> List[np.ndarray]:
+    """Per-row contribution of every aggregate, before grouping."""
+    n = assembled.num_rows
+    values: List[np.ndarray] = []
+    for agg in node.aggregates:
+        if agg.func in ("min", "max"):
+            col = assembled.slot_columns.get(agg.minmax_slot)
+            if col is None:
+                raise ExecutionError(
+                    f"binary node missing min/max slot '{agg.minmax_slot}'"
+                )
+            values.append(col.astype(np.float64, copy=False))
+            continue
+        total = np.zeros(n, dtype=np.float64)
+        for coefficient, slot_ids in agg.terms:
+            term = np.full(n, float(coefficient))
+            for slot_id in slot_ids:
+                if slot_id in assembled.implicit_mult:
+                    continue  # multiplicity is physical in the raw rows
+                col = assembled.slot_columns.get(slot_id)
+                if col is None:
+                    raise ExecutionError(
+                        f"binary node missing slot '{slot_id}'"
+                    )
+                term = term * col
+            total += term
+        values.append(total)
+    return values
+
+
+def _reduce_groups(
+    node, assembled: Optional[_Assembled], stats=None
+) -> BinaryNodeResult:
+    n_aggs = len(node.aggregates)
+    if assembled is None or assembled.num_rows == 0:
+        width = len(node.walk_layout)
+        return BinaryNodeResult(
+            [np.empty(0, dtype=np.int64) for _ in range(width)],
+            np.empty((0, n_aggs), dtype=np.float64),
+        )
+    fetched = _fetch_columns(node, assembled)
+    if stats is not None:
+        stats.fetches += len(fetched) * assembled.num_rows
+    key_columns: List[np.ndarray] = []
+    for kind, ref in node.walk_layout:
+        if kind == "vertex":
+            key_columns.append(
+                assembled.vertex_columns[ref].astype(np.int64, copy=False)
+            )
+        else:
+            key_columns.append(np.asarray(fetched[ref]))
+    agg_values = _row_values(node, assembled)
+
+    if not key_columns:  # scalar aggregate: one group over all rows
+        row = []
+        for agg, vals in zip(node.aggregates, agg_values):
+            if agg.func == "min":
+                row.append(vals.min())
+            elif agg.func == "max":
+                row.append(vals.max())
+            else:
+                row.append(vals.sum())
+        return BinaryNodeResult([], np.asarray([row], dtype=np.float64))
+
+    record = np.rec.fromarrays(key_columns)
+    unique, inverse = np.unique(record, return_inverse=True)
+    order = np.argsort(inverse, kind="stable")
+    sorted_inverse = inverse[order]
+    boundaries = np.empty(sorted_inverse.size, dtype=bool)
+    boundaries[0] = True
+    boundaries[1:] = sorted_inverse[1:] != sorted_inverse[:-1]
+    starts = np.flatnonzero(boundaries)
+    matrix = np.empty((unique.size, n_aggs), dtype=np.float64)
+    for j, (agg, vals) in enumerate(zip(node.aggregates, agg_values)):
+        vals = vals[order]
+        if agg.func == "min":
+            matrix[:, j] = np.minimum.reduceat(vals, starts)
+        elif agg.func == "max":
+            matrix[:, j] = np.maximum.reduceat(vals, starts)
+        else:
+            matrix[:, j] = np.add.reduceat(vals, starts)
+    out_keys = [np.asarray(unique[name]) for name in unique.dtype.names]
+    return BinaryNodeResult(out_keys, matrix)

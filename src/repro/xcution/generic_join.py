@@ -298,6 +298,16 @@ class NodeExecutor:
         self.stats.intersection_output += int(arr.size)
         if arr.size == 0:
             return arr, []
+        if p == 0:
+            # Level-0 intersection output is the probe set: prunable
+            # lazy tries materialize only the sub-tries under these
+            # roots.  The parallel driver runs this on the main thread
+            # before chunking, so the probe set (and every lazy-build
+            # counter) is identical for serial and parallel runs.
+            for bi, level_idx in parts:
+                trie = self.bindings[bi].trie
+                if level_idx == 0 and hasattr(trie, "note_probed_roots"):
+                    trie.note_probed_roots(arr)
         child_ids = []
         for bi, level_idx in parts:
             parent = self.state[bi] if level_idx > 0 else 0

@@ -18,7 +18,14 @@ import numpy as np
 
 from ..errors import PlanningError, UnsupportedQueryError
 from ..obs import NULL_TRACER
-from ..optimizer import OrderDecision, choose_order
+from ..optimizer import (
+    JOIN_STRATEGIES,
+    EdgeStats,
+    OrderDecision,
+    StrategyDecision,
+    choose_order,
+    decide_strategy,
+)
 from ..query.decompose import choose_ghd, single_node_ghd
 from ..query.ghd import GHD, GHDNode
 from ..query.hypergraph import Hyperedge
@@ -57,6 +64,23 @@ def _default_num_threads() -> int:
     return 4
 
 
+def _default_join_strategy() -> str:
+    """Default for ``EngineConfig.join_strategy``: ``REPRO_JOIN_STRATEGY``.
+
+    CI runs a join-strategy matrix (auto/wcoj/binary) over the suite via
+    this env toggle so both engines -- and the hybrid dispatcher -- stay
+    differentially correct without every test constructing configs.
+    """
+    raw = os.environ.get("REPRO_JOIN_STRATEGY", "").strip().lower()
+    if not raw:
+        return "auto"
+    if raw not in JOIN_STRATEGIES:
+        raise ValueError(
+            f"REPRO_JOIN_STRATEGY={raw!r} is not one of {JOIN_STRATEGIES}"
+        )
+    return raw
+
+
 @dataclass
 class EngineConfig:
     """Optimizer and executor toggles (the Table III ablations)."""
@@ -78,6 +102,24 @@ class EngineConfig:
     #: attributes that keeps materialized attributes first, except for
     #: the single relaxed swap of Section V-A2.
     forced_root_order: Optional[Tuple[str, ...]] = None
+    #: per-node engine choice: ``"auto"`` scores each GHD node with both
+    #: the WCOJ icost x weight estimate and a Selinger pairwise cost and
+    #: picks per node; ``"wcoj"``/``"binary"`` pin one engine (binary
+    #: still falls back to WCOJ for ineligible nodes, e.g. cyclic-safe
+    #: ablation configs).  Defaults from ``REPRO_JOIN_STRATEGY``.
+    join_strategy: str = field(default_factory=_default_join_strategy)
+    #: build filtered (selection-pushed) tries lazily: structure rows
+    #: on first probe, restricted to roots surviving the level-0
+    #: intersection.  Unfiltered tries are cached/shared and always
+    #: eager.
+    lazy_trie_build: bool = True
+
+    def __post_init__(self):
+        if self.join_strategy not in JOIN_STRATEGIES:
+            raise ValueError(
+                f"join_strategy={self.join_strategy!r} is not one of "
+                f"{JOIN_STRATEGIES}"
+            )
 
     def fingerprint(self) -> Tuple:
         """A hashable token of every toggle, for plan-cache keys.
@@ -92,13 +134,19 @@ class EngineConfig:
 
 @dataclass
 class RelationBinding:
-    """One relation occurrence inside a node: its trie in node order."""
+    """One relation occurrence inside a node.
+
+    WCOJ nodes bind a trie in node attribute order; binary nodes bind a
+    columnar :class:`~repro.xcution.binary_join.RelationFrame` (raw
+    filtered rows, same dictionary codes) and leave ``trie`` unset.
+    """
 
     alias: str
-    trie: Trie
+    trie: Optional[Trie]
     vertices: Tuple[str, ...]  # node attrs restricted to this relation
     slot_ids: Tuple[str, ...] = ()  # annotations to read at the last level
     is_child_result: bool = False
+    frame: Optional[object] = None  # RelationFrame for binary nodes
 
 
 @dataclass
@@ -134,6 +182,11 @@ class NodePlan:
     decision: OrderDecision
     bag: frozenset
     children: List["NodePlan"] = field(default_factory=list)
+    #: per-node engine: ``"wcoj"`` (generic join over tries) or
+    #: ``"binary"`` (pairwise hash joins over columnar frames).
+    strategy: str = "wcoj"
+    #: both cost estimates plus the decision rationale (explain output).
+    strategy_decision: Optional[StrategyDecision] = None
     #: slot id under which this node's aggregated annotation is exposed
     #: to its parent (None for the root).
     result_slot: Optional[str] = None
@@ -219,9 +272,18 @@ class PhysicalPlan:
                 lines.append(f"{indent}node attrs={list(node.attrs)} "
                              f"materialized={list(node.materialized)} "
                              f"relaxed={node.relaxed} cost={node.decision.cost}")
-                for binding in node.bindings:
+                sd = node.strategy_decision
+                if sd is not None:
                     lines.append(
-                        f"{indent}  {binding.alias}: trie{list(binding.vertices)} "
+                        f"{indent}  strategy={node.strategy} "
+                        f"wcoj_cost={sd.wcoj_cost:.1f} "
+                        f"binary_cost={sd.binary_cost:.1f} "
+                        f"input_rows={sd.input_rows:.0f} ({sd.reason})"
+                    )
+                for binding in node.bindings:
+                    physical = "frame" if binding.frame is not None else "trie"
+                    lines.append(
+                        f"{indent}  {binding.alias}: {physical}{list(binding.vertices)} "
                         f"slots={list(binding.slot_ids)}"
                     )
         if self.blas is not None:
@@ -229,6 +291,47 @@ class PhysicalPlan:
         if self.scan is not None:
             lines.append(f"scan: {self.scan.alias}")
         return "\n".join(lines)
+
+    def node_summaries(self) -> List[Dict]:
+        """Structured per-node summaries for ``explain(format="json")``.
+
+        Each entry carries the chosen engine plus both cost estimates
+        under a versioned ``"strategy"`` block
+        (:data:`repro.optimizer.STRATEGY_SCHEMA_VERSION`).
+        """
+        from ..optimizer import STRATEGY_SCHEMA_VERSION
+
+        out: List[Dict] = []
+        if self.root is None:
+            return out
+        for node, depth in _walk_plans(self.root):
+            sd = node.strategy_decision
+            strategy = (
+                sd.as_dict()
+                if sd is not None
+                else {"version": STRATEGY_SCHEMA_VERSION, "choice": node.strategy}
+            )
+            out.append(
+                {
+                    "depth": depth,
+                    "attrs": list(node.attrs),
+                    "materialized": list(node.materialized),
+                    "relaxed": node.relaxed,
+                    "order_cost": float(node.decision.cost),
+                    "strategy": strategy,
+                    "result_slot": node.result_slot,
+                    "bindings": [
+                        {
+                            "alias": b.alias,
+                            "physical": "frame" if b.frame is not None else "trie",
+                            "vertices": list(b.vertices),
+                            "slots": list(b.slot_ids),
+                        }
+                        for b in node.bindings
+                    ],
+                }
+            )
+        return out
 
 
 def _walk_plans(node: NodePlan, depth: int = 0):
@@ -361,6 +464,7 @@ class _JoinPlanBuilder:
             self.attr_of.setdefault(alias, {})[vertex] = attr_name
         self._child_counter = 0
         self._root_order: Optional[Tuple[str, ...]] = None
+        self._mask_cache: Dict[str, Optional[np.ndarray]] = {}
 
     # -- top level -----------------------------------------------------------
 
@@ -435,12 +539,25 @@ class _JoinPlanBuilder:
         if is_root:
             self._root_order = decision.order
 
+        with self.tracer.span("strategy.choose") as span:
+            strategy_decision = self._decide_node_strategy(
+                node, local_edges, decision, is_root
+            )
+            if self.tracer.active:
+                span.set(
+                    choice=strategy_decision.choice,
+                    wcoj_cost=strategy_decision.wcoj_cost,
+                    binary_cost=strategy_decision.binary_cost,
+                    reason=strategy_decision.reason,
+                )
+
         child_plans = [
             self._build_node(child, parent_bag=node.bag, is_root=False)
             for child in node.children
         ]
         bindings = [
-            self._build_binding(edge, decision.order, is_root) for edge in node.edges
+            self._build_binding(edge, decision.order, is_root, strategy_decision.choice)
+            for edge in node.edges
         ]
         # -Attr.Elim: unused key attributes remain as trailing trie
         # levels; surface them as extra aggregated attributes so the
@@ -459,6 +576,8 @@ class _JoinPlanBuilder:
             decision=decision,
             bag=node.bag,
             children=child_plans,
+            strategy=strategy_decision.choice,
+            strategy_decision=strategy_decision,
         )
         if is_root:
             walk, deferred = self._build_group_fetchers(
@@ -557,10 +676,60 @@ class _JoinPlanBuilder:
             cards.extend(e.cardinality for e in grandchild.edges if e.cardinality > 0)
         return min(cards) if cards else 1
 
+    # -- engine strategy ---------------------------------------------------------
+
+    def _decide_node_strategy(
+        self,
+        node: GHDNode,
+        local_edges: List[Hyperedge],
+        decision: OrderDecision,
+        is_root: bool,
+    ) -> StrategyDecision:
+        eligible, why = True, ""
+        if len(local_edges) < 2:
+            eligible, why = False, "single-edge fragment has nothing to pairwise-join"
+        elif not (
+            self.config.enable_attribute_elimination
+            and self.config.enable_attribute_ordering
+        ):
+            eligible, why = False, "ablation config pins the WCOJ interpreter"
+        elif is_root and self.config.forced_root_order is not None:
+            eligible, why = False, "forced root order pins the WCOJ walk"
+        elif any(getattr(e, "fully_dense", False) for e in node.edges):
+            eligible, why = False, "dense LA fragment: flat/BLAS kernels win"
+        stats = [self._edge_stats(edge) for edge in local_edges]
+        return decide_strategy(
+            self.config.join_strategy,
+            stats,
+            decision.cost,
+            eligible=eligible,
+            ineligible_reason=why,
+        )
+
+    def _edge_stats(self, edge: Hyperedge) -> EdgeStats:
+        alias = edge.alias
+        table = self.bound.tables.get(alias)
+        if table is None:  # child-result pseudo-edge
+            card = float(max(edge.cardinality, 1))
+            return EdgeStats(
+                alias, tuple(edge.vertices), card, {v: card for v in edge.vertices}
+            )
+        mask = self._filter_mask(alias)
+        card = float(int(mask.sum()) if mask is not None else table.num_rows)
+        vertex_to_attr = self.attr_of.get(alias, {})
+        distinct = {}
+        for vertex in edge.vertices:
+            attr = vertex_to_attr.get(vertex)
+            if attr is None or card == 0.0:
+                distinct[vertex] = card
+            else:
+                distinct[vertex] = float(min(table.distinct_count((attr,)), card))
+        return EdgeStats(alias, tuple(edge.vertices), card, distinct)
+
     # -- bindings ---------------------------------------------------------------
 
     def _build_binding(
-        self, edge: Hyperedge, order: Sequence[str], is_root: bool
+        self, edge: Hyperedge, order: Sequence[str], is_root: bool, strategy: str
     ) -> RelationBinding:
         alias = edge.alias
         table = self.bound.tables[alias]
@@ -601,10 +770,34 @@ class _JoinPlanBuilder:
                     )
 
         row_mask = self._filter_mask(alias)
+        if strategy == "binary":
+            from .binary_join import build_frame
+
+            with self.tracer.span("frame.build", alias=alias) as span:
+                frame = build_frame(
+                    table, vertices, tuple(key_order), tuple(requests), row_mask
+                )
+                if self.tracer.active:
+                    span.set(key_order=list(key_order), rows=frame.num_rows)
+            return RelationBinding(
+                alias=alias,
+                trie=None,
+                vertices=vertices,
+                slot_ids=tuple(slot_ids),
+                frame=frame,
+            )
+        # Filtered builds are per-query cost; defer them to first probe
+        # so the level-0 intersection can prune what gets structured.
+        use_lazy = row_mask is not None and self.config.lazy_trie_build
         with self.tracer.span("trie.build", alias=alias) as span:
-            trie = table.get_trie(tuple(key_order), tuple(requests), row_mask=row_mask)
+            trie = table.get_trie(
+                tuple(key_order), tuple(requests), row_mask=row_mask, lazy=use_lazy
+            )
             if self.tracer.active:
-                span.set(key_order=list(key_order), tuples=trie.num_tuples)
+                if use_lazy:
+                    span.set(key_order=list(key_order), lazy=True)
+                else:
+                    span.set(key_order=list(key_order), tuples=trie.num_tuples)
         return RelationBinding(
             alias=alias,
             trie=trie,
@@ -630,14 +823,18 @@ class _JoinPlanBuilder:
         return values, str(expr)
 
     def _filter_mask(self, alias: str) -> Optional[np.ndarray]:
+        if alias in self._mask_cache:
+            return self._mask_cache[alias]
         predicates = self.bound.filters.get(alias, [])
         if not predicates:
-            return None
-        table = self.bound.tables[alias]
-        mask = np.ones(table.num_rows, dtype=bool)
-        for predicate in predicates:
-            value = evaluate(predicate, lambda ref: table.columns[ref.name])
-            mask &= np.asarray(value, dtype=bool)
+            mask = None
+        else:
+            table = self.bound.tables[alias]
+            mask = np.ones(table.num_rows, dtype=bool)
+            for predicate in predicates:
+                value = evaluate(predicate, lambda ref: table.columns[ref.name])
+                mask &= np.asarray(value, dtype=bool)
+        self._mask_cache[alias] = mask
         return mask
 
     # -- group fetchers ----------------------------------------------------------

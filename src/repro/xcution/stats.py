@@ -43,6 +43,13 @@ class ExecutionStats:
     #: deterministic and identical under serial and parallel execution
     #: -- the governance differential tests assert exactly that.
     cancel_checks: int = 0
+    #: pairwise hash/merge joins executed by binary-strategy nodes.
+    #: Binary nodes run single-threaded over vectorized kernels, so both
+    #: binary counters are parallel-invariant by construction.
+    binary_joins: int = 0
+    #: total intermediate rows produced by those joins (the quantity the
+    #: strategy chooser's ``binary_cost`` estimates).
+    binary_rows: int = 0
     #: aggregator degradations: dict-backed group state spilled to a
     #: sorted-sparse columnar run under memory-budget pressure.  Spill
     #: opportunities depend on the per-worker budget split, so this

@@ -7,7 +7,7 @@ from repro import LevelHeadedEngine
 from repro.baselines import LAPackage, NaiveWCOJEngine, PairwiseEngine
 from repro.baselines.pairwise import ColumnRelation, hash_join
 from repro.errors import OutOfMemoryBudgetError, UnsupportedQueryError
-from repro.la import matmul_sql, matvec_sql, random_sparse_coo, register_coo, register_vector
+from repro.la import matmul_sql, matvec_sql, random_sparse_coo
 from tests.conftest import make_matrix_catalog, make_mini_tpch
 from tests.test_engine import Q5_SQL
 
@@ -129,7 +129,7 @@ def test_pairwise_oom_on_smm_with_budget():
     n, nnz = 300, 9000
     rows, cols, vals = random_sparse_coo(n, nnz, rng)
     lh = LevelHeadedEngine()
-    register_coo(lh.catalog, "m", rows, cols, vals, n=n, domain="dim")
+    lh.register_matrix("m", rows=rows, cols=cols, values=vals, n=n, domain="dim")
     pw = PairwiseEngine(lh.catalog, memory_budget_bytes=1_000_000)
     with pytest.raises(OutOfMemoryBudgetError):
         pw.query(matmul_sql("m"))
@@ -161,10 +161,8 @@ def test_naive_wcoj_correct_but_costlier(tpch_catalog):
 def test_naive_wcoj_no_blas():
     import numpy as np
 
-    from repro.la import register_dense
-
     naive = NaiveWCOJEngine()
-    register_dense(naive.catalog, "m", np.eye(4), domain="dim")
+    LevelHeadedEngine(naive.catalog).register_matrix("m", np.eye(4), domain="dim")
     assert naive.compile(matmul_sql("m")).mode == "join"
 
 
@@ -186,16 +184,14 @@ def test_la_package_kernels_match_engine():
     pkg.load_dense("d", dense)
 
     engine = LevelHeadedEngine()
-    register_coo(engine.catalog, "m", rows, cols, vals, n=n, domain="dim")
-    register_vector(engine.catalog, "x", x, domain="dim")
-
-    from repro.la import result_to_dense, result_to_vector
+    engine.register_matrix("m", rows=rows, cols=cols, values=vals, n=n, domain="dim")
+    engine.register_vector("x", x, domain="dim")
 
     assert np.allclose(
-        result_to_vector(engine.query(matvec_sql("m", "x")), n), pkg.smv("m", "x")
+        engine.query(matvec_sql("m", "x")).to_vector(n), pkg.smv("m", "x")
     )
     assert np.allclose(
-        result_to_dense(engine.query(matmul_sql("m")), n), pkg.smm("m").toarray()
+        engine.query(matmul_sql("m")).to_dense(n), pkg.smm("m").toarray()
     )
     assert np.allclose(pkg.dmm("d"), dense @ dense)
     assert np.allclose(pkg.dmv("d", "x"), dense @ x)

@@ -5,12 +5,15 @@ import json
 import pytest
 
 from repro.bench.regress import (
+    STRATEGY_MODES,
+    STRATEGY_WORKLOAD_NAMES,
     WORKLOAD_NAMES,
     build_workloads,
     compare_runs,
     latest_bench,
     next_bench_path,
     run_regression,
+    run_strategy_compare,
 )
 
 
@@ -164,3 +167,52 @@ def test_all_workload_names_build_quick():
     for w in workloads:
         assert w.rows >= 1, w.name
         assert "kernel_counts" in w.work
+
+
+# ---------------------------------------------------------------------------
+# the join-strategy comparison section
+# ---------------------------------------------------------------------------
+
+
+def test_strategy_compare_section_shape():
+    section, regressions = run_strategy_compare(
+        ("tpch_q3", "triangle"), quick=True, best_of=1,
+        threshold=1.3, min_delta_ms=1.0, log=lambda s: None,
+    )
+    assert section["modes"] == list(STRATEGY_MODES)
+    assert set(section["workloads"]) == {"tpch_q3", "triangle"}
+    for name, entry in section["workloads"].items():
+        assert set(entry["best_seconds"]) == set(STRATEGY_MODES)
+        assert all(t > 0 for t in entry["best_seconds"].values()), name
+        assert entry["rows"] >= 1
+        assert entry["auto_vs_wcoj_ratio"] > 0
+    # all three executors agreed on rows: no correctness regressions
+    assert not any("disagree" in r for r in regressions)
+
+
+def test_strategy_compare_rides_along_on_full_runs(tmp_path):
+    # subset runs skip the section unless forced on
+    logs = []
+    assert run_regression(
+        quick=True, out_dir=tmp_path, workloads=("tpch_q1",),
+        strategy=True, strategy_workloads=("tpch_q1",),
+        log=logs.append, threshold=10.0, min_delta_ms=50.0,
+    ) == 0
+    doc = json.loads((tmp_path / "BENCH_0003.json").read_text())
+    assert "strategy_compare" in doc
+    entry = doc["strategy_compare"]["workloads"]["tpch_q1"]
+    assert set(entry["best_seconds"]) == set(STRATEGY_MODES)
+    assert any("strategy tpch_q1" in line for line in logs)
+
+
+def test_strategy_compare_skipped_for_subset_runs(tmp_path):
+    assert run_regression(
+        quick=True, out_dir=tmp_path, workloads=("tpch_q1",),
+        log=lambda s: None,
+    ) == 0
+    doc = json.loads((tmp_path / "BENCH_0003.json").read_text())
+    assert "strategy_compare" not in doc
+
+
+def test_strategy_workloads_are_known():
+    assert set(STRATEGY_WORKLOAD_NAMES) <= set(WORKLOAD_NAMES)

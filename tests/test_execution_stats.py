@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro import EngineConfig, LevelHeadedEngine
-from repro.la import matmul_sql, matvec_sql, register_coo, register_vector
+from repro.la import matmul_sql, matvec_sql
 from repro.xcution import ExecutionStats
 from tests.conftest import make_matrix_catalog, make_mini_tpch
 from tests.test_engine import Q5_SQL
@@ -16,8 +16,8 @@ from tests.test_engine import Q5_SQL
 
 def _stats_for(engine, sql):
     plan = engine.compile(sql)
-    result, stats = engine.execute_with_stats(plan)
-    return plan, result, stats
+    result = engine.execute(plan, collect_stats=True)
+    return plan, result, result.stats
 
 
 def _sparse_setup(n=80, nnz=600, seed=5):
@@ -28,8 +28,8 @@ def _sparse_setup(n=80, nnz=600, seed=5):
     rows, cols = flat // n, flat % n
     vals = rng.normal(size=rows.size)
     engine = LevelHeadedEngine()
-    register_coo(engine.catalog, "m", rows, cols, vals, n=n, domain="dim")
-    register_vector(engine.catalog, "x", rng.normal(size=n), domain="dim")
+    engine.register_matrix("m", rows=rows, cols=cols, values=vals, n=n, domain="dim")
+    engine.register_vector("x", rng.normal(size=n), domain="dim")
     return engine
 
 
@@ -81,7 +81,7 @@ def test_q5_stats_counts_nodes_and_fetches(mini_tpch):
 
 def test_explain_analyze_text(mini_tpch):
     engine = LevelHeadedEngine(mini_tpch)
-    text = engine.explain_analyze(Q5_SQL)
+    text = engine.explain(Q5_SQL, analyze=True)
     assert "stats:" in text
     assert "result rows: 1" in text
     assert "mode: join" in text

@@ -13,13 +13,12 @@ Pins the PR-4 contract end to end:
   dense dict-backed path;
 * ``cancel_checks`` is a parallel-invariant counter (serial == 2 == 4
   threads);
-* the deprecated free-function LA surface warns and delegates to the
-  handle-first API.
+* the removed free-function LA surface stays removed: registration
+  goes through the engine's handle-first API.
 """
 
 import threading
 import time
-import warnings
 
 import numpy as np
 import pytest
@@ -363,36 +362,20 @@ def test_register_matrix_coo_form():
     assert np.allclose(m.to_dense(), expected)
 
 
-def test_deprecated_la_free_functions_warn_and_delegate():
-    from repro.la import register_coo, register_vector, result_to_vector
-    from repro.la import matvec_sql
+def test_la_free_function_shims_are_gone():
+    # the PR-4 free-function LA surface was removed with the
+    # strategy-aware API redesign: register through the engine, densify
+    # through ResultTable.to_dense / .to_vector
+    import repro.la as la
 
-    engine = LevelHeadedEngine()
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        register_coo(
-            engine.catalog, "m",
-            np.array([0, 1]), np.array([0, 1]), np.array([1.0, 2.0]), n=2,
-            domain="dim",
-        )
-        register_vector(engine.catalog, "x", np.array([3.0, 4.0]), domain="dim")
-    assert sum(issubclass(w.category, DeprecationWarning) for w in caught) == 2
-
-    result = engine.query(matvec_sql("m", "x"))
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        out = result_to_vector(result, 2)
-    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-    assert np.allclose(out, [3.0, 8.0])
-    assert np.allclose(result.to_vector(2), out)
-
-
-def test_explain_analyze_shim_still_warns():
-    engine = LevelHeadedEngine(graph_catalog(20, 80))
-    with pytest.warns(DeprecationWarning):
-        engine.explain_analyze(DEGREE_SQL)
-    with pytest.warns(DeprecationWarning):
-        engine.execute_with_stats(engine.compile(DEGREE_SQL))
+    for name in (
+        "register_coo",
+        "register_dense",
+        "register_vector",
+        "result_to_dense",
+        "result_to_vector",
+    ):
+        assert not hasattr(la, name), name
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,390 @@
+"""Hybrid binary/WCOJ execution: differential equality, the strategy
+cost model, the strategy-aware API surface, and the explain schema.
+
+The load-bearing property is *strategy invariance*: for every query,
+``join_strategy="auto"``, ``"wcoj"``, and ``"binary"`` must produce the
+same rows (up to float summation order), serially and in parallel.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro import EngineConfig, LevelHeadedEngine
+from repro.cli import _handle_line
+from repro.datasets.tpch import TPCH_QUERIES, generate_tpch
+from repro.la import matmul_sql
+from repro.optimizer.strategy import (
+    MIN_BINARY_INPUT_ROWS,
+    STRATEGY_SCHEMA_VERSION,
+    EdgeStats,
+    decide_strategy,
+    is_acyclic,
+    pairwise_cost,
+)
+from repro.storage import Catalog, Schema, Table, key
+from tests.conftest import make_mini_tpch
+
+STRATEGIES = ("auto", "wcoj", "binary")
+THREAD_COUNTS = (1, 2, 4)
+
+TRIANGLE_SQL = (
+    "SELECT count(*) AS triangles FROM edges e1, edges e2, edges e3 "
+    "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src"
+)
+
+
+def _config(strategy, threads=1):
+    return EngineConfig(
+        join_strategy=strategy,
+        parallel=threads > 1,
+        num_threads=threads,
+    )
+
+
+def assert_rows_close(got, want):
+    """Row-set equality with float tolerance (summation order differs
+    between the trie walk and the hash joins' reduceat)."""
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert len(g) == len(w)
+        for x, y in zip(g, w):
+            if isinstance(x, float) or isinstance(y, float):
+                assert x == pytest.approx(y, rel=1e-9, abs=1e-9)
+            else:
+                assert x == y
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return generate_tpch(scale_factor=0.005, seed=7)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(13)
+    pairs = sorted(
+        {(int(a), int(b)) for a, b in rng.integers(0, 150, size=(2500, 2))}
+    )
+    catalog = Catalog()
+    catalog.register(
+        Table.from_columns(
+            Schema("edges", [key("src", domain="node"), key("dst", domain="node")]),
+            src=np.array([p[0] for p in pairs]),
+            dst=np.array([p[1] for p in pairs]),
+        )
+    )
+    return catalog
+
+
+# ---------------------------------------------------------------------------
+# differential equality: hybrid == pure WCOJ == pairwise
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["Q1", "Q3", "Q5"])
+def test_tpch_strategy_invariance(tpch, name):
+    sql = TPCH_QUERIES[name]
+    want = LevelHeadedEngine(tpch, config=_config("wcoj")).query(sql).sorted_rows()
+    for strategy in STRATEGIES:
+        for threads in THREAD_COUNTS:
+            engine = LevelHeadedEngine(tpch, config=_config(strategy, threads))
+            assert_rows_close(engine.query(sql).sorted_rows(), want)
+
+
+def test_triangle_strategy_invariance(graph):
+    want = (
+        LevelHeadedEngine(graph, config=_config("wcoj"))
+        .query(TRIANGLE_SQL)
+        .single_value()
+    )
+    assert want > 0
+    for strategy in STRATEGIES:
+        for threads in THREAD_COUNTS:
+            engine = LevelHeadedEngine(graph, config=_config(strategy, threads))
+            assert engine.query(TRIANGLE_SQL).single_value() == want
+
+
+def test_smm_strategy_invariance():
+    rng = np.random.default_rng(5)
+    n, nnz = 120, 2500
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    flat = np.unique(rows * n + cols)
+    rows, cols = flat // n, flat % n
+    vals = rng.normal(size=rows.size)
+    loader = LevelHeadedEngine()
+    loader.register_matrix("m", rows=rows, cols=cols, values=vals, n=n, domain="dim")
+    sql = matmul_sql("m")
+    want = (
+        LevelHeadedEngine(loader.catalog, config=_config("wcoj"))
+        .query(sql)
+        .to_dense(n)
+    )
+    for strategy in STRATEGIES:
+        for threads in THREAD_COUNTS:
+            engine = LevelHeadedEngine(loader.catalog, config=_config(strategy, threads))
+            got = engine.query(sql).to_dense(n)
+            np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+
+def test_stats_count_binary_work(tpch):
+    engine = LevelHeadedEngine(tpch, config=_config("binary"))
+    result = engine.query(TPCH_QUERIES["Q3"], collect_stats=True)
+    assert result.stats.binary_joins > 0
+    assert result.stats.binary_rows > 0
+    wcoj = LevelHeadedEngine(tpch, config=_config("wcoj"))
+    pure = wcoj.query(TPCH_QUERIES["Q3"], collect_stats=True)
+    assert pure.stats.binary_joins == 0
+
+
+def test_binary_counters_parallel_invariant(tpch):
+    sql = TPCH_QUERIES["Q3"]
+    counters = []
+    for threads in THREAD_COUNTS:
+        engine = LevelHeadedEngine(tpch, config=_config("binary", threads))
+        stats = engine.query(sql, collect_stats=True).stats
+        counters.append((stats.binary_joins, stats.binary_rows))
+    assert len(set(counters)) == 1
+
+
+# ---------------------------------------------------------------------------
+# the auto decision rule picks the right engine per fragment
+# ---------------------------------------------------------------------------
+
+
+def _node_choices(plan):
+    return [s["strategy"]["choice"] for s in plan.node_summaries()]
+
+
+def test_auto_routes_selective_tpch_to_binary(tpch):
+    engine = LevelHeadedEngine(tpch, config=_config("auto"))
+    choices = _node_choices(engine.compile(TPCH_QUERIES["Q3"]))
+    assert "binary" in choices
+
+
+def test_auto_keeps_triangle_on_wcoj(graph):
+    engine = LevelHeadedEngine(graph, config=_config("auto"))
+    choices = _node_choices(engine.compile(TRIANGLE_SQL))
+    assert choices == ["wcoj"] * len(choices)
+
+
+def test_tiny_inputs_stay_on_wcoj(mini_tpch):
+    # the mini catalog is far below MIN_BINARY_INPUT_ROWS everywhere
+    from tests.test_engine import Q5_SQL
+
+    engine = LevelHeadedEngine(mini_tpch, config=_config("auto"))
+    choices = _node_choices(engine.compile(Q5_SQL))
+    assert set(choices) == {"wcoj"}
+
+
+def test_pinned_strategies_override_the_cost_model(tpch):
+    sql = TPCH_QUERIES["Q3"]
+    wcoj = LevelHeadedEngine(tpch, config=_config("wcoj"))
+    assert set(_node_choices(wcoj.compile(sql))) == {"wcoj"}
+    binary = LevelHeadedEngine(tpch, config=_config("binary"))
+    assert "binary" in _node_choices(binary.compile(sql))
+
+
+# ---------------------------------------------------------------------------
+# decide_strategy unit behavior
+# ---------------------------------------------------------------------------
+
+
+def _edges(card_a=10_000.0, card_b=10_000.0, selective=True):
+    distinct = 10_000.0 if selective else 100.0
+    return [
+        EdgeStats("a", ("x", "y"), card_a, {"x": distinct, "y": distinct}),
+        EdgeStats("b", ("y", "z"), card_b, {"y": distinct, "z": distinct}),
+    ]
+
+
+def test_decide_small_input_is_wcoj():
+    edges = _edges(card_a=100.0, card_b=100.0)
+    decision = decide_strategy("auto", edges, wcoj_cost=1.0)
+    assert decision.choice == "wcoj"
+    assert "small input" in decision.reason
+    assert decision.input_rows < MIN_BINARY_INPUT_ROWS
+
+
+def test_decide_selective_acyclic_is_binary():
+    decision = decide_strategy("auto", _edges(selective=True), wcoj_cost=1.0)
+    assert decision.choice == "binary"
+    assert not decision.cyclic
+    assert decision.binary_cost <= decision.input_rows
+
+
+def test_decide_blowup_is_wcoj():
+    decision = decide_strategy("auto", _edges(selective=False), wcoj_cost=1.0)
+    assert decision.choice == "wcoj"
+    assert decision.binary_cost > decision.input_rows
+
+
+def test_decide_cyclic_blowup_is_wcoj():
+    edges = [
+        EdgeStats("a", ("x", "y"), 5_000.0, {"x": 70.0, "y": 70.0}),
+        EdgeStats("b", ("y", "z"), 5_000.0, {"y": 70.0, "z": 70.0}),
+        EdgeStats("c", ("z", "x"), 5_000.0, {"z": 70.0, "x": 70.0}),
+    ]
+    decision = decide_strategy("auto", edges, wcoj_cost=1.0)
+    assert decision.cyclic
+    assert decision.choice == "wcoj"
+
+
+def test_decide_pinned_modes():
+    edges = _edges()
+    assert decide_strategy("wcoj", edges, 1.0).choice == "wcoj"
+    assert decide_strategy("binary", edges, 1.0).choice == "binary"
+    with pytest.raises(ValueError):
+        decide_strategy("quantum", edges, 1.0)
+
+
+def test_decide_ineligible_pins_wcoj():
+    decision = decide_strategy(
+        "binary", _edges(), 1.0, eligible=False, ineligible_reason="dense fragment"
+    )
+    assert decision.choice == "wcoj"
+    assert decision.reason == "dense fragment"
+    assert not decision.eligible
+
+
+def test_pairwise_cost_edge_cases():
+    assert pairwise_cost([]) == 0.0
+    assert pairwise_cost([EdgeStats("a", ("x",), 50.0, {"x": 50.0})]) == 0.0
+    disconnected = [
+        EdgeStats("a", ("x",), 10.0, {"x": 10.0}),
+        EdgeStats("b", ("y",), 10.0, {"y": 10.0}),
+    ]
+    assert pairwise_cost(disconnected) > 0  # cross product, not inf
+
+
+def test_is_acyclic():
+    assert is_acyclic([("x", "y"), ("y", "z")])
+    assert not is_acyclic([("x", "y"), ("y", "z"), ("z", "x")])
+    assert is_acyclic([("x", "y")])
+    assert is_acyclic([])
+
+
+# ---------------------------------------------------------------------------
+# strategy-aware API surface
+# ---------------------------------------------------------------------------
+
+
+def test_engine_config_rejects_unknown_strategy():
+    with pytest.raises(ValueError):
+        EngineConfig(join_strategy="quantum")
+
+
+def test_env_var_sets_the_default_strategy(monkeypatch):
+    monkeypatch.setenv("REPRO_JOIN_STRATEGY", "binary")
+    assert EngineConfig().join_strategy == "binary"
+    monkeypatch.setenv("REPRO_JOIN_STRATEGY", "")
+    assert EngineConfig().join_strategy == "auto"
+    monkeypatch.setenv("REPRO_JOIN_STRATEGY", "bogus")
+    with pytest.raises(ValueError):
+        EngineConfig()
+    monkeypatch.delenv("REPRO_JOIN_STRATEGY")
+    assert EngineConfig().join_strategy == "auto"
+
+
+def test_connect_join_strategy_overrides_config():
+    engine = repro.connect(join_strategy="binary")
+    assert engine.config.join_strategy == "binary"
+    engine = repro.connect(
+        config=EngineConfig(join_strategy="wcoj"), join_strategy="auto"
+    )
+    assert engine.config.join_strategy == "auto"
+    with pytest.raises(ValueError):
+        repro.connect(join_strategy="quantum")
+
+
+def test_query_config_override_switches_strategy(tpch):
+    sql = TPCH_QUERIES["Q3"]
+    engine = LevelHeadedEngine(tpch, config=_config("wcoj"))
+    base = engine.query(sql, collect_stats=True)
+    assert base.stats.binary_joins == 0
+    overridden = engine.query(
+        sql, config=_config("binary"), collect_stats=True
+    )
+    assert overridden.stats.binary_joins > 0
+    assert_rows_close(overridden.sorted_rows(), base.sorted_rows())
+
+
+def test_cli_strategy_meta_command(mini_tpch):
+    # explicit config: the test must not inherit a REPRO_JOIN_STRATEGY
+    # default from the surrounding environment (the CI strategy matrix
+    # sets one for every job)
+    engine = LevelHeadedEngine(mini_tpch, config=EngineConfig(join_strategy="auto"))
+    assert "join strategy: auto" in _handle_line(engine, "\\strategy")
+    assert "join strategy: binary" in _handle_line(engine, "\\strategy binary")
+    assert engine.config.join_strategy == "binary"
+    assert "error" in _handle_line(engine, "\\strategy quantum")
+    assert engine.config.join_strategy == "binary"
+    assert "join strategy: auto" in _handle_line(engine, "\\strategy auto")
+
+
+# ---------------------------------------------------------------------------
+# explain: per-node strategy annotations, text and versioned JSON
+# ---------------------------------------------------------------------------
+
+STRATEGY_SCHEMA_KEYS = {
+    "version",
+    "choice",
+    "wcoj_cost",
+    "binary_cost",
+    "input_rows",
+    "cyclic",
+    "eligible",
+    "reason",
+}
+
+
+def test_explain_text_annotates_every_node(tpch):
+    engine = LevelHeadedEngine(tpch, config=_config("auto"))
+    text = engine.explain(TPCH_QUERIES["Q3"])
+    assert "strategy=" in text
+    assert "wcoj_cost=" in text and "binary_cost=" in text
+
+
+def test_explain_json_strategy_schema_golden(tpch):
+    """Pins the versioned per-node strategy block of explain JSON."""
+    engine = LevelHeadedEngine(tpch, config=_config("auto"))
+    doc = engine.explain(TPCH_QUERIES["Q3"], format="json")
+    json.dumps(doc)  # everything must be JSON-serializable
+    nodes = doc["plan_nodes"]
+    assert nodes, "expected at least one plan node"
+    for node in nodes:
+        assert {"depth", "attrs", "strategy", "bindings"} <= set(node)
+        strategy = node["strategy"]
+        assert set(strategy) == STRATEGY_SCHEMA_KEYS
+        assert strategy["version"] == STRATEGY_SCHEMA_VERSION
+        assert strategy["choice"] in ("wcoj", "binary")
+        assert isinstance(strategy["wcoj_cost"], float)
+        assert isinstance(strategy["binary_cost"], float)
+        assert isinstance(strategy["input_rows"], float)
+        assert isinstance(strategy["cyclic"], bool)
+        assert isinstance(strategy["eligible"], bool)
+        assert isinstance(strategy["reason"], str) and strategy["reason"]
+
+
+def test_explain_json_strategy_follows_the_config(tpch):
+    sql = TPCH_QUERIES["Q3"]
+    for strategy in ("wcoj", "binary"):
+        engine = LevelHeadedEngine(tpch, config=_config(strategy))
+        doc = engine.explain(sql, format="json")
+        choices = {n["strategy"]["choice"] for n in doc["plan_nodes"]}
+        if strategy == "wcoj":
+            assert choices == {"wcoj"}
+        else:
+            assert "binary" in choices
+
+
+def test_blas_mode_explain_has_no_join_nodes():
+    rng = np.random.default_rng(2)
+    engine = LevelHeadedEngine()
+    engine.register_matrix("m", rng.normal(size=(6, 6)), domain="dim")
+    doc = engine.explain(matmul_sql("m"), format="json")
+    assert doc["mode"] == "blas"
+    assert doc["plan_nodes"] == []

@@ -18,11 +18,6 @@ from repro.la import (
     matmul_sql,
     matvec_sql,
     random_sparse_coo,
-    register_coo,
-    register_dense,
-    register_vector,
-    result_to_dense,
-    result_to_vector,
     run_matmul,
     run_matvec,
     to_dense,
@@ -38,7 +33,7 @@ from repro.errors import ExecutionError
 def test_register_coo_and_to_dense():
     engine = LevelHeadedEngine()
     rows, cols, vals = [0, 1, 3], [2, 0, 1], [1.5, 2.5, 3.5]
-    table = register_coo(engine.catalog, "m", rows, cols, vals, n=4)
+    table = engine.register_matrix("m", rows=rows, cols=cols, values=vals, n=4).table
     dense = to_dense(table, 4)
     assert dense[0, 2] == 1.5 and dense[3, 1] == 3.5
     assert dense.sum() == pytest.approx(7.5)
@@ -47,18 +42,18 @@ def test_register_coo_and_to_dense():
 def test_register_coo_bounds_check():
     engine = LevelHeadedEngine()
     with pytest.raises(SchemaError):
-        register_coo(engine.catalog, "m", [5], [0], [1.0], n=4)
+        engine.register_matrix("m", rows=[5], cols=[0], values=[1.0], n=4)
 
 
 def test_register_dense_requires_square():
     engine = LevelHeadedEngine()
     with pytest.raises(SchemaError):
-        register_dense(engine.catalog, "m", np.zeros((2, 3)))
+        engine.register_matrix("m", np.zeros((2, 3)))
 
 
 def test_dimension_anchor_makes_encoding_identity():
     engine = LevelHeadedEngine()
-    register_coo(engine.catalog, "m", [3], [1], [1.0], n=8, domain="dim")
+    engine.register_matrix("m", rows=[3], cols=[1], values=[1.0], n=8, domain="dim")
     assert engine.catalog.domain_size("dim") == 8
     ensure_dimension(engine.catalog, "dim", 8)  # idempotent
 
@@ -176,9 +171,9 @@ def _sparse_engine(n=12, nnz=60, seed=3):
     rng = np.random.default_rng(seed)
     rows, cols, vals = random_sparse_coo(n, nnz, rng)
     engine = LevelHeadedEngine()
-    register_coo(engine.catalog, "m", rows, cols, vals, n=n, domain="dim")
+    engine.register_matrix("m", rows=rows, cols=cols, values=vals, n=n, domain="dim")
     x = rng.normal(size=n)
-    register_vector(engine.catalog, "x", x, domain="dim")
+    engine.register_vector("x", x, domain="dim")
     dense = np.zeros((n, n))
     dense[rows, cols] = vals
     return engine, dense, x, n
@@ -187,13 +182,13 @@ def _sparse_engine(n=12, nnz=60, seed=3):
 def test_smv_kernel():
     engine, dense, x, n = _sparse_engine()
     result = run_matvec(engine)
-    assert np.allclose(result_to_vector(result, n), dense @ x)
+    assert np.allclose(result.to_vector(n), dense @ x)
 
 
 def test_smm_kernel():
     engine, dense, _x, n = _sparse_engine()
     result = run_matmul(engine)
-    assert np.allclose(result_to_dense(result, n), dense @ dense)
+    assert np.allclose(result.to_dense(n), dense @ dense)
 
 
 def test_dmv_dmm_kernels_use_blas():
@@ -202,17 +197,17 @@ def test_dmv_dmm_kernels_use_blas():
     dense = rng.normal(size=(n, n))
     x = rng.normal(size=n)
     engine = LevelHeadedEngine()
-    register_dense(engine.catalog, "m", dense, domain="dim")
-    register_vector(engine.catalog, "x", x, domain="dim")
+    engine.register_matrix("m", dense, domain="dim")
+    engine.register_vector("x", x, domain="dim")
     assert engine.compile(matmul_sql("m")).mode == "blas"
     assert engine.compile(matvec_sql("m", "x")).mode == "blas"
-    assert np.allclose(result_to_dense(run_matmul(engine), n), dense @ dense)
-    assert np.allclose(result_to_vector(run_matvec(engine), n), dense @ x)
+    assert np.allclose(run_matmul(engine).to_dense(n), dense @ dense)
+    assert np.allclose(run_matvec(engine).to_vector(n), dense @ x)
 
 
 def test_frobenius_and_dot_sql():
     engine, dense, x, n = _sparse_engine()
-    register_vector(engine.catalog, "y", x * 2.0, domain="dim")
+    engine.register_vector("y", x * 2.0, domain="dim")
     norm2 = engine.query(frobenius_norm_sql("m")).single_value()
     assert norm2 == pytest.approx(float((dense ** 2).sum()))
     dot = engine.query(vector_dot_sql("x", "y")).single_value()
@@ -223,6 +218,6 @@ def test_smm_agrees_with_csr_substrate():
     engine, dense, _x, n = _sparse_engine(n=10, nnz=40, seed=5)
     table = engine.table("m")
     csr = coo_to_csr(table.column("i"), table.column("j"), table.column("v"), (n, n))
-    via_engine = result_to_dense(run_matmul(engine), n)
+    via_engine = run_matmul(engine).to_dense(n)
     via_csr = csr_to_dense(csr_matmul(csr, csr))
     assert np.allclose(via_engine, via_csr)

@@ -19,7 +19,7 @@ import pytest
 
 from repro import EngineConfig, LevelHeadedEngine, OutOfMemoryBudgetError
 from repro.datasets.tpch.queries import Q5
-from repro.la import matmul_sql, register_coo
+from repro.la import matmul_sql
 from tests.conftest import make_mini_tpch
 
 THREAD_COUNTS = [1, 2, 4]
@@ -54,7 +54,7 @@ def _sparse_catalog(n=60, nnz=500, seed=11):
     rows, cols = flat // n, flat % n
     vals = rng.normal(size=rows.size)
     engine = LevelHeadedEngine()
-    register_coo(engine.catalog, "m", rows, cols, vals, n=n, domain="dim")
+    engine.register_matrix("m", rows=rows, cols=cols, values=vals, n=n, domain="dim")
     return engine.catalog
 
 

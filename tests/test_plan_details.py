@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro import EngineConfig, LevelHeadedEngine, Schema, annotation, key
-from repro.la import matmul_sql, matvec_sql, register_dense, register_vector
+from repro.la import matmul_sql, matvec_sql
 from repro.sql.ast import ColumnRef
 from repro.sql.result_clauses import _sort_codes, make_result_resolver, result_row_index
 from repro.errors import ExecutionError
@@ -22,8 +22,8 @@ def _dense_engine(n=6, **config):
         config=EngineConfig(**config) if config else None
     )
     rng = np.random.default_rng(0)
-    register_dense(engine.catalog, "m", rng.normal(size=(n, n)), domain="dim")
-    register_vector(engine.catalog, "x", rng.normal(size=n), domain="dim")
+    engine.register_matrix("m", rng.normal(size=(n, n)), domain="dim")
+    engine.register_vector("x", rng.normal(size=n), domain="dim")
     return engine
 
 
@@ -53,9 +53,7 @@ def test_blas_route_rejected_with_extra_aggregate():
 
 def test_blas_route_rejected_on_sparse():
     engine = LevelHeadedEngine()
-    from repro.la import register_coo
-
-    register_coo(engine.catalog, "m", [0, 1], [1, 0], [1.0, 2.0], n=4, domain="dim")
+    engine.register_matrix("m", rows=[0, 1], cols=[1, 0], values=[1.0, 2.0], n=4, domain="dim")
     assert engine.compile(matmul_sql("m")).mode == "join"
 
 

@@ -347,19 +347,16 @@ def test_explain_analyze_shows_cache_outcome(mini_tpch):
     assert "plan cache: hit" in engine.explain(sql, analyze=True)
 
 
-def test_deprecated_shims_still_work(mini_tpch):
+def test_deprecated_shims_are_gone(mini_tpch):
+    # the PR-1 compatibility shims were removed with the strategy-aware
+    # API redesign: the replacements are explain(analyze=True),
+    # execute(collect_stats=True), and the config= keyword
     engine = LevelHeadedEngine(mini_tpch)
     sql = Q_JOIN.format("125")
-    with pytest.warns(DeprecationWarning):
-        text = engine.explain_analyze(sql)
-    assert "result rows:" in text
-    plan = engine.compile(sql)
-    with pytest.warns(DeprecationWarning):
-        result, stats = engine.execute_with_stats(plan)
-    assert result.sorted_rows() == engine.query(sql).sorted_rows()
-    assert stats is result.stats
-    with pytest.warns(DeprecationWarning):
-        # legacy positional-config call shape still routes correctly
+    assert not hasattr(engine, "explain_analyze")
+    assert not hasattr(engine, "execute_with_stats")
+    # positional config is now a plain params mis-use, not a shim
+    with pytest.raises(Exception):
         engine.query(sql, EngineConfig(enable_attribute_ordering=False))
 
 

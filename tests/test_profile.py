@@ -46,6 +46,7 @@ def test_profile_counters_shape(engine):
     assert set(counters) == {
         "kernel_counts", "layout_mix", "bytes_intersected",
         "intersection_values", "trie_builds", "trie_bytes",
+        "lazy_builds", "lazy_pruned_builds", "lazy_trie_bytes",
     }
     assert sum(counters["kernel_counts"].values()) > 0
     assert set(counters["layout_mix"]) == {"bitset", "uint", "dense"}

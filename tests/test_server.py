@@ -121,6 +121,13 @@ Q1ISH = (
 )
 
 
+def test_hello_announces_join_strategy(served_engine):
+    engine, server = served_engine
+    with connect(server.host, server.port) as client:
+        assert client.join_strategy == engine.config.join_strategy
+        assert client.join_strategy in ("auto", "wcoj", "binary")
+
+
 def test_served_query_matches_in_process(served_engine):
     engine, server = served_engine
     with connect(server.host, server.port) as client:
