@@ -32,6 +32,16 @@ auto-vs-wcoj gap is recorded per workload.  ``auto`` regressing past
 the gate relative to pure WCOJ on any strategy workload fails the run
 -- the hybrid planner must never cost more than the engine it
 replaces.
+
+Full runs also record a ``feedback_compare`` section: the Zipf-skewed
+``hot_regions`` workload is driven through the q-error feedback loop
+until the cached plan drifts and re-optimizes, and the measured
+q-error plus best-of-k runtime of the base and feedback-corrected
+plans are recorded.  Two findings fail the run: the corrected plan not
+measuring a *strictly lower* q-error than the base plan, and the
+corrected plan running slower than the base plan past the same
+ratio+delta gate -- the loop's contract is "better estimates, never a
+slower plan".
 """
 
 from __future__ import annotations
@@ -245,6 +255,103 @@ def run_strategy_compare(
     return section, regressions
 
 
+def run_feedback_compare(
+    best_of: int,
+    threshold: float,
+    min_delta_ms: float,
+    log: Callable[[str], None] = print,
+) -> Tuple[Dict[str, object], List[str]]:
+    """Drive the q-error feedback loop on the skewed workload.
+
+    Returns ``(section, regressions)``.  The engine runs the pinned
+    ``hot_regions`` query until its cached plan drifts (q-error above
+    the threshold for the configured number of consecutive runs) and
+    re-optimizes with the observed cardinalities.  Three findings
+    regress:
+
+    * the loop never re-optimized (the drift rule is dead);
+    * the corrected plan does not measure a strictly lower q-error
+      than the base plan;
+    * the corrected plan is slower than the base plan past the same
+      ratio+delta gate the main diff uses.
+
+    The dataset uses the skewed generator's pinned defaults rather than
+    ``--quick`` scaling: the workload is tuned so the correction flips
+    the plan, and that property does not survive rescaling.
+    """
+    from ..datasets import SKEWED_QUERIES, generate_skewed
+    from ..optimizer.feedback import DRIFT_CONSECUTIVE_RUNS
+
+    sql = SKEWED_QUERIES["hot_regions"]
+    catalog = generate_skewed()
+    engine = LevelHeadedEngine(catalog)
+    runs = [
+        engine.query(sql, collect_stats=True)
+        for _ in range(DRIFT_CONSECUTIVE_RUNS + 1)
+    ]
+    base_run, corrected_run = runs[0], runs[-1]
+    q_before = base_run.stats.q_error_max
+    q_after = corrected_run.stats.q_error_max
+
+    regressions: List[str] = []
+    if corrected_run.stats.plan_reoptimizations != 1:
+        regressions.append(
+            "feedback skewed: plan never re-optimized after "
+            f"{DRIFT_CONSECUTIVE_RUNS} drifting runs"
+        )
+    if base_run.num_rows != corrected_run.num_rows:
+        regressions.append(
+            "feedback skewed: re-optimized plan changed result rows "
+            f"{base_run.num_rows} -> {corrected_run.num_rows}"
+        )
+    if not q_after < q_before:
+        regressions.append(
+            "feedback skewed: corrected plan q-error "
+            f"{q_after:.2f} is not strictly below base {q_before:.2f}"
+        )
+
+    # time base vs corrected execution: the corrected plan is whatever
+    # the cache now holds; the base plan is a fresh static compile
+    base_plan = LevelHeadedEngine(catalog).compile(sql)
+    corrected_plan, _ = engine.plan_cache.lookup(
+        engine._plan_key(sql, engine.config), catalog
+    )
+    base = time_workload(
+        Workload("skewed[base]", lambda: engine.execute(base_plan),
+                 base_run.num_rows, {}),
+        best_of,
+    )["best_seconds"]
+    corrected = time_workload(
+        Workload("skewed[corrected]", lambda: engine.execute(corrected_plan),
+                 corrected_run.num_rows, {}),
+        best_of,
+    )["best_seconds"]
+    ratio = corrected / base if base > 0 else 1.0
+    delta_ms = (corrected - base) * 1000.0
+    if ratio > threshold and delta_ms > min_delta_ms:
+        regressions.append(
+            f"feedback skewed: corrected plan {corrected * 1000:.2f}ms is "
+            f"slower than base {base * 1000:.2f}ms "
+            f"({ratio:.2f}x, +{delta_ms:.2f}ms)"
+        )
+
+    section = {
+        "workload": "skewed_hot_regions",
+        "runs_to_drift": DRIFT_CONSECUTIVE_RUNS,
+        "q_error_before": round(q_before, 4),
+        "q_error_after": round(q_after, 4),
+        "rows": base_run.num_rows,
+        "best_seconds": {"base": base, "corrected": corrected},
+        "corrected_vs_base_ratio": round(ratio, 4),
+    }
+    log(
+        f"  feedback skewed: q-error {q_before:.2f} -> {q_after:.2f}, "
+        f"base {base * 1000:.2f}ms, corrected {corrected * 1000:.2f}ms "
+        f"({ratio:.2f}x)"
+    )
+    return section, regressions
+
+
 def _inject(run: Callable[[], object], factor: float) -> Callable[[], object]:
     """Wrap ``run`` so its wall time is multiplied by ``factor``."""
 
@@ -381,6 +488,7 @@ def run_regression(
     workloads: Optional[Tuple[str, ...]] = None,
     strategy: Optional[bool] = None,
     strategy_workloads: Optional[Tuple[str, ...]] = None,
+    feedback: Optional[bool] = None,
     log: Callable[[str], None] = print,
 ) -> int:
     """Run the pinned workloads, diff against the latest baseline.
@@ -392,10 +500,12 @@ def run_regression(
     out_dir = Path(out_dir) if out_dir is not None else Path(__file__).resolve().parents[3]
     best_of = best_of if best_of is not None else (3 if quick else 5)
     names = workloads if workloads is not None else WORKLOAD_NAMES
-    # the strategy comparison rides along on full runs by default; a
-    # --workloads subset is someone chasing one workload, so skip it
+    # the strategy and feedback sections ride along on full runs by
+    # default; a --workloads subset is someone chasing one workload
     if strategy is None:
         strategy = workloads is None
+    if feedback is None:
+        feedback = workloads is None
     if inject_slowdown is not None and inject_slowdown not in names:
         raise SystemExit(
             f"--inject-slowdown {inject_slowdown!r} is not among {names}"
@@ -436,6 +546,14 @@ def run_regression(
         )
         document["strategy_compare"] = section
         regressions.extend(strategy_regressions)
+
+    if feedback:
+        log("regress: feedback_compare on the skewed workload")
+        section, feedback_regressions = run_feedback_compare(
+            best_of, threshold, min_delta_ms, log
+        )
+        document["feedback_compare"] = section
+        regressions.extend(feedback_regressions)
 
     baseline_path = latest_bench(out_dir)
     if baseline_path is None:
@@ -502,6 +620,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     strategy_group.add_argument(
         "--no-strategy", dest="strategy", action="store_false",
         help="skip the join-strategy comparison section")
+    feedback_group = parser.add_mutually_exclusive_group()
+    feedback_group.add_argument(
+        "--feedback", dest="feedback", action="store_true", default=None,
+        help="force the q-error feedback section on")
+    feedback_group.add_argument(
+        "--no-feedback", dest="feedback", action="store_false",
+        help="skip the q-error feedback section")
     args = parser.parse_args(argv)
 
     workloads = tuple(args.workloads.split(",")) if args.workloads else None
@@ -517,6 +642,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         bless=args.bless,
         workloads=workloads,
         strategy=args.strategy,
+        feedback=args.feedback,
     )
 
 

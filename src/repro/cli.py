@@ -23,6 +23,7 @@ chosen plan, ``\\trace SELECT …`` runs a statement and prints its
 lifecycle span tree, ``\\profile SELECT …`` runs a statement and prints
 its per-trie-level kernel profile (collapsed-stack flamegraph text),
 ``\\metrics`` prints the engine's cumulative serving metrics,
+``\\feedback`` prints the per-cached-plan q-error drift records,
 ``\\timeout [ms|off]`` shows or sets the session's default query
 deadline, ``\\strategy [auto|wcoj|binary]`` shows or sets the session's
 join strategy (per-GHD-node engine choice), ``\\governor [shed on|off]``
@@ -124,6 +125,32 @@ def _handle_strategy(engine: LevelHeadedEngine, arg: str) -> str:
     return f"join strategy: {arg}"
 
 
+def _handle_feedback(engine: LevelHeadedEngine) -> str:
+    """Per-cached-plan q-error feedback state (``\\feedback``)."""
+    cache = engine.plan_cache
+    entries = cache.feedback_snapshot()
+    lines = [
+        f"q-error feedback: threshold={cache.q_error_threshold:g} "
+        f"drift_runs={cache.drift_runs} "
+        f"reoptimizations={cache.stats.reoptimizations}"
+    ]
+    if not entries:
+        lines.append("(no cached plans)")
+        return "\n".join(lines)
+    for entry in entries:
+        q_max = entry["q_error_max"]
+        q_txt = f"{q_max:.2f}" if q_max is not None else "-"
+        sql = " ".join(str(entry["sql"]).split())
+        if len(sql) > 60:
+            sql = sql[:57] + "..."
+        lines.append(
+            f"  runs={entry['runs']} q_error_max={q_txt} "
+            f"bad_streak={entry['bad_streak']} drifted={entry['drifted']} "
+            f"reoptimized={entry['reoptimized']}  {sql}"
+        )
+    return "\n".join(lines)
+
+
 def _handle_governor(engine: LevelHeadedEngine, arg: str) -> str:
     """Show the admission governor (``\\governor``) or toggle shedding."""
     if engine.governor is None:
@@ -151,6 +178,8 @@ def _handle_line(engine: LevelHeadedEngine, line: str) -> Optional[str]:
         return _describe_schema(engine, stripped[3:].strip())
     if stripped == "\\metrics":
         return engine.metrics.describe()
+    if stripped == "\\feedback":
+        return _handle_feedback(engine)
     if stripped == "\\timeout" or stripped.startswith("\\timeout "):
         return _handle_timeout(engine, stripped[len("\\timeout"):].strip())
     if stripped == "\\strategy" or stripped.startswith("\\strategy "):

@@ -129,6 +129,9 @@ class ReproClient:
         self.server: Optional[str] = None
         #: the serving engine's configured join strategy (from hello).
         self.join_strategy: Optional[str] = None
+        #: the serving engine's q-error feedback policy (from hello):
+        #: ``{"q_error_threshold": ..., "drift_runs": ...}``.
+        self.feedback: Optional[Dict] = None
         try:
             self._handshake()
         except BaseException:
@@ -222,6 +225,7 @@ class ReproClient:
         self.batch_rows = frame.get("batch_rows")
         self.server = frame.get("server")
         self.join_strategy = frame.get("join_strategy")
+        self.feedback = frame.get("feedback")
 
     def _run(
         self,

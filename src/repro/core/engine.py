@@ -45,6 +45,7 @@ from ..errors import (
 )
 from ..obs import NULL_TRACER, KernelProfiler, MetricsRegistry, QueryLog, Tracer
 from ..obs import activate as _activate_profiler
+from ..optimizer.feedback import QueryFeedback, measure
 from ..query.translate import CompiledQuery, translate
 from ..sql.ast import ColumnRef
 from ..sql.binder import bind
@@ -60,7 +61,7 @@ from ..xcution.plan import EngineConfig, PhysicalPlan, build_plan
 from ..xcution.stats import ExecutionStats
 from ..xcution.yannakakis import RawResult, execute_plan
 from .governor import AdmissionSlot, CancelToken, Governor, QueryHandle, cancel_scope
-from .plan_cache import HIT, INVALIDATED, MISS, PlanCache
+from .plan_cache import HIT, INVALIDATED, MISS, REOPTIMIZED, PlanCache
 from .prepared import PreparedStatement
 from .result import ResultTable
 
@@ -304,9 +305,11 @@ class LevelHeadedEngine:
             )
             with cancel_scope(token), tracer.span("query"):
                 t0 = time.perf_counter()
-                plan, outcome = self._cached_plan(sql, cfg, tracer)
+                plan, outcome, key = self._cached_plan(sql, cfg, tracer)
                 compile_seconds = (
-                    time.perf_counter() - t0 if outcome in (MISS, INVALIDATED) else None
+                    time.perf_counter() - t0
+                    if outcome in (MISS, INVALIDATED, REOPTIMIZED)
+                    else None
                 )
                 return self._run_plan(
                     plan,
@@ -319,6 +322,7 @@ class LevelHeadedEngine:
                     expose_trace=trace,
                     cancel=token,
                     slot=slot,
+                    cache_key=key,
                 )
         finally:
             self._release(slot)
@@ -392,7 +396,7 @@ class LevelHeadedEngine:
             return self.prepare(sql, config=cfg).explain(
                 params, analyze=analyze, format=format
             )
-        plan, outcome = self._cached_plan(sql, cfg)
+        plan, outcome, _ = self._cached_plan(sql, cfg)
         return self._explain_plan(plan, outcome, analyze=analyze, format=format)
 
     # -- governance machinery -------------------------------------------------
@@ -416,8 +420,12 @@ class LevelHeadedEngine:
             return None
         try:
             slot = self.governor.admit(cached=cached, token=token)
-        except RetryableAdmissionError:
+        except RetryableAdmissionError as exc:
+            # one rejection, one total increment; the cause label splits
+            # the total without double-counting any query
             self.metrics.inc("admission_rejected")
+            if exc.cause:
+                self.metrics.inc(f"admission_rejected_{exc.cause}")
             raise
         self.metrics.inc("admission_admitted")
         if slot.queued:
@@ -449,18 +457,25 @@ class LevelHeadedEngine:
 
     def _cached_plan(
         self, sql: str, cfg: EngineConfig, tracer=NULL_TRACER
-    ) -> Tuple[PhysicalPlan, str]:
+    ) -> Tuple[PhysicalPlan, str, Tuple]:
         """Look up (or compile and cache) the plan for parameterless SQL.
 
         On a hit the SQL is never even parsed -- the normalized text,
         config fingerprint, and catalog domain versions fully determine
-        the plan.
+        the plan.  A ``reoptimized`` outcome recompiles with the cache's
+        accumulated per-node observations overriding the estimates
+        (:meth:`PlanCache.corrections`).  Returns ``(plan, outcome,
+        cache_key)`` so execution can feed q-error measurements back to
+        the entry.
         """
         key = self._plan_key(sql, cfg)
         with tracer.span("plan_cache.lookup") as span:
             plan, outcome = self.plan_cache.lookup(key, self.catalog)
             span.set(outcome=outcome)
         if plan is None:
+            corrections = (
+                self.plan_cache.corrections(key) if outcome == REOPTIMIZED else {}
+            )
             with tracer.span("parse"):
                 stmt = parse(sql)
             if stmt.parameters:
@@ -473,9 +488,11 @@ class LevelHeadedEngine:
             with tracer.span("translate"):
                 compiled = translate(bound)
             with tracer.span("physical_plan"):
-                plan = build_plan(compiled, cfg, tracer=tracer)
+                plan = build_plan(compiled, cfg, tracer=tracer, feedback=corrections)
             self.plan_cache.store(key, plan)
-        return plan, outcome
+            if outcome == REOPTIMIZED:
+                self.metrics.inc("plan_reoptimizations")
+        return plan, outcome, key
 
     def _forces_trace(self) -> bool:
         """Whether the attached query log needs every query traced."""
@@ -507,12 +524,14 @@ class LevelHeadedEngine:
         expose_trace: bool = True,
         cancel: Optional[CancelToken] = None,
         slot: Optional[AdmissionSlot] = None,
+        cache_key: Optional[Tuple] = None,
     ) -> ResultTable:
         tracer = tracer or NULL_TRACER
         stats: Optional[ExecutionStats] = None
-        if collect_stats or tracer.active or cancel is not None:
-            # a governed query always carries stats: a killed query must
-            # report the partial work it did
+        if collect_stats or tracer.active or cancel is not None or cache_key is not None:
+            # a governed query always carries stats (a killed query must
+            # report the partial work it did), and so does a cacheable
+            # one: per-node row counts feed the q-error drift record
             stats = ExecutionStats()
             self._note_cache_outcome(stats, outcome)
         profiler = KernelProfiler() if profile else None
@@ -574,6 +593,7 @@ class LevelHeadedEngine:
         with tracer.span("decode"):
             result = self._decode(plan.compiled, plan, raw)
         execute_seconds = time.perf_counter() - t0
+        self._record_feedback(plan, stats, cache_key)
         if collect_stats:
             result.stats = stats
         if tracer.active and expose_trace:
@@ -608,6 +628,35 @@ class LevelHeadedEngine:
             )
         return result
 
+    def _record_feedback(
+        self,
+        plan: PhysicalPlan,
+        stats: Optional[ExecutionStats],
+        cache_key: Optional[Tuple],
+    ) -> Optional[QueryFeedback]:
+        """Measure this run's q-error and feed it to the plan cache.
+
+        Pairs the executed nodes' ``est_rows`` with the rows they
+        actually produced, stamps the per-query q-error onto ``stats``,
+        and -- for cached plans -- folds the measurement into the
+        entry's drift record.  Returns the measurement (None for
+        scan/BLAS plans, which have no join estimates to score).
+        """
+        if stats is None or not stats.node_rows:
+            return None
+        measured = measure(plan, stats.node_rows)
+        if measured is None:
+            return None
+        stats.q_error_max = measured.q_error_max
+        stats.q_error_root = measured.q_error_root
+        self.metrics.observe("q_error_max", measured.q_error_max)
+        self.metrics.observe("q_error_root", measured.q_error_root)
+        if cache_key is not None and self.plan_cache.record_feedback(
+            cache_key, measured
+        ):
+            self.metrics.inc("plans_drifted")
+        return measured
+
     def _note_cache_outcome(self, stats: ExecutionStats, outcome: Optional[str]) -> None:
         if outcome == HIT:
             stats.plan_cache_hits += 1
@@ -615,6 +664,8 @@ class LevelHeadedEngine:
             stats.plan_cache_misses += 1
         elif outcome == INVALIDATED:
             stats.plan_cache_invalidations += 1
+        elif outcome == REOPTIMIZED:
+            stats.plan_reoptimizations += 1
 
     def _note_killed(
         self,
@@ -667,6 +718,7 @@ class LevelHeadedEngine:
         stats = None
         result = None
         trace_root = None
+        measured = None
         if analyze:
             stats = ExecutionStats()
             self._note_cache_outcome(stats, outcome)
@@ -680,15 +732,26 @@ class LevelHeadedEngine:
                 with tracer.span("decode"):
                     result = self._decode(plan.compiled, plan, raw)
             trace_root = tracer.root
+            measured = self._record_feedback(plan, stats, None)
         cache = self.plan_cache.stats
         if format == "json":
+            plan_nodes = plan.node_summaries()
+            if measured is not None:
+                # pair each node summary with what the node actually did
+                for summary in plan_nodes:
+                    nf = measured.node(summary.get("node_key", ""))
+                    if nf is not None:
+                        summary["est_rows"] = float(nf.est_rows)
+                        summary["actual_rows"] = int(nf.actual_rows)
+                        summary["q_error"] = float(nf.q_error)
             return {
                 "mode": plan.mode,
                 "plan": plan.explain(),
-                "plan_nodes": plan.node_summaries(),
+                "plan_nodes": plan_nodes,
                 "plan_cache": {"outcome": outcome, **cache.as_dict()},
                 "domain_versions": dict(plan.domain_versions),
                 "stats": stats.as_dict() if stats is not None else None,
+                "feedback": measured.as_dict() if measured is not None else None,
                 "result_rows": result.num_rows if result is not None else None,
                 "trace": trace_root.as_dict() if trace_root is not None else None,
             }
@@ -697,6 +760,16 @@ class LevelHeadedEngine:
             lines.append(f"plan cache: {outcome} ({cache.describe()})")
         if stats is not None:
             lines.append(stats.describe())
+        if measured is not None:
+            lines.append(
+                f"q-error: max={measured.q_error_max:.2f} "
+                f"root={measured.q_error_root:.2f}"
+            )
+            for nf in measured.nodes:
+                lines.append(
+                    f"  {nf.node_key}: est_rows={nf.est_rows:.0f} "
+                    f"actual_rows={nf.actual_rows} q_error={nf.q_error:.2f}"
+                )
         if result is not None:
             lines.append(f"result rows: {result.num_rows}")
         if trace_root is not None:

@@ -292,6 +292,11 @@ class Governor:
             "rejected_queue_full": 0,
             "rejected_shedding": 0,
             "rejected_timeout": 0,
+            # queue-full rejections that hit *uncompiled* work -- an
+            # annotation on rejected_queue_full, deliberately not
+            # prefixed rejected_ so that summing rejected_* counts each
+            # turned-away query exactly once.
+            "queue_full_uncached": 0,
             "memory_pressure_events": 0,
         }
 
@@ -353,6 +358,7 @@ class Governor:
                 raise RetryableAdmissionError(
                     "governor is load-shedding non-cached queries",
                     retry_after_ms=self._retry_hint_ms_locked(),
+                    cause="shedding",
                 )
             if self.max_concurrency is None or self._active < self.max_concurrency:
                 # no contention (or unbounded): grant immediately, but
@@ -362,16 +368,19 @@ class Governor:
                     self.counters["admitted"] += 1
                     return self._grant_locked(session, 0.0, queued=False)
             if len(self._waiters) >= self.max_queue:
+                # one rejection, one rejected_* increment: the cause is
+                # the full queue.  That it hit uncompiled work is an
+                # annotation (queue_full_uncached), not a second
+                # rejected_shedding count -- double-booking here made
+                # rejection totals exceed the queries actually refused.
                 self.counters["rejected_queue_full"] += 1
                 if not cached:
-                    # saturation auto-sheds like the explicit mode: the
-                    # bounded queue is full, so uncompiled work is the
-                    # first to be turned away
-                    self.counters["rejected_shedding"] += 1
+                    self.counters["queue_full_uncached"] += 1
                 raise RetryableAdmissionError(
                     f"admission queue full ({self.max_queue} waiting, "
                     f"{self._active} active)",
                     retry_after_ms=self._retry_hint_ms_locked(),
+                    cause="queue_full",
                 )
             waiter = _Waiter()
             self._waiters.append(waiter)
@@ -406,6 +415,7 @@ class Governor:
         raise RetryableAdmissionError(
             f"timed out waiting {waited * 1000:.0f}ms for an admission slot",
             retry_after_ms=self._retry_hint_ms(),
+            cause="queue_timeout",
         )
 
     def _retry_hint_ms_locked(self, base: float = 25.0) -> float:

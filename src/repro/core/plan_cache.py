@@ -17,9 +17,21 @@ Catalog state is handled by *validation* rather than keying: each plan
 snapshots the ``domain_version`` of every key domain it encodes
 (:attr:`~repro.xcution.plan.PhysicalPlan.domain_versions`), and a
 lookup of a stale plan counts as an **invalidation** -- the entry is
-dropped and the caller recompiles.  Hits, misses, invalidations, and
-evictions are all counted, and surfaced per-query through
-:class:`~repro.xcution.stats.ExecutionStats`.
+dropped and the caller recompiles.
+
+Cached plans are also validated against *their own estimates*: every
+entry carries a :class:`~repro.optimizer.feedback.PlanFeedback` record
+fed by the engine after each execution.  When the observed q-error
+exceeds the threshold for ``drift_runs`` consecutive runs the entry is
+marked drifted, and its next lookup counts as a **reoptimization**:
+the entry is dropped, its accumulated per-node observations are parked
+under the key (:meth:`corrections`), and the caller recompiles with
+feedback-corrected cardinalities.
+
+Hits, misses, invalidations, reoptimizations, capacity evictions, and
+memory-pressure sheds are counted separately -- conflating sheds with
+evictions (or counting one rejection twice) corrupts the very signals
+the feedback loop reads.
 """
 
 from __future__ import annotations
@@ -27,14 +39,21 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..optimizer.feedback import (
+    DRIFT_CONSECUTIVE_RUNS,
+    Q_ERROR_DRIFT_THRESHOLD,
+    PlanFeedback,
+    QueryFeedback,
+)
 from ..xcution.plan import PhysicalPlan
 
 #: lookup outcomes
 HIT = "hit"
 MISS = "miss"
 INVALIDATED = "invalidated"
+REOPTIMIZED = "reoptimized"
 
 
 @dataclass
@@ -44,7 +63,14 @@ class PlanCacheStats:
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    #: entries dropped by the capacity LRU policy (``store`` overflow).
     evictions: int = 0
+    #: entries dropped by memory-pressure shedding (``shed_lru``) --
+    #: deliberately separate from ``evictions``: shedding is a
+    #: governance decision, not a working-set signal.
+    shed: int = 0
+    #: drifted entries dropped for a feedback-corrected recompile.
+    reoptimizations: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -52,13 +78,24 @@ class PlanCacheStats:
             "misses": self.misses,
             "invalidations": self.invalidations,
             "evictions": self.evictions,
+            "shed": self.shed,
+            "reoptimizations": self.reoptimizations,
         }
 
     def describe(self) -> str:
         return (
             f"plan cache: hits={self.hits}, misses={self.misses}, "
-            f"invalidations={self.invalidations}, evictions={self.evictions}"
+            f"invalidations={self.invalidations}, evictions={self.evictions}, "
+            f"shed={self.shed}, reoptimizations={self.reoptimizations}"
         )
+
+
+@dataclass
+class _CacheEntry:
+    """One cached plan plus the drift record scoring its estimates."""
+
+    plan: PhysicalPlan
+    feedback: PlanFeedback
 
 
 @dataclass
@@ -67,11 +104,18 @@ class PlanCache:
 
     capacity: int = 64
     stats: PlanCacheStats = field(default_factory=PlanCacheStats)
+    #: drift rule: q_error_max > threshold for drift_runs consecutive
+    #: executions marks the entry for re-optimization.
+    q_error_threshold: float = Q_ERROR_DRIFT_THRESHOLD
+    drift_runs: int = DRIFT_CONSECUTIVE_RUNS
 
     def __post_init__(self):
         if self.capacity < 1:
             raise ValueError("plan cache capacity must be >= 1")
-        self._entries: "OrderedDict[Tuple, PhysicalPlan]" = OrderedDict()
+        self._entries: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
+        #: feedback parked between a REOPTIMIZED lookup and the store of
+        #: the corrected recompile (keyed like the entries).
+        self._pending: Dict[Tuple, PlanFeedback] = {}
         # one engine's cache is shared by every serving thread; the LRU
         # reorder + counter pairs below must be atomic under concurrency
         self._lock = threading.RLock()
@@ -81,24 +125,34 @@ class PlanCache:
             return len(self._entries)
 
     def lookup(self, key: Tuple, catalog) -> Tuple[Optional[PhysicalPlan], str]:
-        """Return ``(plan, outcome)``; outcome is hit/miss/invalidated.
+        """Return ``(plan, outcome)``: hit/miss/invalidated/reoptimized.
 
         A cached plan whose domain versions no longer match ``catalog``
         is dropped (its tries hold codes from superseded dictionaries)
-        and the lookup reports ``invalidated`` so the caller recompiles.
+        and the lookup reports ``invalidated``.  A plan whose feedback
+        record has drifted is dropped the same way and reports
+        ``reoptimized`` -- the caller recompiles, and
+        :meth:`corrections` supplies the observed cardinalities to
+        recompile with.
         """
         with self._lock:
-            plan = self._entries.get(key)
-            if plan is None:
+            entry = self._entries.get(key)
+            if entry is None:
                 self.stats.misses += 1
                 return None, MISS
-            if not plan.is_current(catalog):
+            if not entry.plan.is_current(catalog):
                 del self._entries[key]
+                self._pending.pop(key, None)
                 self.stats.invalidations += 1
                 return None, INVALIDATED
+            if entry.feedback.drifted:
+                del self._entries[key]
+                self._pending[key] = entry.feedback
+                self.stats.reoptimizations += 1
+                return None, REOPTIMIZED
             self._entries.move_to_end(key)
             self.stats.hits += 1
-            return plan, HIT
+            return entry.plan, HIT
 
     def peek(self, key: Tuple, catalog) -> bool:
         """Whether ``key`` would hit, without touching counters or LRU order.
@@ -106,19 +160,53 @@ class PlanCache:
         Admission control uses this to classify a query as plan-cached
         *before* deciding whether to admit it (load shedding rejects
         non-cached work first); the real ``lookup`` still happens after
-        admission and owns the hit/miss accounting.
+        admission and owns the hit/miss accounting.  A drifted entry
+        does not count as cached: its lookup triggers a recompile.
         """
         with self._lock:
-            plan = self._entries.get(key)
-            return plan is not None and plan.is_current(catalog)
+            entry = self._entries.get(key)
+            return (
+                entry is not None
+                and entry.plan.is_current(catalog)
+                and not entry.feedback.drifted
+            )
+
+    def corrections(self, key: Tuple) -> Dict[str, int]:
+        """Observed per-node actuals for a pending reoptimization of ``key``."""
+        with self._lock:
+            pending = self._pending.get(key)
+            return pending.corrections() if pending is not None else {}
+
+    def record_feedback(self, key: Tuple, measured: QueryFeedback) -> bool:
+        """Fold one execution's q-error measurement into ``key``'s entry.
+
+        Returns True when the measurement *newly* marked the entry as
+        drifted (the engine counts those as ``plans_drifted``).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            return entry.feedback.record(measured)
+
+    def feedback_snapshot(self) -> List[Dict[str, object]]:
+        """Per-entry feedback summaries (the CLI's ``\\feedback`` view)."""
+        with self._lock:
+            out = []
+            for key, entry in self._entries.items():
+                summary = entry.feedback.as_dict()
+                summary["sql"] = key[0]
+                out.append(summary)
+            return out
 
     def shed_lru(self, fraction: float = 0.5, keep: int = 1) -> int:
         """Drop the least-recently-used ``fraction`` of entries.
 
         The governor's memory-pressure signal calls this to give cached
         plan state (tries, annotation buffers) back before queries start
-        failing admission.  Shed entries count as evictions.  Returns
-        the number of entries dropped.
+        failing admission.  Shed entries are counted in ``stats.shed``
+        (not ``evictions``: this is load shedding, not capacity
+        pressure).  Returns the number of entries dropped.
         """
         with self._lock:
             n_drop = min(
@@ -127,13 +215,28 @@ class PlanCache:
             )
             for _ in range(n_drop):
                 self._entries.popitem(last=False)
-            self.stats.evictions += n_drop
+            self.stats.shed += n_drop
             return n_drop
 
     def store(self, key: Tuple, plan: PhysicalPlan) -> None:
-        """Insert ``plan``, evicting the least recently used beyond capacity."""
+        """Insert ``plan``, evicting the least recently used beyond capacity.
+
+        A store that answers a pending reoptimization re-attaches the
+        accumulated observations (via
+        :meth:`~repro.optimizer.feedback.PlanFeedback.successor`) so
+        the corrected plan keeps being scored; any other store starts a
+        fresh feedback record under the cache's drift rule.
+        """
         with self._lock:
-            self._entries[key] = plan
+            pending = self._pending.pop(key, None)
+            feedback = (
+                pending.successor()
+                if pending is not None
+                else PlanFeedback(
+                    threshold=self.q_error_threshold, drift_runs=self.drift_runs
+                )
+            )
+            self._entries[key] = _CacheEntry(plan=plan, feedback=feedback)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
@@ -142,15 +245,19 @@ class PlanCache:
     def invalidate_stale(self, catalog) -> int:
         """Proactively drop every entry stale against ``catalog``."""
         with self._lock:
-            stale = [k for k, p in self._entries.items() if not p.is_current(catalog)]
+            stale = [
+                k for k, e in self._entries.items() if not e.plan.is_current(catalog)
+            ]
             for key in stale:
                 del self._entries[key]
+                self._pending.pop(key, None)
             self.stats.invalidations += len(stale)
             return len(stale)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._pending.clear()
 
     def __repr__(self) -> str:
         return (

@@ -35,7 +35,7 @@ from ..sql.params import (
 from ..sql.parser import parse
 from ..xcution.plan import EngineConfig, PhysicalPlan, build_plan
 from .governor import CancelToken, cancel_scope
-from .plan_cache import INVALIDATED, MISS
+from .plan_cache import INVALIDATED, MISS, REOPTIMIZED
 
 
 class PreparedStatement:
@@ -75,13 +75,18 @@ class PreparedStatement:
             self.config.fingerprint(),
         )
 
-    def _plan_for(self, literals, tracer=NULL_TRACER) -> Tuple[PhysicalPlan, str]:
+    def _plan_for(
+        self, literals, tracer=NULL_TRACER
+    ) -> Tuple[PhysicalPlan, str, Tuple]:
         engine = self._engine
         key = self._cache_key(literals)
         with tracer.span("plan_cache.lookup") as span:
             plan, outcome = engine.plan_cache.lookup(key, engine.catalog)
             span.set(outcome=outcome)
         if plan is None:
+            corrections = (
+                engine.plan_cache.corrections(key) if outcome == REOPTIMIZED else {}
+            )
             with tracer.span("parse"):
                 stmt = (
                     substitute_parameters(self._stmt, literals)
@@ -93,13 +98,17 @@ class PreparedStatement:
             with tracer.span("translate"):
                 compiled = translate(bound)
             with tracer.span("physical_plan"):
-                plan = build_plan(compiled, self.config, tracer=tracer)
+                plan = build_plan(
+                    compiled, self.config, tracer=tracer, feedback=corrections
+                )
             engine.plan_cache.store(key, plan)
+            if outcome == REOPTIMIZED:
+                engine.metrics.inc("plan_reoptimizations")
             if key in self._seen_keys:
                 self.recompiles += 1
         self._seen_keys.add(key)
         self._last_plan = plan
-        return plan, outcome
+        return plan, outcome, key
 
     # -- execution -----------------------------------------------------------
 
@@ -142,9 +151,11 @@ class PreparedStatement:
             )
             with cancel_scope(token), tracer.span("query"):
                 t0 = time.perf_counter()
-                plan, outcome = self._plan_for(literals, tracer)
+                plan, outcome, key = self._plan_for(literals, tracer)
                 compile_seconds = (
-                    time.perf_counter() - t0 if outcome in (MISS, INVALIDATED) else None
+                    time.perf_counter() - t0
+                    if outcome in (MISS, INVALIDATED, REOPTIMIZED)
+                    else None
                 )
                 self.executions += 1
                 return engine._run_plan(
@@ -158,6 +169,7 @@ class PreparedStatement:
                     expose_trace=trace,
                     cancel=token,
                     slot=slot,
+                    cache_key=key,
                 )
         finally:
             engine._release(slot)
@@ -172,7 +184,7 @@ class PreparedStatement:
     ):
         """Describe (and with ``analyze=True`` run) the statement's plan."""
         literals = bind_param_values(params, self.param_slots)
-        plan, outcome = self._plan_for(literals)
+        plan, outcome, _ = self._plan_for(literals)
         return self._engine._explain_plan(plan, outcome, analyze=analyze, format=format)
 
     # -- introspection -------------------------------------------------------

@@ -1,6 +1,6 @@
-"""Benchmark datasets: TPC-H, sparse/dense matrices, and voter data."""
+"""Benchmark datasets: TPC-H, matrices, voter data, and skewed joins."""
 
-from . import matrices, tpch, voters
+from . import matrices, skewed, tpch, voters
 from .matrices import (
     DENSE_SIZES,
     PROFILES,
@@ -10,6 +10,7 @@ from .matrices import (
     kkt_like,
     sparse_profile,
 )
+from .skewed import SKEWED_QUERIES, generate_skewed
 from .tpch import TPCH_QUERIES, generate_tpch, table_sizes
 from .voters import (
     CATEGORICAL_FEATURES,
@@ -23,6 +24,9 @@ __all__ = [
     "tpch",
     "matrices",
     "voters",
+    "skewed",
+    "generate_skewed",
+    "SKEWED_QUERIES",
     "generate_tpch",
     "table_sizes",
     "TPCH_QUERIES",

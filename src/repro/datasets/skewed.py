@@ -1,0 +1,172 @@
+"""A Zipf-skewed join workload that breaks independence estimates.
+
+The optimizer's cardinality model (System-R pairwise estimates,
+per-edge distinct counts, GHD child-subtree minima) assumes uniformity
+and independence -- exactly the assumptions a power-law column
+violates.  This generator builds a cyclic core plus a skewed appendage:
+
+* ``fact(f_userkey, f_itemkey)``, ``link(l_itemkey, l_suppkey)``, and
+  ``deal(d_suppkey, d_userkey)`` form a **triangle** over user, item,
+  and supplier (FHW 1.5, so the GHD keeps them in one root bag rather
+  than compressing the whole query into a single node);
+* ``supp(s_suppkey, s_regionkey)`` assigns each supplier a region
+  drawn from a **Zipf** distribution, so a couple of *hot* regions
+  hold most suppliers;
+* ``region(r_regionkey, r_hot)`` marks exactly those head regions with
+  ``r_hot = 1``.
+
+The supplier/region pair hangs off the root as its own GHD child node.
+Filtering ``r_hot = 1`` keeps only ``n_hot`` region *rows* -- so a
+static estimator that bounds the child by its smallest post-filter
+relation predicts a handful of suppliers -- but Zipf skew makes those
+regions hold the *majority of all suppliers*, so the executed child
+emits dozens of distinct supplier keys.  The resulting q-error drives
+the :mod:`repro.optimizer.feedback` drift rule, and the corrected
+recompile re-ranks the root with the observed child cardinality -- the
+regression suite asserts both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.catalog import Catalog
+from ..storage.schema import AttrType, Schema, annotation, key
+from ..storage.table import Table
+
+FACT_SCHEMA = Schema(
+    "fact",
+    [
+        key("f_userkey", domain="userkey"),
+        key("f_itemkey", domain="itemkey"),
+    ],
+)
+
+LINK_SCHEMA = Schema(
+    "link",
+    [
+        key("l_itemkey", domain="itemkey"),
+        key("l_suppkey", domain="suppkey"),
+    ],
+)
+
+DEAL_SCHEMA = Schema(
+    "deal",
+    [
+        key("d_suppkey", domain="suppkey"),
+        key("d_userkey", domain="userkey"),
+    ],
+)
+
+SUPP_SCHEMA = Schema(
+    "supp",
+    [
+        key("s_suppkey", domain="suppkey"),
+        key("s_regionkey", domain="regionkey"),
+    ],
+)
+
+REGION_SCHEMA = Schema(
+    "region",
+    [
+        key("r_regionkey", domain="regionkey"),
+        annotation("r_hot", AttrType.LONG),
+    ],
+)
+
+#: the drifting query: per-user triangle counts restricted to suppliers
+#: in hot regions.  The ``r_hot = 1`` filter passes ``n_hot`` region
+#: rows, so the supp/region child's post-filter minimum is tiny -- but
+#: the Zipf head regions hold most suppliers, so the child actually
+#: emits most of the supplier domain.
+SKEWED_QUERIES = {
+    "hot_regions": """
+        SELECT f_userkey, COUNT(*) AS deals
+        FROM fact, link, deal, supp, region
+        WHERE f_itemkey = l_itemkey
+          AND l_suppkey = d_suppkey
+          AND d_userkey = f_userkey
+          AND d_suppkey = s_suppkey
+          AND s_regionkey = r_regionkey
+          AND r_hot = 1
+        GROUP BY f_userkey
+    """,
+}
+
+
+def _zipf_choice(rng, n: int, size: int, s: float) -> np.ndarray:
+    """Zipf-distributed draws over ``0..n-1`` via an explicit pmf.
+
+    ``numpy``'s ``rng.zipf`` is unbounded; an explicit normalized
+    ``p(k) ~ (k+1)^-s`` keeps the support finite and the draw exactly
+    reproducible for a pinned seed.
+    """
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    pmf = ranks**-s
+    pmf /= pmf.sum()
+    return rng.choice(n, size=size, p=pmf)
+
+
+def generate_skewed(
+    n_users: int = 60,
+    n_items: int = 80,
+    n_suppliers: int = 400,
+    n_regions: int = 40,
+    n_hot: int = 2,
+    n_fact: int = 300,
+    n_link: int = 300,
+    n_deal: int = 300,
+    skew: float = 1.6,
+    seed: int = 7,
+    catalog: Catalog | None = None,
+) -> Catalog:
+    """Generate the fact/link/deal/supp/region tables into a catalog.
+
+    Supplier regions are Zipf-distributed (region 0 is the hottest);
+    the ``n_hot`` head regions are flagged ``r_hot = 1``.  At the
+    default ``skew`` the head holds well over half the suppliers, so
+    the hot-region filter keeps most of the supplier domain while the
+    region table's post-filter row count collapses to ``n_hot``.  The
+    default sizes put the supp/region child's *observed* cardinality
+    above every base table, so the feedback-corrected recompile both
+    re-ranks the root attribute order and revisits its join strategy.
+    """
+    if not 0 < n_hot <= n_regions:
+        raise ValueError("n_hot must be in 1..n_regions")
+    catalog = catalog if catalog is not None else Catalog()
+    rng = np.random.default_rng(seed)
+
+    region_keys = np.arange(n_regions)
+    hot = (region_keys < n_hot).astype(np.int64)
+    catalog.register(
+        Table.from_columns(REGION_SCHEMA, r_regionkey=region_keys, r_hot=hot)
+    )
+
+    supp_keys = np.arange(n_suppliers)
+    supp_region = _zipf_choice(rng, n_regions, n_suppliers, skew)
+    catalog.register(
+        Table.from_columns(SUPP_SCHEMA, s_suppkey=supp_keys, s_regionkey=supp_region)
+    )
+
+    catalog.register(
+        Table.from_columns(
+            FACT_SCHEMA,
+            f_userkey=rng.integers(0, n_users, n_fact),
+            f_itemkey=rng.integers(0, n_items, n_fact),
+        )
+    )
+    catalog.register(
+        Table.from_columns(
+            LINK_SCHEMA,
+            l_itemkey=rng.integers(0, n_items, n_link),
+            l_suppkey=rng.integers(0, n_suppliers, n_link),
+        )
+    )
+    catalog.register(
+        Table.from_columns(
+            DEAL_SCHEMA,
+            d_suppkey=rng.integers(0, n_suppliers, n_deal),
+            d_userkey=rng.integers(0, n_users, n_deal),
+        )
+    )
+    return catalog

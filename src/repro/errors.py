@@ -108,12 +108,16 @@ class RetryableAdmissionError(AdmissionError):
     and the wait queue full), load shedding of non-cached plans, and
     memory-pressure failures attributable to the shared global budget.
     ``retry_after_ms`` is a jittered backoff hint; callers can also use
-    :func:`repro.core.governor.retry_admission`.
+    :func:`repro.core.governor.retry_admission`.  ``cause`` labels the
+    single reason the rejection is attributed to (``shedding``,
+    ``queue_full``, or ``queue_timeout``) -- exactly one per rejection,
+    so per-cause counters sum to the rejection total.
     """
 
-    def __init__(self, message: str, retry_after_ms: float = 25.0):
+    def __init__(self, message: str, retry_after_ms: float = 25.0, cause: str = ""):
         super().__init__(message)
         self.retry_after_ms = retry_after_ms
+        self.cause = cause
 
 
 class OutOfMemoryBudgetError(ExecutionError):

@@ -8,6 +8,15 @@ relaxation of the materialized-attributes-first constraint.
 """
 
 from .attribute_order import OrderDecision, candidate_orders, choose_order, order_cost
+from .feedback import (
+    DRIFT_CONSECUTIVE_RUNS,
+    Q_ERROR_DRIFT_THRESHOLD,
+    NodeFeedback,
+    PlanFeedback,
+    QueryFeedback,
+    measure,
+    q_error,
+)
 from .strategy import (
     BINARY_COST_FACTOR,
     JOIN_STRATEGIES,
@@ -16,8 +25,10 @@ from .strategy import (
     EdgeStats,
     StrategyDecision,
     decide_strategy,
+    estimate_output_rows,
     is_acyclic,
     pairwise_cost,
+    pairwise_plan,
 )
 from .icost import (
     ICOST,
@@ -50,6 +61,15 @@ __all__ = [
     "EdgeStats",
     "StrategyDecision",
     "decide_strategy",
+    "estimate_output_rows",
     "is_acyclic",
     "pairwise_cost",
+    "pairwise_plan",
+    "DRIFT_CONSECUTIVE_RUNS",
+    "Q_ERROR_DRIFT_THRESHOLD",
+    "NodeFeedback",
+    "PlanFeedback",
+    "QueryFeedback",
+    "measure",
+    "q_error",
 ]

@@ -52,8 +52,11 @@ BINARY_COST_FACTOR = 1.0
 CYCLIC_BINARY_COST_FACTOR = 0.25
 
 #: schema version of the per-node ``strategy`` block in
-#: ``engine.explain(format="json")``.
-STRATEGY_SCHEMA_VERSION = 1
+#: ``engine.explain(format="json")``.  v2 added ``est_rows`` (the
+#: optimizer's output-cardinality estimate, the quantity the q-error
+#: feedback loop scores) and ``corrected`` (whether that estimate was
+#: overridden by an observed actual from a drifted cache entry).
+STRATEGY_SCHEMA_VERSION = 2
 
 #: accepted values of ``EngineConfig.join_strategy``.
 JOIN_STRATEGIES = ("auto", "wcoj", "binary")
@@ -81,6 +84,12 @@ class StrategyDecision:
     cyclic: bool
     eligible: bool  # whether binary execution was even considered
     reason: str
+    #: estimated output rows (groups) of the fragment -- what the
+    #: q-error feedback loop compares against the executed actuals.
+    est_rows: float = 1.0
+    #: True when ``est_rows`` came from an observed actual (a drifted
+    #: plan's feedback-corrected recompile), not the catalog statistics.
+    corrected: bool = False
 
     def as_dict(self) -> Dict:
         """The versioned JSON form pinned by the explain golden test."""
@@ -93,6 +102,8 @@ class StrategyDecision:
             "cyclic": self.cyclic,
             "eligible": self.eligible,
             "reason": self.reason,
+            "est_rows": float(self.est_rows),
+            "corrected": self.corrected,
         }
 
 
@@ -126,17 +137,21 @@ def is_acyclic(vertex_sets: Sequence[Sequence[str]]) -> bool:
     return len(edges) <= 1
 
 
-def pairwise_cost(edges: Sequence[EdgeStats]) -> float:
-    """Best left-deep pairwise plan cost: sum of intermediate rows.
+def pairwise_plan(edges: Sequence[EdgeStats]) -> Tuple[float, float]:
+    """Best left-deep pairwise plan: ``(cost, output_rows)``.
 
     The same System-R dynamic program as the pairwise baseline's
-    Selinger planner, kept here in cost-returning form: independence
-    across join predicates, containment of value sets per key
-    (divide by the larger distinct count).
+    Selinger planner: independence across join predicates, containment
+    of value sets per key (divide by the larger distinct count).
+    ``cost`` is the sum of intermediate rows (what ``auto`` compares
+    against the input); ``output_rows`` is the final joined
+    cardinality -- the raw material of the feedback loop's ``est_rows``.
     """
     n = len(edges)
-    if n <= 1:
-        return 0.0
+    if n == 0:
+        return 0.0, 1.0
+    if n == 1:
+        return 0.0, float(max(edges[0].cardinality, 1.0))
     by_alias = {e.alias: e for e in edges}
     members: Dict[str, List[str]] = {}
     for e in edges:
@@ -183,8 +198,44 @@ def pairwise_cost(edges: Sequence[EdgeStats]) -> float:
         best.update(grown)
     full = frozenset(aliases)
     if full not in best:
-        return float("inf")
-    return best[full][0]
+        return float("inf"), float("inf")
+    cost, card = best[full]
+    return cost, max(card, 1.0)
+
+
+def pairwise_cost(edges: Sequence[EdgeStats]) -> float:
+    """Best left-deep pairwise plan cost: sum of intermediate rows."""
+    return pairwise_plan(edges)[0]
+
+
+def estimate_output_rows(
+    edges: Sequence[EdgeStats],
+    materialized: Sequence[str] = (),
+    joined_rows: Optional[float] = None,
+) -> float:
+    """Estimate the rows (groups) a fragment emits after aggregation.
+
+    A GHD node joins its relations and aggregates down to its
+    ``materialized`` vertices, so the node's output cardinality is the
+    joined cardinality capped by the number of distinct materialized
+    tuples -- estimated (independence again) as the product over
+    materialized vertices of the smallest per-edge distinct count.  A
+    fully aggregated fragment (grand aggregate) emits one group.
+    """
+    if not materialized:
+        return 1.0
+    if joined_rows is None:
+        joined_rows = pairwise_plan(edges)[1]
+    cap = 1.0
+    for vertex in materialized:
+        distinct = [
+            e.distinct.get(vertex, e.cardinality)
+            for e in edges
+            if vertex in e.vertices
+        ]
+        if distinct:
+            cap *= max(1.0, min(distinct))
+    return max(1.0, min(float(joined_rows), cap))
 
 
 def decide_strategy(
@@ -193,6 +244,8 @@ def decide_strategy(
     wcoj_cost: float,
     eligible: bool = True,
     ineligible_reason: str = "",
+    materialized: Sequence[str] = (),
+    observed_rows: Optional[float] = None,
 ) -> StrategyDecision:
     """Pick the execution engine for one GHD node.
 
@@ -202,10 +255,18 @@ def decide_strategy(
     attribute-order search's chosen cost.  ``eligible=False`` (with a
     reason) pins the node to WCOJ regardless of mode -- used for the
     ablation configs whose experiments compare WCOJ internals.
+    ``materialized`` names the vertices the node emits (its output-row
+    estimate is capped by their distinct counts); ``observed_rows``
+    pins ``est_rows`` to an actual observed by the q-error feedback
+    loop on a drifted cached plan.
     """
     input_rows = float(sum(e.cardinality for e in edges))
     cyclic = not is_acyclic([e.vertices for e in edges])
-    binary_cost = pairwise_cost(edges)
+    binary_cost, joined_rows = pairwise_plan(edges)
+    est_rows = estimate_output_rows(edges, materialized, joined_rows)
+    corrected = observed_rows is not None
+    if corrected:
+        est_rows = max(1.0, float(observed_rows))
 
     def pick(choice: str, reason: str) -> StrategyDecision:
         return StrategyDecision(
@@ -216,6 +277,8 @@ def decide_strategy(
             cyclic=cyclic,
             eligible=eligible,
             reason=reason,
+            est_rows=est_rows,
+            corrected=corrected,
         )
 
     if mode not in JOIN_STRATEGIES:

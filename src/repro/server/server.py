@@ -138,6 +138,7 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 )
             )
             return False
+        cache = server.engine.plan_cache
         return self._send(
             {
                 "type": "hello",
@@ -146,6 +147,10 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 "session": session.id,
                 "batch_rows": server.batch_rows,
                 "join_strategy": server.engine.config.join_strategy,
+                "feedback": {
+                    "q_error_threshold": cache.q_error_threshold,
+                    "drift_runs": cache.drift_runs,
+                },
             }
         )
 

@@ -204,6 +204,11 @@ class NodePlan:
     walk_layout: List[Tuple[str, str]] = field(default_factory=list)
     #: full result layout: walk components then deferred annotations.
     group_layout: List[Tuple[str, str]] = field(default_factory=list)
+    #: stable tree-position key ("n0", "n0.0", ...): identical across
+    #: recompiles of the same SQL/catalog (the GHD shape is
+    #: deterministic), so the q-error feedback loop can pair a cached
+    #: plan's estimates with actuals observed on an earlier compile.
+    node_key: str = "n0"
 
 
 @dataclass
@@ -274,11 +279,13 @@ class PhysicalPlan:
                              f"relaxed={node.relaxed} cost={node.decision.cost}")
                 sd = node.strategy_decision
                 if sd is not None:
+                    corrected = " [feedback-corrected]" if sd.corrected else ""
                     lines.append(
                         f"{indent}  strategy={node.strategy} "
                         f"wcoj_cost={sd.wcoj_cost:.1f} "
                         f"binary_cost={sd.binary_cost:.1f} "
-                        f"input_rows={sd.input_rows:.0f} ({sd.reason})"
+                        f"input_rows={sd.input_rows:.0f} "
+                        f"est_rows={sd.est_rows:.0f}{corrected} ({sd.reason})"
                     )
                 for binding in node.bindings:
                     physical = "frame" if binding.frame is not None else "trie"
@@ -314,6 +321,7 @@ class PhysicalPlan:
             out.append(
                 {
                     "depth": depth,
+                    "node_key": node.node_key,
                     "attrs": list(node.attrs),
                     "materialized": list(node.materialized),
                     "relaxed": node.relaxed,
@@ -349,12 +357,18 @@ def build_plan(
     compiled: CompiledQuery,
     config: Optional[EngineConfig] = None,
     tracer=None,
+    feedback: Optional[Dict[str, int]] = None,
 ) -> PhysicalPlan:
     """Lower a compiled query to a physical plan.
 
     ``tracer`` (optional, a :class:`repro.obs.Tracer`) records the
     planning phases -- GHD decomposition, attribute-order search, trie
-    builds -- as nested spans.
+    builds -- as nested spans.  ``feedback`` (optional) maps
+    ``NodePlan.node_key`` to observed actual row counts from a drifted
+    cached plan: observations override the catalog/independence
+    estimates during attribute-order search (child pseudo-edge
+    cardinalities feed the relation-score weights) and strategy scoring
+    (``est_rows`` is pinned to the observation).
     """
     config = config or EngineConfig()
     tracer = tracer or NULL_TRACER
@@ -393,7 +407,7 @@ def build_plan(
                 domain_versions=versions,
             )
 
-    builder = _JoinPlanBuilder(compiled, config, ghd, tracer=tracer)
+    builder = _JoinPlanBuilder(compiled, config, ghd, tracer=tracer, feedback=feedback)
     root = builder.build()
     return PhysicalPlan(
         compiled=compiled,
@@ -451,12 +465,18 @@ def _pin_slot_edges_to_root(ghd: GHD, compiled: CompiledQuery) -> GHD:
 
 class _JoinPlanBuilder:
     def __init__(
-        self, compiled: CompiledQuery, config: EngineConfig, ghd: GHD, tracer=None
+        self,
+        compiled: CompiledQuery,
+        config: EngineConfig,
+        ghd: GHD,
+        tracer=None,
+        feedback: Optional[Dict[str, int]] = None,
     ):
         self.compiled = compiled
         self.config = config
         self.ghd = ghd
         self.tracer = tracer or NULL_TRACER
+        self.feedback = dict(feedback) if feedback else {}
         self.bound = compiled.bound
         # vertex -> attribute name, per alias
         self.attr_of: Dict[str, Dict[str, str]] = {}
@@ -469,19 +489,31 @@ class _JoinPlanBuilder:
     # -- top level -----------------------------------------------------------
 
     def build(self) -> NodePlan:
-        return self._build_node(self.ghd.root, parent_bag=None, is_root=True)
+        return self._build_node(
+            self.ghd.root, parent_bag=None, is_root=True, node_key="n0"
+        )
 
     def _build_node(
-        self, node: GHDNode, parent_bag: Optional[frozenset], is_root: bool
+        self,
+        node: GHDNode,
+        parent_bag: Optional[frozenset],
+        is_root: bool,
+        node_key: str,
     ) -> NodePlan:
         # The order decision comes first: the root's materialized order is
         # the global ordering every descendant node must respect.
+        # Observed child actuals (feedback from a drifted cached plan)
+        # override the static estimate: the corrected cardinality flows
+        # into the relation-score weights of the attribute-order search
+        # and the strategy chooser's input/binary costs -- the re-rank.
         child_edges = [
             Hyperedge(
                 alias=f"__childedge{i}",
                 relation=f"__childedge{i}",
                 vertices=tuple(sorted(child.bag & node.bag)),
-                cardinality=self._estimate_child_cardinality(child),
+                cardinality=self.feedback.get(
+                    f"{node_key}.{i}", self._estimate_child_cardinality(child)
+                ),
             )
             for i, child in enumerate(node.children)
         ]
@@ -541,19 +573,25 @@ class _JoinPlanBuilder:
 
         with self.tracer.span("strategy.choose") as span:
             strategy_decision = self._decide_node_strategy(
-                node, local_edges, decision, is_root
+                node, local_edges, decision, is_root, materialized_pool, node_key
             )
             if self.tracer.active:
                 span.set(
                     choice=strategy_decision.choice,
                     wcoj_cost=strategy_decision.wcoj_cost,
                     binary_cost=strategy_decision.binary_cost,
+                    est_rows=strategy_decision.est_rows,
                     reason=strategy_decision.reason,
                 )
 
         child_plans = [
-            self._build_node(child, parent_bag=node.bag, is_root=False)
-            for child in node.children
+            self._build_node(
+                child,
+                parent_bag=node.bag,
+                is_root=False,
+                node_key=f"{node_key}.{i}",
+            )
+            for i, child in enumerate(node.children)
         ]
         bindings = [
             self._build_binding(edge, decision.order, is_root, strategy_decision.choice)
@@ -578,6 +616,7 @@ class _JoinPlanBuilder:
             children=child_plans,
             strategy=strategy_decision.choice,
             strategy_decision=strategy_decision,
+            node_key=node_key,
         )
         if is_root:
             walk, deferred = self._build_group_fetchers(
@@ -671,10 +710,30 @@ class _JoinPlanBuilder:
         return True
 
     def _estimate_child_cardinality(self, child: GHDNode) -> int:
-        cards = [e.cardinality for e in child.edges if e.cardinality > 0]
-        for grandchild, _ in child.walk():
-            cards.extend(e.cardinality for e in grandchild.edges if e.cardinality > 0)
+        """Static guess of a child node's output rows: its smallest edge.
+
+        Edge cardinalities are *post-filter*: a pushed-down selection
+        that narrows a relation narrows everything joined against it,
+        and judging binary eligibility (or attribute weights) on raw
+        catalog cardinalities would mis-cost exactly the selective
+        fragments the hybrid planner exists for.
+        """
+        cards = []
+        for member, _ in child.walk():
+            cards.extend(
+                rows
+                for rows in (self._edge_rows(e) for e in member.edges)
+                if rows > 0
+            )
         return min(cards) if cards else 1
+
+    def _edge_rows(self, edge: Hyperedge) -> int:
+        """One edge's row count after pushed-down selections."""
+        table = self.bound.tables.get(edge.alias)
+        if table is None:
+            return int(edge.cardinality)
+        mask = self._filter_mask(edge.alias)
+        return int(mask.sum()) if mask is not None else int(table.num_rows)
 
     # -- engine strategy ---------------------------------------------------------
 
@@ -684,6 +743,8 @@ class _JoinPlanBuilder:
         local_edges: List[Hyperedge],
         decision: OrderDecision,
         is_root: bool,
+        materialized_pool: Sequence[str],
+        node_key: str,
     ) -> StrategyDecision:
         eligible, why = True, ""
         if len(local_edges) < 2:
@@ -704,6 +765,8 @@ class _JoinPlanBuilder:
             decision.cost,
             eligible=eligible,
             ineligible_reason=why,
+            materialized=tuple(materialized_pool),
+            observed_rows=self.feedback.get(node_key),
         )
 
     def _edge_stats(self, edge: Hyperedge) -> EdgeStats:

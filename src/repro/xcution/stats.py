@@ -12,6 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+#: float-valued fields merged by ``max`` rather than summed: a q-error
+#: is a per-execution worst case, not an accumulating count.
+_MAX_FIELDS = ("q_error_max", "q_error_root")
+
 
 @dataclass
 class ExecutionStats:
@@ -62,25 +66,75 @@ class ExecutionStats:
     plan_cache_misses: int = 0
     #: cached plans dropped because a catalog domain version bumped.
     plan_cache_invalidations: int = 0
+    #: cached plans dropped because their observed q-error drifted past
+    #: the threshold (a feedback-corrected recompile happened).
+    plan_reoptimizations: int = 0
+    #: worst per-node q-error of this execution (``max(est/act,
+    #: act/est)`` over the plan's join nodes; 0.0 until measured).
+    #: Derived from ``node_rows``, which is recorded once per node on
+    #: the coordinating thread, so both q-error fields are
+    #: parallel-invariant like the counters above.
+    q_error_max: float = 0.0
+    #: the root node's q-error (the estimate the output cardinality
+    #: actually depended on).
+    q_error_root: float = 0.0
+    #: groups each plan node emitted, keyed by ``NodePlan.node_key``
+    #: (the feedback loop's actuals).
+    node_rows: Dict[str, int] = field(default_factory=dict)
+
+    def note_node_rows(self, node_key: str, rows: int) -> None:
+        """Record one plan node's emitted group count (coordinator-side)."""
+        if node_key:
+            self.node_rows[node_key] = self.node_rows.get(node_key, 0) + int(rows)
 
     def merge(self, other: "ExecutionStats") -> None:
         for name in self.__dataclass_fields__:
-            setattr(self, name, getattr(self, name) + getattr(other, name))
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if isinstance(mine, dict):
+                for key, value in theirs.items():
+                    mine[key] = mine.get(key, 0) + value
+            elif name in _MAX_FIELDS:
+                setattr(self, name, max(mine, theirs))
+            else:
+                setattr(self, name, mine + theirs)
 
-    def as_dict(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            out[name] = dict(value) if isinstance(value, dict) else value
+        return out
 
-    def snapshot(self) -> Dict[str, int]:
+    def snapshot(self) -> Dict[str, object]:
         """Current counter values (for :meth:`delta_since` span scoping)."""
         return self.as_dict()
 
-    def delta_since(self, snapshot: Dict[str, int]) -> Dict[str, int]:
+    def delta_since(self, snapshot: Dict[str, object]) -> Dict[str, object]:
         """Counter increments since ``snapshot`` (tracer span payloads)."""
-        return {
-            name: getattr(self, name) - snapshot.get(name, 0)
-            for name in self.__dataclass_fields__
-        }
+        out: Dict[str, object] = {}
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            if isinstance(value, dict):
+                prev = snapshot.get(name) or {}
+                out[name] = {
+                    key: count - prev.get(key, 0)
+                    for key, count in value.items()
+                    if count != prev.get(key, 0)
+                }
+            else:
+                out[name] = value - snapshot.get(name, 0)
+        return out
 
     def describe(self) -> str:
-        parts = [f"{name}={value}" for name, value in self.as_dict().items()]
+        parts = []
+        for name, value in self.as_dict().items():
+            if isinstance(value, dict):
+                if value:
+                    rendered = ",".join(f"{k}:{v}" for k, v in sorted(value.items()))
+                    parts.append(f"{name}={{{rendered}}}")
+                continue
+            if isinstance(value, float):
+                parts.append(f"{name}={value:g}")
+            else:
+                parts.append(f"{name}={value}")
         return "stats: " + ", ".join(parts)

@@ -188,6 +188,11 @@ def _execute_node(
             profiler.add_category("node.setup", time.perf_counter() - start)
         snapshot = stats.snapshot() if (tracer.active and stats is not None) else None
         aggregator = executor.run()
+        if stats is not None:
+            # per-node actuals for the q-error feedback loop; recorded
+            # once per node on the coordinating thread (after any parfor
+            # worker merge), so the value is parallel-invariant
+            stats.note_node_rows(node.node_key, len(aggregator))
         if tracer.active:
             span.set(
                 attrs=list(node.attrs),
@@ -237,6 +242,8 @@ def _execute_binary_node(
             profiler=profiler,
             cancel=cancel,
         )
+        if stats is not None:
+            stats.note_node_rows(node.node_key, len(result))
         if tracer.active:
             span.set(
                 attrs=list(node.attrs),

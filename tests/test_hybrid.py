@@ -335,6 +335,8 @@ STRATEGY_SCHEMA_KEYS = {
     "wcoj_cost",
     "binary_cost",
     "input_rows",
+    "est_rows",
+    "corrected",
     "cyclic",
     "eligible",
     "reason",
@@ -366,6 +368,8 @@ def test_explain_json_strategy_schema_golden(tpch):
         assert isinstance(strategy["input_rows"], float)
         assert isinstance(strategy["cyclic"], bool)
         assert isinstance(strategy["eligible"], bool)
+        assert isinstance(strategy["est_rows"], float)
+        assert isinstance(strategy["corrected"], bool)
         assert isinstance(strategy["reason"], str) and strategy["reason"]
 
 
