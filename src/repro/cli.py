@@ -27,8 +27,12 @@ its per-trie-level kernel profile (collapsed-stack flamegraph text),
 ``\\timeout [ms|off]`` shows or sets the session's default query
 deadline, ``\\strategy [auto|wcoj|binary]`` shows or sets the session's
 join strategy (per-GHD-node engine choice), ``\\governor [shed on|off]``
-shows the admission governor's state (or toggles load shedding), and
-``\\q`` quits.
+shows the admission governor's state (or toggles load shedding),
+``\\top`` shows the queries in flight right now plus the governor
+gauges, ``\\last [n]`` shows the newest entries of the engine's flight
+recorder (default 10), and ``\\q`` quits.  ``\\top`` and ``\\last``
+also work in the remote shell (``--connect``), served over the wire by
+the ``debug`` protocol frame.
 """
 
 from __future__ import annotations
@@ -165,6 +169,65 @@ def _handle_governor(engine: LevelHeadedEngine, arg: str) -> str:
     return f"error: unknown \\governor subcommand {arg!r} (try 'shed on|off')"
 
 
+def _one_line_sql(sql, width: int = 60) -> str:
+    text = " ".join(str(sql or "").split())
+    return text[: width - 3] + "..." if len(text) > width else text
+
+
+def _render_top(queries: dict, governor: dict) -> str:
+    """The ``\\top`` view from ``debug_snapshot`` payloads (local or wire)."""
+    lines = [f"in-flight queries: {queries['count']}"]
+    for q in queries["queries"]:
+        lines.append(
+            f"  {q['query_id']} [{q['phase']}] {q['elapsed_ms']:.1f}ms "
+            f"session={q['session'] or '-'}  {_one_line_sql(q['sql'])}"
+        )
+    gov = governor.get("governor")
+    if gov is None:
+        lines.append("governor: none")
+    else:
+        lines.append(
+            f"governor: active={gov['active']} "
+            f"waiting={gov['waiting']}/{gov['max_queue']} "
+            f"shedding={'on' if gov['load_shedding'] else 'off'}"
+        )
+    return "\n".join(lines)
+
+
+def _render_last(flight: dict) -> str:
+    """The ``\\last`` view from a ``flight`` debug snapshot (newest first)."""
+    entries = flight["entries"]
+    lines = [
+        f"flight recorder: {flight['recorded']} recorded, "
+        f"capacity {flight['capacity']}"
+    ]
+    if not entries:
+        lines.append("(no completed queries)")
+        return "\n".join(lines)
+    for e in entries:
+        exec_ms = e.get("execute_ms")
+        exec_txt = f"{exec_ms:.1f}ms" if exec_ms is not None else "-"
+        lines.append(
+            f"  {e['query_id']} {e['outcome']:<9} {exec_txt:>9} "
+            f"rows={e['rows']} session={e['session'] or '-'}  "
+            f"{_one_line_sql(e['sql'])}"
+        )
+        if e.get("error"):
+            lines.append(f"      error: {_one_line_sql(e['error'], 70)}")
+    return "\n".join(lines)
+
+
+def _parse_last_n(arg: str) -> Optional[int]:
+    """The ``n`` of ``\\last [n]``; None on a malformed argument."""
+    if not arg:
+        return 10
+    try:
+        n = int(arg)
+    except ValueError:
+        return None
+    return n if n > 0 else None
+
+
 def _handle_line(engine: LevelHeadedEngine, line: str) -> Optional[str]:
     """One shell interaction; returns output text, or None to quit."""
     stripped = line.strip()
@@ -186,6 +249,15 @@ def _handle_line(engine: LevelHeadedEngine, line: str) -> Optional[str]:
         return _handle_strategy(engine, stripped[len("\\strategy"):].strip())
     if stripped == "\\governor" or stripped.startswith("\\governor "):
         return _handle_governor(engine, stripped[len("\\governor"):].strip())
+    if stripped == "\\top":
+        return _render_top(
+            engine.debug_snapshot("queries"), engine.debug_snapshot("governor")
+        )
+    if stripped == "\\last" or stripped.startswith("\\last "):
+        n = _parse_last_n(stripped[len("\\last"):].strip())
+        if n is None:
+            return "error: \\last expects a positive integer"
+        return _render_last(engine.debug_snapshot("flight", n=n))
     explain = False
     trace = False
     profile = False
@@ -234,6 +306,22 @@ def _remote_repl(client) -> int:
             continue
         if stripped in ("\\q", "quit", "exit"):
             break
+        if stripped == "\\top":
+            try:
+                print(_render_top(client.debug("queries"), client.debug("governor")))
+            except ReproError as exc:
+                print(f"error: {exc}")
+            continue
+        if stripped == "\\last" or stripped.startswith("\\last "):
+            n = _parse_last_n(stripped[len("\\last"):].strip())
+            if n is None:
+                print("error: \\last expects a positive integer")
+                continue
+            try:
+                print(_render_last(client.debug("flight", n=n)))
+            except ReproError as exc:
+                print(f"error: {exc}")
+            continue
         explain = False
         if stripped.startswith("\\explain "):
             explain = True

@@ -12,18 +12,30 @@ Row batches are reassembled into a real
 carries per-column dtype tags, so numeric columns come back as
 ``int64``/``float64`` arrays exactly like the in-process engine
 produced them, not as JSON-shaped lists.
+
+``query(..., trace=True)`` works like the in-process engine's: the
+client mints a trace context, the server adopts it and returns its
+span tree in the ``done`` frame, and the client stitches one local
+tree -- ``client.query`` over ``client.send`` + ``wire``, with the
+server's admission/compile/execute spans grafted inside the wire span
+-- so ``result.trace`` renders and exports (Chrome trace) exactly like
+a local trace, query_id included.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import socket
 import threading
-from typing import Dict, List, Optional, Union
+import time
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..core.result import ResultTable
 from ..errors import ReproError, error_from_wire
+from ..obs import Span, span_from_wire
 from ..server.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -36,6 +48,9 @@ __all__ = ["ReproClient", "RemoteStatement", "connect"]
 
 #: dtype tag -> numpy dtype used to rebuild result columns.
 _TAG_DTYPES = {"int": np.int64, "float": np.float64, "bool": np.bool_}
+
+#: client-minted trace ids (``t<pid>-<n>``), mirroring server query ids.
+_TRACE_COUNTER = itertools.count(1)
 
 
 def _rebuild_result(names: List[str], dtypes: List[str], rows: List[list]) -> ResultTable:
@@ -66,6 +81,7 @@ class RemoteStatement:
         self,
         params: Optional[Dict] = None,
         timeout_ms: Optional[float] = None,
+        trace: bool = False,
     ) -> ResultTable:
         if self.closed:
             raise ReproError("prepared statement is closed")
@@ -73,6 +89,7 @@ class RemoteStatement:
             {"type": "execute", "stmt": self.stmt_id},
             params=params,
             timeout_ms=timeout_ms,
+            trace=trace,
         )
 
     def close(self) -> None:
@@ -145,9 +162,41 @@ class ReproClient:
         sql: str,
         params: Optional[Dict] = None,
         timeout_ms: Optional[float] = None,
+        trace: bool = False,
     ) -> ResultTable:
-        """Run ``sql`` on the server and return its full result."""
-        return self._run({"type": "query", "sql": sql}, params=params, timeout_ms=timeout_ms)
+        """Run ``sql`` on the server and return its full result.
+
+        With ``trace=True`` the returned table's ``.trace`` is one
+        stitched span tree covering the whole exchange: client send,
+        wire round-trip, and the server's own admission/compile/execute
+        spans inside it, all sharing the server-minted ``query_id``
+        (also on ``result.query_id``).
+        """
+        return self._run(
+            {"type": "query", "sql": sql},
+            params=params, timeout_ms=timeout_ms, trace=trace,
+        )
+
+    def debug(self, what: str, n: Optional[int] = None,
+              outcome: Optional[str] = None) -> Dict:
+        """One of the server's live-introspection snapshots.
+
+        ``what`` is ``queries`` / ``flight`` / ``plans`` / ``governor``
+        -- the same payloads the HTTP sidecar serves under ``/debug/*``;
+        ``n`` and ``outcome`` filter the flight view.
+        """
+        request: Dict = {"type": "debug", "what": what}
+        if n is not None:
+            request["n"] = n
+        if outcome is not None:
+            request["outcome"] = outcome
+        with self._exchange_lock:
+            self._ensure_open()
+            self._write(request)
+            frame = self._read_for(None)
+            if frame["type"] != "debug":
+                raise ProtocolError(f"expected debug frame, got {frame['type']!r}")
+            return frame["data"]
 
     def explain(self, sql: str, params: Optional[Dict] = None) -> str:
         """The server's plan text for ``sql``."""
@@ -232,13 +281,59 @@ class ReproClient:
         request: Dict,
         params: Optional[Dict],
         timeout_ms: Optional[float],
+        trace: bool = False,
     ) -> ResultTable:
         with self._exchange_lock:
+            trace_ctx = None
+            if trace:
+                trace_ctx = {
+                    "trace_id": f"t{os.getpid()}-{next(_TRACE_COUNTER)}",
+                    "client_send_ts": round(time.time(), 6),
+                }
+                request = dict(request, trace=trace_ctx)
+            t0 = time.perf_counter()
             qid = self._start(request, params, timeout_ms)
+            t_sent = time.perf_counter()
             try:
-                return self._collect(qid)
+                result, done = self._collect(qid)
             finally:
                 self._active_qid = None
+        result.query_id = done.get("query_id")
+        if trace_ctx is not None:
+            result.trace = self._stitch_trace(
+                trace_ctx, done, t0, t_sent, time.perf_counter()
+            )
+        return result
+
+    @staticmethod
+    def _stitch_trace(
+        trace_ctx: Dict, done: Dict, t0: float, t_sent: float, t_end: float
+    ) -> Span:
+        """One local span tree for the whole exchange.
+
+        The server's tree arrives with root-relative offsets on its own
+        clock; the client cannot subtract clocks across hosts, so it
+        anchors the server tree inside the wire span, splitting the
+        unaccounted wire time (network + serialization) evenly around
+        it -- offsets *within* the server tree stay exact.
+        """
+        root = Span("client.query", t0)
+        root.end = t_end
+        root.set(trace_id=trace_ctx["trace_id"])
+        if done.get("query_id"):
+            root.set(query_id=done["query_id"])
+        send = Span("client.send", t0)
+        send.end = t_sent
+        root.children.append(send)
+        wire = Span("wire", t_sent)
+        wire.end = t_end
+        root.children.append(wire)
+        remote = done.get("trace")
+        if isinstance(remote, dict):
+            server_dur = float(remote.get("dur", 0.0)) / 1e6
+            origin = t_sent + max(0.0, (wire.duration - server_dur) / 2)
+            wire.children.append(span_from_wire(remote, origin))
+        return root
 
     def _start(self, request: Dict, params: Optional[Dict], timeout_ms: Optional[float]) -> int:
         self._ensure_open()
@@ -255,7 +350,7 @@ class ReproClient:
         self._write(request)
         return qid
 
-    def _collect(self, qid: int) -> ResultTable:
+    def _collect(self, qid: int) -> Tuple[ResultTable, Dict]:
         frame = self._read_for(qid)
         if frame["type"] != "result_header":
             raise ProtocolError(f"expected result_header frame, got {frame['type']!r}")
@@ -267,7 +362,7 @@ class ReproClient:
             if frame["type"] == "batch":
                 rows.extend(frame["rows"])
             elif frame["type"] == "done":
-                return _rebuild_result(names, dtypes, rows)
+                return _rebuild_result(names, dtypes, rows), frame
             else:
                 raise ProtocolError(
                     f"expected batch/done frame, got {frame['type']!r}"

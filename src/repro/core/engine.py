@@ -35,15 +35,28 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..errors import (
+    AdmissionError,
     ExecutionError,
     OutOfMemoryBudgetError,
     QueryCancelledError,
     QueryKilledError,
     QueryTimeoutError,
+    ReproError,
     RetryableAdmissionError,
     UnsupportedQueryError,
 )
-from ..obs import NULL_TRACER, KernelProfiler, MetricsRegistry, QueryLog, Tracer
+from ..obs import (
+    NULL_TRACER,
+    FlightRecorder,
+    InflightQuery,
+    InflightRegistry,
+    KernelProfiler,
+    MetricsRegistry,
+    QueryLog,
+    Tracer,
+    next_query_id,
+    sql_hash,
+)
 from ..obs import activate as _activate_profiler
 from ..optimizer.feedback import QueryFeedback, measure
 from ..query.translate import CompiledQuery, translate
@@ -60,7 +73,14 @@ from ..storage.table import Table
 from ..xcution.plan import EngineConfig, PhysicalPlan, build_plan
 from ..xcution.stats import ExecutionStats
 from ..xcution.yannakakis import RawResult, execute_plan
-from .governor import AdmissionSlot, CancelToken, Governor, QueryHandle, cancel_scope
+from .governor import (
+    AdmissionSlot,
+    CancelToken,
+    Governor,
+    QueryHandle,
+    cancel_scope,
+    current_admission_session,
+)
 from .plan_cache import HIT, INVALIDATED, MISS, REOPTIMIZED, PlanCache
 from .prepared import PreparedStatement
 from .result import ResultTable
@@ -76,10 +96,19 @@ class LevelHeadedEngine:
         plan_cache_capacity: int = 64,
         governor: Optional[Governor] = None,
         default_timeout_ms: Optional[float] = None,
+        flight_capacity: int = 256,
     ):
         self.catalog = catalog if catalog is not None else Catalog()
         self.config = config if config is not None else EngineConfig()
         self.plan_cache = PlanCache(plan_cache_capacity)
+        #: always-on bounded ring of recently finished queries
+        #: (:class:`~repro.obs.FlightRecorder`; ``/debug/flight``,
+        #: the CLI's ``\\last``).
+        self.flight = FlightRecorder(flight_capacity)
+        #: queries currently inside the engine
+        #: (:class:`~repro.obs.InflightRegistry`; ``/debug/queries``,
+        #: the CLI's ``\\top``).
+        self.inflight = InflightRegistry()
         #: engine-lifetime query metrics: queries served, p50/p95
         #: compile/execute latencies, cache hit rates, rows and bytes
         #: produced (:class:`~repro.obs.MetricsRegistry`).
@@ -219,30 +248,38 @@ class LevelHeadedEngine:
     ) -> ResultTable:
         """Execute a compiled plan and decode its result."""
         token = self._make_token(timeout_ms, cancel_token)
-        slot = self._admit(cached=True, token=token)
+        tracer = Tracer() if trace else NULL_TRACER
+        query_id = next_query_id()
+        entry = self.inflight.register(
+            query_id, None, session=current_admission_session()
+        )
+        slot: Optional[AdmissionSlot] = None
         try:
-            with cancel_scope(token):
-                if not trace:
-                    return self._run_plan(
-                        plan,
-                        outcome=None,
-                        collect_stats=collect_stats,
-                        profile=profile,
-                        cancel=token,
-                        slot=slot,
-                    )
-                tracer = Tracer()
-                with tracer.span("query"):
-                    return self._run_plan(
-                        plan,
-                        outcome=None,
-                        collect_stats=collect_stats,
-                        tracer=tracer,
-                        profile=profile,
-                        cancel=token,
-                        slot=slot,
-                    )
+            with cancel_scope(token), tracer.span("query") as qspan:
+                qspan.set(query_id=query_id)
+                with tracer.span("admission.wait") as aspan:
+                    slot = self._admit(cached=True, token=token, entry=entry)
+                    if slot is not None:
+                        aspan.set(
+                            queued=slot.queued,
+                            waited_ms=round(slot.waited_seconds * 1000, 3),
+                        )
+                return self._run_plan(
+                    plan,
+                    outcome=None,
+                    collect_stats=collect_stats,
+                    tracer=tracer,
+                    profile=profile,
+                    cancel=token,
+                    slot=slot,
+                    query_id=query_id,
+                    inflight=entry,
+                )
+        except BaseException as exc:
+            self._note_query_failure(exc, entry)
+            raise
         finally:
+            self.inflight.finish(query_id)
             self._release(slot)
 
     def query(
@@ -294,18 +331,32 @@ class LevelHeadedEngine:
         cached = self.governor is not None and self.plan_cache.peek(
             self._plan_key(sql, cfg), self.catalog
         )
-        slot = self._admit(cached=cached, token=token)
+        # a deadlined/cancellable query is always traced: if it is
+        # killed, the error must carry the span tree of what ran
+        tracer = (
+            Tracer()
+            if (trace or token is not None or self._forces_trace())
+            else NULL_TRACER
+        )
+        query_id = next_query_id()
+        entry = self.inflight.register(
+            query_id, sql, session=current_admission_session()
+        )
+        slot: Optional[AdmissionSlot] = None
         try:
-            # a deadlined/cancellable query is always traced: if it is
-            # killed, the error must carry the span tree of what ran
-            tracer = (
-                Tracer()
-                if (trace or token is not None or self._forces_trace())
-                else NULL_TRACER
-            )
-            with cancel_scope(token), tracer.span("query"):
+            with cancel_scope(token), tracer.span("query") as qspan:
+                qspan.set(query_id=query_id)
+                with tracer.span("admission.wait") as aspan:
+                    slot = self._admit(cached=cached, token=token, entry=entry)
+                    if slot is not None:
+                        aspan.set(
+                            queued=slot.queued,
+                            waited_ms=round(slot.waited_seconds * 1000, 3),
+                        )
+                entry.phase = "compile"
                 t0 = time.perf_counter()
-                plan, outcome, key = self._cached_plan(sql, cfg, tracer)
+                with tracer.span("compile"):
+                    plan, outcome, key = self._cached_plan(sql, cfg, tracer)
                 compile_seconds = (
                     time.perf_counter() - t0
                     if outcome in (MISS, INVALIDATED, REOPTIMIZED)
@@ -323,8 +374,14 @@ class LevelHeadedEngine:
                     cancel=token,
                     slot=slot,
                     cache_key=key,
+                    query_id=query_id,
+                    inflight=entry,
                 )
+        except BaseException as exc:
+            self._note_query_failure(exc, entry)
+            raise
         finally:
+            self.inflight.finish(query_id)
             self._release(slot)
 
     def submit(
@@ -413,7 +470,10 @@ class LevelHeadedEngine:
         return CancelToken(timeout_ms=effective)
 
     def _admit(
-        self, cached: bool, token: Optional[CancelToken]
+        self,
+        cached: bool,
+        token: Optional[CancelToken],
+        entry: Optional[InflightQuery] = None,
     ) -> Optional[AdmissionSlot]:
         """Acquire an admission slot (None when no governor is attached)."""
         if self.governor is None:
@@ -428,6 +488,9 @@ class LevelHeadedEngine:
                 self.metrics.inc(f"admission_rejected_{exc.cause}")
             raise
         self.metrics.inc("admission_admitted")
+        if entry is not None:
+            entry.admission_wait_seconds = slot.waited_seconds
+            entry.queued = slot.queued
         if slot.queued:
             self.metrics.inc("admission_queued")
             self.metrics.observe("admission_wait_seconds", slot.waited_seconds)
@@ -449,6 +512,135 @@ class LevelHeadedEngine:
         if slot is not None and slot.memory_share_bytes is not None:
             return slot.memory_share_bytes
         return None
+
+    # -- correlation & flight recording -----------------------------------------
+
+    def _note_query_failure(self, exc: BaseException, entry: InflightQuery) -> None:
+        """Stamp the query_id onto the error and flight-record the failure.
+
+        Runs for *every* exception leaving ``query``/``execute`` -- the
+        kill paths already recorded their entry (``entry.recorded``), so
+        this catches the rest: admission rejections, compile errors,
+        plain execution bugs.
+        """
+        try:
+            if getattr(exc, "query_id", None) is None:
+                exc.query_id = entry.query_id
+        except Exception:  # pragma: no cover -- exotic exceptions with slots
+            pass
+        if entry.recorded:
+            return
+        if isinstance(exc, QueryTimeoutError):
+            outcome = "timeout"
+        elif isinstance(exc, QueryCancelledError):
+            outcome = "cancelled"
+        elif isinstance(exc, OutOfMemoryBudgetError):
+            outcome = "oom"
+        elif isinstance(exc, AdmissionError):
+            outcome = "rejected"
+        else:
+            outcome = "error"
+        self._finish_flight(
+            entry,
+            outcome=outcome,
+            execute_seconds=entry.elapsed_seconds(),
+            error=str(exc),
+        )
+
+    def _finish_flight(
+        self,
+        entry: Optional[InflightQuery],
+        *,
+        outcome: str,
+        plan: Optional[PhysicalPlan] = None,
+        cache_outcome: Optional[str] = None,
+        compile_seconds: Optional[float] = None,
+        execute_seconds: Optional[float] = None,
+        rows: int = 0,
+        stats: Optional[ExecutionStats] = None,
+        drifted: bool = False,
+        bytes_out: int = 0,
+        error: Optional[str] = None,
+    ) -> None:
+        """Write one flight-recorder entry for a finished query (once)."""
+        if entry is None or entry.recorded:
+            return
+        entry.recorded = True
+        nodes = plan.node_summaries() if plan is not None else []
+        record: Dict[str, object] = {
+            "query_id": entry.query_id,
+            "ts": round(time.time(), 6),
+            "session": entry.session,
+            "sql": entry.sql,
+            "sql_hash": sql_hash(entry.sql),
+            "outcome": outcome,
+            "mode": plan.mode if plan is not None else None,
+            "cache_outcome": cache_outcome,
+            "queued": entry.queued,
+            "admission_wait_ms": round(entry.admission_wait_seconds * 1000, 3),
+            "compile_ms": (
+                None if compile_seconds is None else round(compile_seconds * 1000, 4)
+            ),
+            "execute_ms": (
+                None if execute_seconds is None else round(execute_seconds * 1000, 4)
+            ),
+            "rows": int(rows),
+            "bytes_out": int(bytes_out),
+            "cancel_checks": int(stats.cancel_checks) if stats is not None else 0,
+            "nodes": [
+                {
+                    "node": summary.get("node_key"),
+                    "order": list(summary.get("attrs") or ()),
+                    "strategy": (summary.get("strategy") or {}).get("choice"),
+                }
+                for summary in nodes
+            ],
+            "q_error_max": (
+                float(stats.q_error_max)
+                if stats is not None and stats.q_error_max
+                else None
+            ),
+            "drifted": bool(drifted),
+        }
+        if error is not None:
+            record["error"] = error
+        self.flight.record(record)
+
+    def debug_snapshot(
+        self, what: str, n: Optional[int] = None, outcome: Optional[str] = None
+    ) -> Dict[str, object]:
+        """One live-introspection view, JSON-ready, from atomic snapshots.
+
+        ``what`` selects the view the ``/debug/*`` HTTP endpoints and
+        the ``debug`` wire frame expose: ``queries`` (in-flight),
+        ``flight`` (the recorder ring; ``n`` and ``outcome`` filter),
+        ``plans`` (plan-cache entries + feedback drift state), or
+        ``governor`` (slots, queue, per-session shares).
+        """
+        if what == "queries":
+            return {"count": len(self.inflight), "queries": self.inflight.snapshot()}
+        if what == "flight":
+            return {
+                "capacity": self.flight.capacity,
+                "recorded": self.flight.recorded,
+                "entries": self.flight.snapshot(n=n, outcome=outcome),
+            }
+        if what == "plans":
+            return {
+                "capacity": self.plan_cache.capacity,
+                "size": len(self.plan_cache),
+                "stats": self.plan_cache.stats.as_dict(),
+                "entries": self.plan_cache.debug_snapshot(),
+            }
+        if what == "governor":
+            return {
+                "governor": (
+                    self.governor.snapshot() if self.governor is not None else None
+                )
+            }
+        raise ReproError(
+            f"unknown debug view {what!r} (one of: queries, flight, plans, governor)"
+        )
 
     # -- internal query machinery ---------------------------------------------
 
@@ -525,6 +717,8 @@ class LevelHeadedEngine:
         cancel: Optional[CancelToken] = None,
         slot: Optional[AdmissionSlot] = None,
         cache_key: Optional[Tuple] = None,
+        query_id: str = "",
+        inflight: Optional[InflightQuery] = None,
     ) -> ResultTable:
         tracer = tracer or NULL_TRACER
         stats: Optional[ExecutionStats] = None
@@ -533,7 +727,11 @@ class LevelHeadedEngine:
             # report the partial work it did), and so does a cacheable
             # one: per-node row counts feed the q-error drift record
             stats = ExecutionStats()
+            stats.query_id = query_id
             self._note_cache_outcome(stats, outcome)
+        if inflight is not None:
+            inflight.phase = "execute"
+            inflight.stats = stats
         profiler = KernelProfiler() if profile else None
         budget = self._effective_budget(slot)
         budget_kwargs = {} if budget is None else {"memory_budget_bytes": budget}
@@ -572,6 +770,8 @@ class LevelHeadedEngine:
                 outcome=outcome,
                 compile_seconds=compile_seconds,
                 execute_seconds=time.perf_counter() - t0,
+                query_id=query_id,
+                inflight=inflight,
             )
             if isinstance(exc, OutOfMemoryBudgetError):
                 if self.governor is not None:
@@ -590,10 +790,12 @@ class LevelHeadedEngine:
                     retry.partial_stats = exc.partial_stats
                     raise retry from exc
             raise
+        if inflight is not None:
+            inflight.phase = "decode"
         with tracer.span("decode"):
             result = self._decode(plan.compiled, plan, raw)
         execute_seconds = time.perf_counter() - t0
-        self._record_feedback(plan, stats, cache_key)
+        _, drifted = self._record_feedback(plan, stats, cache_key)
         if collect_stats:
             result.stats = stats
         if tracer.active and expose_trace:
@@ -602,12 +804,14 @@ class LevelHeadedEngine:
             result.trace = tracer.root
         if profiler is not None:
             result.profile = profiler
+        result.query_id = query_id or None
+        bytes_out = result.nbytes
         self.metrics.record_query(
             execute_seconds,
             compile_seconds=compile_seconds,
             cache_outcome=outcome,
             rows=result.num_rows,
-            bytes_materialized=result.nbytes,
+            bytes_materialized=bytes_out,
             groups_emitted=stats.groups_emitted if stats is not None else None,
         )
         log = self.query_log
@@ -625,7 +829,20 @@ class LevelHeadedEngine:
                 rows=result.num_rows,
                 plan_text=plan.explain() if slow else None,
                 trace_root=tracer.root if slow else None,
+                query_id=query_id or None,
             )
+        self._finish_flight(
+            inflight,
+            outcome="ok",
+            plan=plan,
+            cache_outcome=outcome,
+            compile_seconds=compile_seconds,
+            execute_seconds=execute_seconds,
+            rows=result.num_rows,
+            stats=stats,
+            drifted=drifted,
+            bytes_out=bytes_out,
+        )
         return result
 
     def _record_feedback(
@@ -633,29 +850,31 @@ class LevelHeadedEngine:
         plan: PhysicalPlan,
         stats: Optional[ExecutionStats],
         cache_key: Optional[Tuple],
-    ) -> Optional[QueryFeedback]:
+    ) -> Tuple[Optional[QueryFeedback], bool]:
         """Measure this run's q-error and feed it to the plan cache.
 
         Pairs the executed nodes' ``est_rows`` with the rows they
         actually produced, stamps the per-query q-error onto ``stats``,
         and -- for cached plans -- folds the measurement into the
-        entry's drift record.  Returns the measurement (None for
-        scan/BLAS plans, which have no join estimates to score).
+        entry's drift record.  Returns ``(measurement, newly_drifted)``
+        (measurement is None for scan/BLAS plans, which have no join
+        estimates to score).
         """
         if stats is None or not stats.node_rows:
-            return None
+            return None, False
         measured = measure(plan, stats.node_rows)
         if measured is None:
-            return None
+            return None, False
         stats.q_error_max = measured.q_error_max
         stats.q_error_root = measured.q_error_root
         self.metrics.observe("q_error_max", measured.q_error_max)
         self.metrics.observe("q_error_root", measured.q_error_root)
-        if cache_key is not None and self.plan_cache.record_feedback(
+        drifted = cache_key is not None and self.plan_cache.record_feedback(
             cache_key, measured
-        ):
+        )
+        if drifted:
             self.metrics.inc("plans_drifted")
-        return measured
+        return measured, drifted
 
     def _note_cache_outcome(self, stats: ExecutionStats, outcome: Optional[str]) -> None:
         if outcome == HIT:
@@ -677,6 +896,8 @@ class LevelHeadedEngine:
         outcome: Optional[str],
         compile_seconds: Optional[float],
         execute_seconds: float,
+        query_id: str = "",
+        inflight: Optional[InflightQuery] = None,
     ) -> None:
         """Dress up a killed query: partial stats, trace, metrics, log."""
         if isinstance(exc, QueryTimeoutError):
@@ -686,6 +907,8 @@ class LevelHeadedEngine:
         else:
             kind, metric = "oom", "query_oom"
         self.metrics.inc(metric)
+        if query_id and getattr(exc, "query_id", None) is None:
+            exc.query_id = query_id
         if stats is not None and exc.partial_stats is None:
             exc.partial_stats = stats
         if tracer.active:
@@ -704,7 +927,19 @@ class LevelHeadedEngine:
                 plan_text=plan.explain(),
                 trace_root=tracer.root if tracer.active else None,
                 outcome=kind,
+                query_id=query_id or None,
             )
+        self._finish_flight(
+            inflight,
+            outcome=kind,
+            plan=plan,
+            cache_outcome=outcome,
+            compile_seconds=compile_seconds,
+            execute_seconds=execute_seconds,
+            rows=0,
+            stats=stats,
+            error=str(exc),
+        )
 
     def _explain_plan(
         self,
@@ -732,7 +967,7 @@ class LevelHeadedEngine:
                 with tracer.span("decode"):
                     result = self._decode(plan.compiled, plan, raw)
             trace_root = tracer.root
-            measured = self._record_feedback(plan, stats, None)
+            measured, _ = self._record_feedback(plan, stats, None)
         cache = self.plan_cache.stats
         if format == "json":
             plan_nodes = plan.node_summaries()

@@ -96,6 +96,9 @@ class _CacheEntry:
 
     plan: PhysicalPlan
     feedback: PlanFeedback
+    #: lookup hits served by this entry (per-entry, unlike the cache's
+    #: cumulative ``stats.hits``; the ``/debug/plans`` view shows both).
+    hits: int = 0
 
 
 @dataclass
@@ -152,6 +155,7 @@ class PlanCache:
                 return None, REOPTIMIZED
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            entry.hits += 1
             return entry.plan, HIT
 
     def peek(self, key: Tuple, catalog) -> bool:
@@ -188,6 +192,28 @@ class PlanCache:
             if entry is None:
                 return False
             return entry.feedback.record(measured)
+
+    def debug_snapshot(self) -> List[Dict[str, object]]:
+        """Per-entry cache state for live introspection (``/debug/plans``).
+
+        One dict per cached plan, LRU order (least recently used
+        first): the normalized SQL, plan mode, per-entry hit count, and
+        the feedback drift record.  Built entirely under the cache lock
+        from immutable values, so concurrent lookups never tear it.
+        """
+        with self._lock:
+            out = []
+            for key, entry in self._entries.items():
+                out.append(
+                    {
+                        "sql": key[0],
+                        "params": repr(key[1]) if key[1] else None,
+                        "mode": entry.plan.mode,
+                        "hits": entry.hits,
+                        "feedback": entry.feedback.as_dict(),
+                    }
+                )
+            return out
 
     def feedback_snapshot(self) -> List[Dict[str, object]]:
         """Per-entry feedback summaries (the CLI's ``\\feedback`` view)."""

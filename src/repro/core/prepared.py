@@ -21,7 +21,7 @@ from __future__ import annotations
 import time
 from typing import Optional, Tuple
 
-from ..obs import NULL_TRACER, Tracer
+from ..obs import NULL_TRACER, Tracer, next_query_id
 from ..query.translate import translate
 from ..sql.binder import bind
 from ..sql.params import (
@@ -34,7 +34,7 @@ from ..sql.params import (
 )
 from ..sql.parser import parse
 from ..xcution.plan import EngineConfig, PhysicalPlan, build_plan
-from .governor import CancelToken, cancel_scope
+from .governor import CancelToken, cancel_scope, current_admission_session
 from .plan_cache import INVALIDATED, MISS, REOPTIMIZED
 
 
@@ -142,16 +142,30 @@ class PreparedStatement:
         cached = engine.governor is not None and engine.plan_cache.peek(
             self._cache_key(literals), engine.catalog
         )
-        slot = engine._admit(cached=cached, token=token)
+        tracer = (
+            Tracer()
+            if (trace or token is not None or engine._forces_trace())
+            else NULL_TRACER
+        )
+        query_id = next_query_id()
+        entry = engine.inflight.register(
+            query_id, self.sql, session=current_admission_session()
+        )
+        slot = None
         try:
-            tracer = (
-                Tracer()
-                if (trace or token is not None or engine._forces_trace())
-                else NULL_TRACER
-            )
-            with cancel_scope(token), tracer.span("query"):
+            with cancel_scope(token), tracer.span("query") as qspan:
+                qspan.set(query_id=query_id)
+                with tracer.span("admission.wait") as aspan:
+                    slot = engine._admit(cached=cached, token=token, entry=entry)
+                    if slot is not None:
+                        aspan.set(
+                            queued=slot.queued,
+                            waited_ms=round(slot.waited_seconds * 1000, 3),
+                        )
+                entry.phase = "compile"
                 t0 = time.perf_counter()
-                plan, outcome, key = self._plan_for(literals, tracer)
+                with tracer.span("compile"):
+                    plan, outcome, key = self._plan_for(literals, tracer)
                 compile_seconds = (
                     time.perf_counter() - t0
                     if outcome in (MISS, INVALIDATED, REOPTIMIZED)
@@ -170,8 +184,14 @@ class PreparedStatement:
                     cancel=token,
                     slot=slot,
                     cache_key=key,
+                    query_id=query_id,
+                    inflight=entry,
                 )
+        except BaseException as exc:
+            engine._note_query_failure(exc, entry)
+            raise
         finally:
+            engine.inflight.finish(query_id)
             engine._release(slot)
 
     __call__ = execute

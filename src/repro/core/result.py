@@ -28,6 +28,10 @@ class ResultTable:
         #: populated by ``engine.query(..., collect_stats=True)`` /
         #: ``execute(plan, collect_stats=True)``; None otherwise.
         self.stats = None
+        #: the correlation id of the query that produced this result
+        #: (``q<pid>-<n>``; also over the wire).  None for tables built
+        #: outside a query run.
+        self.query_id = None
         #: populated by ``engine.query(..., trace=True)``: the root
         #: :class:`~repro.obs.Span` of the query's lifecycle trace.
         self.trace = None

@@ -189,6 +189,12 @@ def error_to_wire(exc: BaseException) -> Dict:
             code = _CODE_BY_CLASS[cls]
             break
     payload: Dict = {"code": code, "message": str(exc)}
+    # the correlation id crosses the wire on *every* error that has one
+    # (the engine stamps exc.query_id at failure time), so a remote
+    # failure joins the server's flight recorder / JSONL log by grep
+    query_id = getattr(exc, "query_id", None)
+    if query_id is not None:
+        payload["query_id"] = query_id
     for field in _WIRE_FIELDS.get(code, ()):
         value = getattr(exc, field, None)
         if value is not None:
@@ -210,6 +216,9 @@ def error_from_wire(payload: Dict) -> ReproError:
         if field in payload:
             kwargs[field] = payload[field]
     try:
-        return cls(message, **kwargs)
+        err = cls(message, **kwargs)
     except TypeError:  # pragma: no cover -- malformed extras from a peer
-        return cls(message)
+        err = cls(message)
+    if "query_id" in payload:
+        err.query_id = payload["query_id"]
+    return err

@@ -33,12 +33,30 @@ from .export import (
     to_prometheus,
     write_chrome_trace,
 )
+from .flight import (
+    FlightRecorder,
+    InflightQuery,
+    InflightRegistry,
+    next_query_id,
+    sql_hash,
+)
 from .metrics import Histogram, MetricsRegistry
 from .profile import KernelProfiler, activate
-from .trace import NULL_TRACER, NullTracer, Span, Tracer, phase_times
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    phase_times,
+    span_from_wire,
+    span_to_wire,
+)
 
 __all__ = [
+    "FlightRecorder",
     "Histogram",
+    "InflightQuery",
+    "InflightRegistry",
     "KernelProfiler",
     "MetricsRegistry",
     "NULL_TRACER",
@@ -47,8 +65,12 @@ __all__ = [
     "Span",
     "Tracer",
     "activate",
+    "next_query_id",
     "phase_times",
     "render_chrome_trace",
+    "span_from_wire",
+    "span_to_wire",
+    "sql_hash",
     "to_chrome_trace",
     "to_prometheus",
     "write_chrome_trace",

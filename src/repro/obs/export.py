@@ -58,8 +58,13 @@ def to_prometheus(registry, namespace: str = "repro") -> str:
     ``_max`` gauges and a ``_reservoir_samples`` gauge.  When the
     reservoir has wrapped (``count > samples``) the quantile series are
     marked approximate via a comment, since they then cover only the
-    most recent window of observations.  Output is deterministic:
-    metric families are sorted by name.
+    most recent window of observations.  Histograms with fixed bucket
+    bounds (:data:`repro.obs.metrics.BUCKET_BOUNDS`) render instead as
+    real Prometheus histograms -- cumulative ``_bucket{le="..."}``
+    series ending at ``+Inf`` -- so arbitrary quantiles can be computed
+    server-side; their reservoir quantile series are dropped (buckets
+    are exact, the reservoir is not).  Output is deterministic: metric
+    families are sorted by name.
     """
     snap = registry.as_dict()
     out: List[str] = []
@@ -86,17 +91,23 @@ def to_prometheus(registry, namespace: str = "repro") -> str:
     for name in sorted(snap["histograms"]):
         h = snap["histograms"][name]
         metric = f"{namespace}_{_metric_name(name)}"
-        approximate = h["count"] > h["samples"]
+        buckets = h.get("buckets")
         out.append(f"# HELP {metric} Distribution of '{name}'.")
-        out.append(f"# TYPE {metric} summary")
-        if approximate:
-            out.append(
-                f"# NOTE {metric} quantiles are approximate: reservoir wrapped "
-                f"({h['samples']} samples of {h['count']} observations)"
-            )
-        for label, _ in _QUANTILES:
-            key = "p" + label.replace("0.", "").ljust(2, "0")
-            out.append(f'{metric}{{quantile="{label}"}} {_fmt(h[key])}')
+        if buckets:
+            out.append(f"# TYPE {metric} histogram")
+            for label, count in buckets:
+                out.append(f'{metric}_bucket{{le="{label}"}} {_fmt(count)}')
+        else:
+            approximate = h["count"] > h["samples"]
+            out.append(f"# TYPE {metric} summary")
+            if approximate:
+                out.append(
+                    f"# NOTE {metric} quantiles are approximate: reservoir wrapped "
+                    f"({h['samples']} samples of {h['count']} observations)"
+                )
+            for label, _ in _QUANTILES:
+                key = "p" + label.replace("0.", "").ljust(2, "0")
+                out.append(f'{metric}{{quantile="{label}"}} {_fmt(h[key])}')
         out.append(f"{metric}_count {_fmt(h['count'])}")
         out.append(f"{metric}_sum {_fmt(h['sum'])}")
         out.append(f"# TYPE {metric}_min gauge")
@@ -166,6 +177,7 @@ class QueryLog:
         plan_text: Optional[str] = None,
         trace_root: Optional[Span] = None,
         outcome: str = "ok",
+        query_id: Optional[str] = None,
     ) -> None:
         """Append one query event; thread-safe, one line per call.
 
@@ -185,6 +197,7 @@ class QueryLog:
         event: Dict[str, object] = {
             "ts": round(self._clock(), 6),
             "event": "killed_query" if killed else ("slow_query" if slow else "query"),
+            "query_id": query_id,
             "sql": sql,
             "mode": mode,
             "cache_outcome": cache_outcome,

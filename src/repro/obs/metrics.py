@@ -15,22 +15,51 @@ traffic.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
 
 #: bounded per-histogram sample buffer (ring of the most recent values).
 _MAX_SAMPLES = 4096
+
+#: fixed bucket boundaries (seconds) for the wire-facing latency
+#: histograms.  Buckets are exact and cumulative, so operators can
+#: compute arbitrary quantiles server-side from the ``_bucket`` series
+#: -- unlike the reservoir quantiles, which approximate once wrapped.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: registry metric names that carry fixed buckets (everything else
+#: stays a summary-style reservoir histogram).
+BUCKET_BOUNDS: Dict[str, Tuple[float, ...]] = {
+    "execute_seconds": DEFAULT_LATENCY_BUCKETS,
+    "admission_wait_seconds": DEFAULT_LATENCY_BUCKETS,
+}
+
+
+def _bucket_label(bound: float) -> str:
+    return format(bound, ".10g")
 
 
 class Histogram:
     """Latency/size distribution: exact moments + recent-sample quantiles."""
 
-    __slots__ = ("count", "total", "min", "max", "_samples", "_next")
+    __slots__ = ("count", "total", "min", "max", "bounds", "_bucket_counts",
+                 "_samples", "_next")
 
-    def __init__(self):
+    def __init__(self, bounds: Optional[Sequence[float]] = None):
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        #: fixed, sorted upper bounds; None for reservoir-only histograms.
+        self.bounds: Optional[Tuple[float, ...]] = (
+            tuple(sorted(bounds)) if bounds else None
+        )
+        self._bucket_counts: Optional[List[int]] = (
+            [0] * (len(self.bounds) + 1) if self.bounds else None
+        )
         self._samples: List[float] = []
         self._next = 0
 
@@ -40,11 +69,32 @@ class Histogram:
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if self._bucket_counts is not None:
+            # le semantics: value lands in the first bucket whose upper
+            # bound is >= value (the overflow slot catches the rest)
+            self._bucket_counts[bisect_left(self.bounds, value)] += 1
         if len(self._samples) < _MAX_SAMPLES:
             self._samples.append(value)
         else:
             self._samples[self._next] = value
             self._next = (self._next + 1) % _MAX_SAMPLES
+
+    def buckets(self) -> Optional[List[Tuple[str, int]]]:
+        """Cumulative ``(le_label, count)`` pairs ending at ``+Inf``.
+
+        None for histograms constructed without bounds.  Labels are
+        pre-formatted strings (``"0.005"`` ... ``"+Inf"``) so exporters
+        and JSON snapshots agree byte for byte.
+        """
+        if self._bucket_counts is None:
+            return None
+        out: List[Tuple[str, int]] = []
+        acc = 0
+        for bound, count in zip(self.bounds, self._bucket_counts):
+            acc += count
+            out.append((_bucket_label(bound), acc))
+        out.append(("+Inf", acc + self._bucket_counts[-1]))
+        return out
 
     @property
     def mean(self) -> float:
@@ -70,7 +120,7 @@ class Histogram:
         return len(self._samples)
 
     def as_dict(self) -> Dict[str, float]:
-        return {
+        out = {
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
@@ -82,6 +132,10 @@ class Histogram:
             # the quantiles above are approximate (recent window only).
             "samples": self.samples,
         }
+        buckets = self.buckets()
+        if buckets is not None:
+            out["buckets"] = [[label, count] for label, count in buckets]
+        return out
 
 
 class MetricsRegistry:
@@ -113,7 +167,9 @@ class MetricsRegistry:
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
-                histogram = self._histograms[name] = Histogram()
+                histogram = self._histograms[name] = Histogram(
+                    bounds=BUCKET_BOUNDS.get(name)
+                )
             histogram.observe(value)
 
     def record_query(

@@ -209,6 +209,54 @@ def phase_times(root: Span) -> Dict[str, float]:
     return out
 
 
+def span_to_wire(root: Span) -> Dict:
+    """Serialize a span tree for the network, offsets preserved.
+
+    Unlike :meth:`Span.as_dict` (a human-facing rendering that keeps
+    only durations), the wire form keeps each span's *start offset*
+    relative to the root in microseconds, so the receiving side can
+    rebuild a tree whose spans still line up on a timeline --
+    :func:`span_from_wire` grafts it under a local parent at an
+    arbitrary origin and Chrome trace export keeps working.
+    """
+    origin = root.start
+
+    def visit(span: Span) -> Dict:
+        out: Dict[str, object] = {
+            "name": span.name,
+            "t0": round((span.start - origin) * 1e6, 3),
+            "dur": round(span.duration * 1e6, 3),
+        }
+        if span.payload:
+            out["payload"] = {k: _jsonable(v) for k, v in span.payload.items()}
+        if span.stats:
+            out["stats"] = {k: v for k, v in span.stats.items() if v}
+        if span.children:
+            out["children"] = [visit(child) for child in span.children]
+        return out
+
+    return visit(root)
+
+
+def span_from_wire(payload: Dict, origin: float = 0.0) -> Span:
+    """Rebuild a :class:`Span` tree serialized by :func:`span_to_wire`.
+
+    ``origin`` is the absolute start (in the local clock) to anchor the
+    remote tree's root at; every descendant keeps its relative offset.
+    """
+    span = Span(str(payload.get("name", "span")), origin + float(payload.get("t0", 0.0)) / 1e6)
+    span.end = span.start + float(payload.get("dur", 0.0)) / 1e6
+    data = payload.get("payload")
+    if isinstance(data, dict):
+        span.payload.update(data)
+    stats = payload.get("stats")
+    if isinstance(stats, dict):
+        span.stats = dict(stats)
+    for child in payload.get("children", ()):
+        span.children.append(span_from_wire(child, origin))
+    return span
+
+
 def _jsonable(value):
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value

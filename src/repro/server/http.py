@@ -1,4 +1,4 @@
-"""A tiny HTTP sidecar: ``GET /metrics`` and ``GET /healthz``.
+"""A tiny HTTP sidecar: ``/metrics``, ``/healthz``, and ``/debug/*``.
 
 Operational surfaces only -- queries never travel over HTTP.  The
 handler is stdlib ``http.server`` on a dedicated thread pool
@@ -10,9 +10,17 @@ seconds; they are telemetry, not traffic worth a log line each).
   :func:`repro.obs.export.to_prometheus` -- one scrape covers engine
   counters/histograms *and* the ``server_*`` serving metrics, since
   the server records into the same registry.
-* ``/healthz`` answers ``{"status": "ok", ...}`` with live session and
-  governor gauges; load balancers and the CI server job poll it to know
-  the process is up.
+* ``/healthz`` answers ``{"status": "ok", ...}`` with live session,
+  governor, and plan-cache gauges; the status flips to ``overloaded``
+  when the admission queue is full.  Load balancers and the CI server
+  job poll it to know the process is up.
+* ``/debug/queries``, ``/debug/flight``, ``/debug/plans``, and
+  ``/debug/governor`` expose the engine's live-introspection snapshots
+  (:meth:`~repro.core.engine.LevelHeadedEngine.debug_snapshot`) as
+  JSON.  Every payload is built from an atomic snapshot under the
+  owning lock, so a scrape taken while queries are in flight never
+  observes torn state.  ``/debug/flight`` accepts ``?n=`` and
+  ``?outcome=`` query parameters to page and filter the ring.
 """
 
 from __future__ import annotations
@@ -22,10 +30,15 @@ import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs
+
+from ..errors import ReproError
 
 __all__ = ["MetricsHTTPServer"]
 
 logger = logging.getLogger("repro.server.http")
+
+_DEBUG_VIEWS = ("queries", "flight", "plans", "governor")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -33,14 +46,40 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 -- http.server API
         owner: "MetricsHTTPServer" = self.server.owner  # type: ignore[attr-defined]
-        if self.path == "/metrics":
+        path, _, query = self.path.partition("?")
+        if path == "/metrics":
             body = owner.engine.metrics.to_prometheus().encode("utf-8")
             self._reply(200, "text/plain; version=0.0.4; charset=utf-8", body)
-        elif self.path == "/healthz":
-            body = json.dumps(owner.health(), separators=(",", ":")).encode("utf-8")
-            self._reply(200, "application/json", body)
+        elif path == "/healthz":
+            self._reply_json(200, owner.health())
+        elif path.startswith("/debug/"):
+            self._debug(owner, path[len("/debug/"):], query)
         else:
             self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _debug(self, owner: "MetricsHTTPServer", what: str, query: str) -> None:
+        if what not in _DEBUG_VIEWS:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+            return
+        params = parse_qs(query)
+        n = None
+        if params.get("n"):
+            try:
+                n = int(params["n"][0])
+            except ValueError:
+                self._reply_json(400, {"error": "n must be an integer"})
+                return
+        outcome = params["outcome"][0] if params.get("outcome") else None
+        try:
+            data = owner.engine.debug_snapshot(what, n=n, outcome=outcome)
+        except ReproError as exc:
+            self._reply_json(400, {"error": str(exc)})
+            return
+        self._reply_json(200, data)
+
+    def _reply_json(self, status: int, payload) -> None:
+        body = json.dumps(payload, separators=(",", ":"), default=str)
+        self._reply(status, "application/json", body.encode("utf-8"))
 
     def _reply(self, status: int, content_type: str, body: bytes) -> None:
         try:
@@ -57,7 +96,7 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class MetricsHTTPServer:
-    """Serve ``/metrics`` and ``/healthz`` for one engine."""
+    """Serve ``/metrics``, ``/healthz``, and ``/debug/*`` for one engine."""
 
     def __init__(self, engine, host: str = "127.0.0.1", port: int = 0, governor=None):
         self.engine = engine
@@ -73,18 +112,28 @@ class MetricsHTTPServer:
             "active_connections": int(
                 self.engine.metrics.gauge("server_active_connections")
             ),
+            "inflight_queries": len(self.engine.inflight),
+            "plan_cache": {
+                "entries": len(self.engine.plan_cache),
+                "capacity": self.engine.plan_cache.capacity,
+            },
         }
         if self.governor is not None:
             snap = self.governor.snapshot()
             payload["governor"] = {
                 "active": snap["active"],
                 "waiting": snap["waiting"],
+                "max_queue": snap["max_queue"],
+                "load_shedding": snap["load_shedding"],
             }
+            if snap["waiting"] >= snap["max_queue"] > 0:
+                payload["status"] = "overloaded"
         return payload
 
     def start(self) -> Tuple[str, int]:
+        """Bind and serve; idempotent (a second call returns the address)."""
         if self._httpd is not None:
-            raise RuntimeError("metrics server already started")
+            return self.host, self.port
         self._httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.owner = self  # type: ignore[attr-defined]
@@ -100,6 +149,7 @@ class MetricsHTTPServer:
         return self.host, self.port
 
     def stop(self) -> None:
+        """Unbind and join; idempotent, and ``start()`` works again after."""
         if self._httpd is None:
             return
         self._httpd.shutdown()

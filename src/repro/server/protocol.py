@@ -12,29 +12,43 @@ reason: a billion-row result never materializes as one frame.
 Request types (client -> server)::
 
     hello      {version, client?}               -- must be first
-    query      {qid, sql, params?, timeout_ms?, explain?}
+    query      {qid, sql, params?, timeout_ms?, explain?, trace?}
     prepare    {sql}
-    execute    {qid, stmt, params?, timeout_ms?}
+    execute    {qid, stmt, params?, timeout_ms?, trace?}
     cancel     {qid, reason?}
     close_stmt {stmt}
     close      {}
+    debug      {what, n?, outcome?}
 
 Response types (server -> client)::
 
     hello         {version, server, session, batch_rows, join_strategy}
     result_header {qid, names, dtypes}
     batch         {qid, rows}                   -- row-major, <= batch_rows
-    done          {qid, rows, elapsed_ms}
+    done          {qid, rows, elapsed_ms, query_id?, trace?}
     explain       {qid, text}
     prepared      {stmt, params}
     closed        {stmt}
-    error         {qid?, error: {code, message, ...}}
+    debug         {what, data}
+    error         {qid?, error: {code, message, query_id?, ...}}
     bye           {}
 
 Every response to an in-flight statement carries its ``qid`` so a
 client can multiplex several queries over one connection; errors embed
 the :mod:`repro.errors` wire form (see :func:`repro.errors.error_to_wire`)
 and the reference client rebuilds the typed exception.
+
+``trace`` on a query/execute request is an optional dict ``{trace_id,
+client_send_ts?}``: the server adopts the client's trace context, runs
+the query traced, and the ``done`` frame carries back the serialized
+span tree (:func:`repro.obs.span_to_wire`) plus the server-minted
+``query_id``, so the client can stitch one client->wire->server span
+tree.  Both fields are backward-compatible: old clients omit ``trace``
+(nothing is traced), old servers ignore it (the client still gets its
+result, just without the server tree).  ``debug`` requests one of the
+engine's live-introspection snapshots (``queries`` / ``flight`` /
+``plans`` / ``governor`` -- the same payloads the HTTP sidecar serves
+under ``/debug/*``).
 """
 
 from __future__ import annotations

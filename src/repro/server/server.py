@@ -40,6 +40,7 @@ import numpy as np
 
 from ..core.governor import admission_scope
 from ..errors import ReproError
+from ..obs import span_to_wire
 from .http import MetricsHTTPServer
 from .protocol import (
     DEFAULT_BATCH_ROWS,
@@ -188,6 +189,16 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                  "existed": session.close_statement(frame.get("stmt", -1))}
             )
             return True
+        if kind == "debug":
+            try:
+                what = str(frame.get("what", ""))
+                data = server.engine.debug_snapshot(
+                    what, n=frame.get("n"), outcome=frame.get("outcome")
+                )
+                self._send({"type": "debug", "what": what, "data": data})
+            except ReproError as exc:
+                self._send(error_frame(exc))
+            return True
         if kind == "close":
             self._send({"type": "bye"})
             return False
@@ -232,6 +243,9 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
         try:
             engine.metrics.inc("server_queries")
             params = frame.get("params")
+            trace_ctx = frame.get("trace")
+            if not isinstance(trace_ctx, dict):
+                trace_ctx = None
             with admission_scope(session.id):
                 if frame.get("explain"):
                     text = engine.explain(frame.get("sql", ""), params=params)
@@ -239,12 +253,15 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                     return
                 if frame["type"] == "execute":
                     statement = session.statement(frame.get("stmt", -1))
-                    result = statement.execute(params, cancel_token=token)
+                    result = statement.execute(
+                        params, cancel_token=token, trace=trace_ctx is not None
+                    )
                 else:
                     result = engine.query(
-                        frame.get("sql", ""), params=params, cancel_token=token
+                        frame.get("sql", ""), params=params, cancel_token=token,
+                        trace=trace_ctx is not None,
                     )
-            self._stream_result(server, qid, result, t0)
+            self._stream_result(server, qid, result, t0, trace_ctx)
         except ReproError as exc:
             self._send(error_frame(exc, qid))
         except Exception as exc:  # noqa: BLE001 -- a server bug must not kill the process
@@ -257,7 +274,9 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
             )
             server._untrack_worker(threading.current_thread())
 
-    def _stream_result(self, server, qid: int, result, t0: float) -> None:
+    def _stream_result(
+        self, server, qid: int, result, t0: float, trace_ctx: Optional[Dict] = None
+    ) -> None:
         """Send header, bounded row batches, and the final ``done``."""
         names = list(result.names)
         dtypes = [_dtype_tag(result.columns[name]) for name in names]
@@ -272,14 +291,21 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 {"type": "batch", "qid": qid, "rows": rows[start : start + step]}
             ):
                 return  # client went away mid-stream
-        self._send(
-            {
-                "type": "done",
-                "qid": qid,
-                "rows": len(rows),
-                "elapsed_ms": round((time.perf_counter() - t0) * 1000, 3),
-            }
-        )
+        done = {
+            "type": "done",
+            "qid": qid,
+            "rows": len(rows),
+            "elapsed_ms": round((time.perf_counter() - t0) * 1000, 3),
+        }
+        if getattr(result, "query_id", None):
+            done["query_id"] = result.query_id
+        if trace_ctx is not None and result.trace is not None:
+            # adopt the client's trace context: the served span tree goes
+            # back tagged with the client-minted trace_id so the client
+            # can graft it into its own client->wire->server tree
+            result.trace.set(trace_id=trace_ctx.get("trace_id"))
+            done["trace"] = span_to_wire(result.trace)
+        self._send(done)
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):

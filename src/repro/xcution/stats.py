@@ -16,11 +16,20 @@ from typing import Dict
 #: is a per-execution worst case, not an accumulating count.
 _MAX_FIELDS = ("q_error_max", "q_error_root")
 
+#: identity (non-counter) fields: excluded from the numeric dict views
+#: (``as_dict``/``delta_since``/``describe``), which must stay
+#: byte-identical between serial and parallel runs of the same query --
+#: two runs of one query share counters but never a query_id.
+_STR_FIELDS = ("query_id",)
+
 
 @dataclass
 class ExecutionStats:
     """Counters accumulated across every node of one plan execution."""
 
+    #: correlation id of the query these stats belong to (stamped by the
+    #: engine at admission; empty for stats built outside a query run).
+    query_id: str = ""
     nodes_executed: int = 0
     #: pairwise set intersections performed (Algorithm 1's bottleneck op).
     intersections: int = 0
@@ -90,7 +99,9 @@ class ExecutionStats:
     def merge(self, other: "ExecutionStats") -> None:
         for name in self.__dataclass_fields__:
             mine, theirs = getattr(self, name), getattr(other, name)
-            if isinstance(mine, dict):
+            if name in _STR_FIELDS:
+                setattr(self, name, mine or theirs)
+            elif isinstance(mine, dict):
                 for key, value in theirs.items():
                     mine[key] = mine.get(key, 0) + value
             elif name in _MAX_FIELDS:
@@ -101,6 +112,8 @@ class ExecutionStats:
     def as_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {}
         for name in self.__dataclass_fields__:
+            if name in _STR_FIELDS:
+                continue
             value = getattr(self, name)
             out[name] = dict(value) if isinstance(value, dict) else value
         return out
@@ -113,6 +126,8 @@ class ExecutionStats:
         """Counter increments since ``snapshot`` (tracer span payloads)."""
         out: Dict[str, object] = {}
         for name in self.__dataclass_fields__:
+            if name in _STR_FIELDS:
+                continue
             value = getattr(self, name)
             if isinstance(value, dict):
                 prev = snapshot.get(name) or {}

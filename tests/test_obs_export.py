@@ -56,20 +56,42 @@ def test_prometheus_counters_are_sorted_and_typed():
 
 
 def test_prometheus_notes_wrapped_reservoir():
+    # a summary-style (bucket-less) histogram keeps quantile series and
+    # marks them approximate once the reservoir wraps
     m = MetricsRegistry()
     for v in range(5000):  # past the 4096-sample reservoir
-        m.observe("execute_seconds", float(v))
+        m.observe("server_request_seconds", float(v))
     text = to_prometheus(m)
     assert "quantiles are approximate" in text
-    assert "repro_execute_seconds_reservoir_samples 4096" in text
-    assert "repro_execute_seconds_count 5000" in text
+    assert "repro_server_request_seconds_reservoir_samples 4096" in text
+    assert "repro_server_request_seconds_count 5000" in text
+
+
+def test_prometheus_bucketed_histograms_emit_cumulative_bucket_series():
+    m = MetricsRegistry()
+    for v in (0.0005, 0.002, 0.002, 0.3, 42.0):
+        m.observe("execute_seconds", v)
+    m.observe("admission_wait_seconds", 0.05)
+    text = to_prometheus(m)
+    assert "# TYPE repro_execute_seconds histogram" in text
+    # cumulative le-counts: 1 at <=0.001, 3 at <=0.0025, 4 at <=0.5,
+    # and +Inf catches the 42s outlier
+    assert 'repro_execute_seconds_bucket{le="0.001"} 1' in text
+    assert 'repro_execute_seconds_bucket{le="0.0025"} 3' in text
+    assert 'repro_execute_seconds_bucket{le="0.5"} 4' in text
+    assert 'repro_execute_seconds_bucket{le="+Inf"} 5' in text
+    assert "repro_execute_seconds_count 5" in text
+    # bucketed families drop the (approximate) quantile series
+    assert 'repro_execute_seconds{quantile=' not in text
+    assert 'repro_admission_wait_seconds_bucket{le="0.05"} 1' in text
+    assert 'repro_admission_wait_seconds_bucket{le="+Inf"} 1' in text
 
 
 # ---------------------------------------------------------------------------
 # JSONL query log: schema
 # ---------------------------------------------------------------------------
 
-EXPECTED_FIELDS = ["ts", "event", "sql", "mode", "cache_outcome",
+EXPECTED_FIELDS = ["ts", "event", "query_id", "sql", "mode", "cache_outcome",
                    "compile_ms", "execute_ms", "rows", "slow"]
 
 
@@ -164,6 +186,8 @@ def test_engine_query_log_records_every_query(engine):
     events = [json.loads(line) for line in sink.getvalue().splitlines()]
     assert len(events) == 2
     assert [e["cache_outcome"] for e in events] == ["miss", "hit"]
+    ids = [e["query_id"] for e in events]
+    assert all(ids) and len(set(ids)) == 2  # one distinct id per query
     assert events[0]["compile_ms"] > 0 and events[1]["compile_ms"] is None
     assert all(e["rows"] == 1 for e in events)
     assert all(e["slow"] is False for e in events)
@@ -216,6 +240,51 @@ def test_chrome_trace_structure():
     assert child["ts"] == pytest.approx(1000.0)
     assert child["dur"] == pytest.approx(1000.0)
     assert root["args"]["sql_len"] == 8
+
+
+Q3_MINI = """
+SELECT l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate
+FROM customer, orders, lineitem
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < date '1995-03-15'
+GROUP BY l_orderkey, o_orderdate
+"""
+
+
+@pytest.mark.parametrize("parallel", [False, True], ids=["serial", "parallel"])
+def test_chrome_trace_event_schema_golden_for_q3(parallel):
+    # pins the Chrome trace-event schema the tooling depends on: every
+    # span is one complete event with exactly ph/ts/dur/pid/tid (+args),
+    # whether the tree came from a serial or a parallel execution
+    from repro.xcution.plan import EngineConfig
+
+    engine = LevelHeadedEngine(make_mini_tpch(), config=EngineConfig(parallel=parallel))
+    result = engine.query(Q3_MINI, trace=True)
+    doc = to_chrome_trace(result.trace)
+    json.dumps(doc)  # JSON-serializable end to end
+    assert set(doc.keys()) == {"traceEvents", "displayTimeUnit"}
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    assert events and events[0]["name"] == "query"
+    for event in events:
+        assert set(event.keys()) in (
+            {"name", "ph", "ts", "dur", "pid", "tid"},
+            {"name", "ph", "ts", "dur", "pid", "tid", "args"},
+        )
+        assert event["ph"] == "X"
+        assert isinstance(event["name"], str)
+        assert event["ts"] >= 0 and event["dur"] >= 0
+        assert event["pid"] == 1 and event["tid"] == 1
+        if "args" in event:
+            assert isinstance(event["args"], dict) and event["args"]
+    names = {e["name"] for e in events}
+    assert {"query", "compile", "execute", "decode", "node.execute"} <= names
+    # the root span carries the minted query_id into the export
+    root_args = events[0]["args"]
+    assert root_args["query_id"] == result.query_id
 
 
 def test_chrome_trace_from_engine_query(engine, tmp_path):

@@ -124,6 +124,22 @@ def test_cli_run_statement_output_shape(saved_db):
     assert "n" in text and "1 rows" in text
 
 
+def test_cli_top_and_last(saved_db):
+    engine = LevelHeadedEngine(load_catalog(saved_db))
+    top = _handle_line(engine, "\\top")
+    assert "in-flight queries: 0" in top and "governor: none" in top
+    empty = _handle_line(engine, "\\last")
+    assert "(no completed queries)" in empty
+    _handle_line(engine, "SELECT count(*) AS n FROM lineitem")
+    _handle_line(engine, "SELECT count(*) AS n FROM orders")
+    last = _handle_line(engine, "\\last")
+    assert "ok" in last and "FROM orders" in last and "FROM lineitem" in last
+    assert last.index("FROM orders") < last.index("FROM lineitem")  # newest first
+    only_one = _handle_line(engine, "\\last 1")
+    assert "FROM orders" in only_one and "FROM lineitem" not in only_one
+    assert "error" in _handle_line(engine, "\\last zero")
+
+
 # ---------------------------------------------------------------------------
 # extra TPC-H queries (beyond the paper's seven)
 # ---------------------------------------------------------------------------

@@ -388,14 +388,198 @@ def test_http_metrics_and_healthz(served_engine):
         )
         assert health["status"] == "ok"
         assert health["active_connections"] == 1
-        assert health["governor"] == {"active": 0, "waiting": 0}
+        assert health["inflight_queries"] == 0
+        assert health["plan_cache"]["entries"] == 1
+        assert health["plan_cache"]["capacity"] == engine.plan_cache.capacity
+        assert health["governor"] == {
+            "active": 0,
+            "waiting": 0,
+            "max_queue": engine.governor.max_queue,
+            "load_shedding": False,
+        }
         with pytest.raises(urllib.error.HTTPError):
             urllib.request.urlopen(f"{base}/nope", timeout=10)
 
 
 # ---------------------------------------------------------------------------
+# correlation: wire traces, query ids, debug frames, live endpoints
+# ---------------------------------------------------------------------------
+
+
+def test_remote_trace_stitches_one_correlated_span_tree(served_engine):
+    import io
+
+    engine, server = served_engine
+    sink = io.StringIO()
+    engine.enable_query_log(sink)
+    with connect(server.host, server.port) as client:
+        result = client.query(Q1ISH, trace=True)
+    qid = result.query_id
+    assert qid
+    root = result.trace
+    assert root is not None and root.name == "client.query"
+    # one stitched tree: client send + wire, with the server's
+    # admission/compile/execute spans grafted inside the wire span
+    assert [c.name for c in root.children] == ["client.send", "wire"]
+    wire = root.children[1]
+    assert wire.children and wire.children[0].name == "query"
+    for name in ("admission.wait", "compile", "execute"):
+        assert root.find(name) is not None
+    # the one query_id (and trace_id) appears on both ends of the tree
+    assert root.payload["query_id"] == qid
+    server_root = root.find("query")
+    assert server_root.payload["query_id"] == qid
+    assert server_root.payload["trace_id"] == root.payload["trace_id"]
+    # ... and in the server's JSONL query log
+    events = [json.loads(line) for line in sink.getvalue().splitlines()]
+    assert qid in [e["query_id"] for e in events]
+    # ... and in the flight recorder
+    flight = engine.debug_snapshot("flight")
+    assert qid in [e["query_id"] for e in flight["entries"]]
+    # the stitched tree exports to Chrome trace like a local one
+    from repro.obs import to_chrome_trace
+
+    doc = to_chrome_trace(root)
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert {"client.query", "client.send", "wire", "query", "execute"} <= names
+
+
+def test_untraced_remote_query_still_carries_query_id(served_engine):
+    _, server = served_engine
+    with connect(server.host, server.port) as client:
+        result = client.query(Q1ISH)
+    assert result.query_id
+    assert result.trace is None
+
+
+def test_wire_error_carries_query_id_matching_flight_entry(served_engine):
+    engine, server = served_engine
+    with connect(server.host, server.port) as client:
+        with pytest.raises(repro.BindError) as info:
+            client.query("SELECT count(*) AS n FROM no_such_table t")
+    qid = getattr(info.value, "query_id", None)
+    assert qid
+    flight = engine.debug_snapshot("flight", outcome="error")
+    assert qid in [e["query_id"] for e in flight["entries"]]
+
+
+def test_debug_frames_over_the_wire(served_engine):
+    engine, server = served_engine
+    with connect(server.host, server.port) as client:
+        client.query(Q1ISH)
+        flight = client.debug("flight", n=5)
+        assert flight["capacity"] == engine.flight.capacity
+        assert flight["entries"] and flight["entries"][0]["outcome"] == "ok"
+        assert client.debug("queries") == {"count": 0, "queries": []}
+        plans = client.debug("plans")
+        assert plans["size"] == len(plans["entries"]) == 1
+        gov = client.debug("governor")["governor"]
+        assert gov["max_queue"] == engine.governor.max_queue
+        with pytest.raises(repro.ReproError, match="unknown debug view"):
+            client.debug("bogus")
+        # the connection survived the bad debug request
+        assert client.query(Q1ISH).num_rows > 0
+
+
+def test_debug_endpoints_concurrent_with_queries(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "1")
+    engine = repro.connect(catalog=make_mini_tpch(), max_concurrency=4)
+    assert engine.config.parallel  # the env toggle reached the config
+    server = ReproServer(engine, port=0, http_port=0)
+    server.start()
+    try:
+        stop = threading.Event()
+        query_errors = []
+
+        def churn():
+            with connect(server.host, server.port) as client:
+                while not stop.is_set():
+                    try:
+                        client.query(Q1ISH)
+                    except repro.ReproError as exc:
+                        query_errors.append(exc)
+                        return
+
+        workers = [threading.Thread(target=churn) for _ in range(3)]
+        for w in workers:
+            w.start()
+        base = f"http://{server.host}:{server.http_port}"
+        deadline = time.time() + 2.0
+        scrapes = 0
+        while time.time() < deadline:
+            for what in ("queries", "flight", "plans", "governor"):
+                body = urllib.request.urlopen(
+                    f"{base}/debug/{what}", timeout=10
+                ).read()
+                json.loads(body)  # every scrape is whole, valid JSON
+                scrapes += 1
+            health = json.loads(
+                urllib.request.urlopen(f"{base}/healthz", timeout=10).read()
+            )
+            assert health["status"] in ("ok", "overloaded")
+        stop.set()
+        for w in workers:
+            w.join(20)
+        assert not query_errors
+        assert scrapes >= 4
+        flight = engine.debug_snapshot("flight")
+        assert flight["entries"]
+        ids = [e["query_id"] for e in flight["entries"]]
+        assert len(set(ids)) == len(ids)
+    finally:
+        server.stop()
+
+
+def test_http_debug_flight_filters_via_query_string(served_engine):
+    engine, server = served_engine
+    with connect(server.host, server.port) as client:
+        client.query(Q1ISH)
+        client.query(Q1ISH)
+        with pytest.raises(repro.BindError):
+            client.query("SELECT count(*) AS n FROM no_such_table t")
+    base = f"http://{server.host}:{server.http_port}"
+    flight = json.loads(
+        urllib.request.urlopen(f"{base}/debug/flight?n=1", timeout=10).read()
+    )
+    assert len(flight["entries"]) == 1
+    errors = json.loads(
+        urllib.request.urlopen(
+            f"{base}/debug/flight?outcome=error", timeout=10
+        ).read()
+    )
+    assert [e["outcome"] for e in errors["entries"]] == ["error"]
+    bad = urllib.request.Request(f"{base}/debug/flight?n=zebra")
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(bad, timeout=10)
+    assert info.value.code == 400
+    with pytest.raises(urllib.error.HTTPError):
+        urllib.request.urlopen(f"{base}/debug/nothing", timeout=10)
+
+
+# ---------------------------------------------------------------------------
 # lifecycle
 # ---------------------------------------------------------------------------
+
+
+def test_metrics_http_lifecycle_is_idempotent_and_restartable():
+    from repro.server.http import MetricsHTTPServer
+
+    engine = repro.connect(catalog=make_mini_tpch())
+    http = MetricsHTTPServer(engine, port=0)
+    host, port = http.start()
+    assert http.start() == (host, port)  # idempotent, same address
+    body = urllib.request.urlopen(f"http://{host}:{port}/healthz", timeout=10).read()
+    assert json.loads(body)["status"] == "ok"
+    http.stop()
+    http.stop()  # idempotent
+    with pytest.raises((ConnectionError, OSError)):
+        urllib.request.urlopen(f"http://{host}:{port}/healthz", timeout=2)
+    host2, port2 = http.start()  # re-startable after stop
+    body = urllib.request.urlopen(
+        f"http://{host2}:{port2}/healthz", timeout=10
+    ).read()
+    assert json.loads(body)["status"] == "ok"
+    http.stop()
 
 
 def test_stop_is_clean_and_idempotent():
