@@ -55,6 +55,7 @@ from .errors import (
     ReproError,
     RetryableAdmissionError,
     SchemaError,
+    UnsupportedOnTopology,
     UnsupportedQueryError,
 )
 from .obs import MetricsRegistry, Span, Tracer
@@ -72,6 +73,9 @@ _LAZY_EXPORTS = {
     "MetricsHTTPServer": ("repro.server", "MetricsHTTPServer"),
     "ReproClient": ("repro.client", "ReproClient"),
     "RemoteStatement": ("repro.client", "RemoteStatement"),
+    "ShardCoordinator": ("repro.shard", "ShardCoordinator"),
+    "QuerySurface": ("repro.surface", "QuerySurface"),
+    "parse_dsn": ("repro.surface", "parse_dsn"),
 }
 
 
@@ -92,7 +96,7 @@ def __dir__():
 
 
 def connect(
-    config=None,
+    dsn=None,
     catalog=None,
     plan_cache_capacity: int = 64,
     timeout_ms=None,
@@ -100,23 +104,76 @@ def connect(
     global_memory_budget=None,
     governor=None,
     join_strategy=None,
+    config=None,
 ):
-    """Create a :class:`LevelHeadedEngine` -- the library's front door.
+    """The library's front door: one :class:`QuerySurface` per topology.
 
-    ``config`` is an optional :class:`EngineConfig` of optimizer
-    toggles; ``catalog`` lets several engines share registered tables.
-    ``join_strategy`` (``"auto"`` | ``"wcoj"`` | ``"binary"``) picks the
-    per-node execution engine without spelling out a full config; it
-    overrides both the ``REPRO_JOIN_STRATEGY`` environment default and
-    the ``config`` argument's own setting.
+    ``dsn`` selects where queries run; every return value answers the
+    same ``query``/``prepare``/``explain``/``submit``/``debug``/
+    ``close`` surface (:class:`repro.surface.QuerySurface`)::
 
-    Governance: ``timeout_ms`` sets a default deadline for every query
-    (override per call with ``engine.query(..., timeout_ms=...)``);
-    ``max_concurrency`` and ``global_memory_budget`` (bytes) seed a
-    :class:`~repro.core.governor.Governor` gating query admission on a
-    concurrency slot plus a reserved share of the budget.  Pass an
-    existing ``governor`` instead to share one across engines.
+        repro.connect()                              # in-process engine
+        repro.connect("tcp://10.0.0.5:7687")         # remote server
+        repro.connect("shard://local?workers=4")     # 4-process shard fleet
+
+    For backward compatibility ``dsn`` also accepts an
+    :class:`EngineConfig` positionally (the pre-DSN signature); the
+    ``config=`` keyword is the explicit spelling.
+
+    Local and shard surfaces take the full engine setup: ``config`` is
+    an optional :class:`EngineConfig` of optimizer toggles, ``catalog``
+    lets several engines share registered tables, and ``join_strategy``
+    (``"auto"`` | ``"wcoj"`` | ``"binary"``) picks the per-node
+    execution engine (overriding both the ``REPRO_JOIN_STRATEGY``
+    environment default and ``config``'s own setting).  ``timeout_ms``
+    sets a default deadline for every query; ``max_concurrency`` and
+    ``global_memory_budget`` (bytes) seed a
+    :class:`~repro.core.governor.Governor` gating admission (pass an
+    existing ``governor`` instead to share one).  On a shard surface
+    the governor lives at the coordinator -- admission happens once,
+    never per worker -- and ``shard://...?partition=DOMAIN`` overrides
+    the automatic partition-domain choice.
+
+    The tcp surface connects to an already-running
+    :class:`~repro.server.ReproServer`; only ``timeout_ms`` applies
+    (it becomes the client's default deadline).  Engine-construction
+    options raise :class:`~repro.errors.UnsupportedOnTopology` there:
+    the server owns its catalog and governor.
     """
+    from .surface import parse_dsn
+
+    if isinstance(dsn, EngineConfig):
+        # pre-DSN signature: connect(config, catalog=...)
+        if config is not None:
+            raise ReproError("pass config either positionally or as config=, not both")
+        dsn, config = None, dsn
+    scheme, options = parse_dsn(dsn)
+
+    if scheme == "tcp":
+        from .errors import UnsupportedOnTopology
+
+        refused = {
+            "catalog": catalog,
+            "config": config,
+            "max_concurrency": max_concurrency,
+            "global_memory_budget": global_memory_budget,
+            "governor": governor,
+            "join_strategy": join_strategy,
+        }
+        for option, value in refused.items():
+            if value is not None:
+                raise UnsupportedOnTopology(
+                    f"{option}= does not apply to a tcp surface: the remote "
+                    f"server owns its catalog, config, and governor",
+                    option=option,
+                    topology="tcp",
+                )
+        from .client import ReproClient
+
+        return ReproClient(
+            options["host"], options["port"], default_timeout_ms=timeout_ms
+        )
+
     if join_strategy is not None:
         from dataclasses import replace
 
@@ -129,12 +186,22 @@ def connect(
             max_concurrency=max_concurrency,
             global_memory_budget_bytes=global_memory_budget,
         )
-    return LevelHeadedEngine(
+    engine = LevelHeadedEngine(
         catalog=catalog,
         config=config,
         plan_cache_capacity=plan_cache_capacity,
         governor=governor,
         default_timeout_ms=timeout_ms,
+    )
+    if scheme == "local":
+        return engine
+    from .shard import ShardCoordinator
+
+    return ShardCoordinator(
+        engine,
+        workers=int(options.get("workers", 2)),
+        partition=options.get("partition"),
+        start_method=options.get("start_method"),
     )
 
 
@@ -173,6 +240,10 @@ __all__ = [
     "QueryCancelledError",
     "AdmissionError",
     "RetryableAdmissionError",
+    "UnsupportedOnTopology",
+    "ShardCoordinator",
+    "QuerySurface",
+    "parse_dsn",
     "ReproServer",
     "MetricsHTTPServer",
     "ReproClient",

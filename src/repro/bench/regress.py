@@ -42,6 +42,16 @@ measuring a *strictly lower* q-error than the base plan, and the
 corrected plan running slower than the base plan past the same
 ratio+delta gate -- the loop's contract is "better estimates, never a
 slower plan".
+
+Finally, full runs time a ``shard_compare`` section: TPC-H Q3 on the
+pinned dataset single-process versus ``shard://local`` fleets of 1 and
+4 workers.  Row counts must agree everywhere; the 4-worker fleet must
+reach >= 2x single-process throughput, a gate enforced only on full
+(non ``--quick``) runs on hosts with at least 4 CPU cores -- elsewhere
+the speedup is physically unreachable (time-sliced cores, or
+sub-millisecond queries where wire overhead dominates) and the finding
+downgrades to a warning, like every other cross-host timing comparison
+here.
 """
 
 from __future__ import annotations
@@ -352,6 +362,105 @@ def run_feedback_compare(
     return section, regressions
 
 
+#: worker counts the shard_compare section times Q3 under.
+SHARD_WORKER_COUNTS = (1, 4)
+#: the scale-out contract on an adequately provisioned host: 4 workers
+#: must push Q3 through at >= 2x the single-process rate.
+SHARD_SPEEDUP_GATE = 2.0
+SHARD_GATE_MIN_CPUS = 4
+
+
+def run_shard_compare(
+    quick: bool,
+    best_of: int,
+    log: Callable[[str], None] = print,
+) -> Tuple[Dict[str, object], List[str]]:
+    """Time TPC-H Q3 single-process vs. sharded across worker counts.
+
+    Returns ``(section, regressions)``.  Every worker count must answer
+    with exactly the single-process row count -- a disagreement is a
+    correctness regression regardless of timing.  The throughput gate
+    (4-worker Q3 at >= ``SHARD_SPEEDUP_GATE``x single-process) only
+    *fails* a full (non ``--quick``) run on a host with at least
+    ``SHARD_GATE_MIN_CPUS`` cores: on smaller runners the workers
+    time-slice one core, and at the quick scale Q3 is sub-millisecond
+    so per-query wire overhead dominates any parallelism -- in both
+    regimes the speedup is physically unreachable and the finding
+    downgrades to a warning, the same cross-host reasoning
+    ``compare_runs`` applies.
+    """
+    import repro
+
+    catalog = generate_tpch(scale_factor=0.002 if quick else 0.01, seed=2018)
+    sql = TPCH_QUERIES["Q3"]
+
+    single_engine = LevelHeadedEngine(catalog)
+    single = time_workload(
+        _sql_workload("tpch_q3[single]", single_engine, sql), best_of
+    )
+    section: Dict[str, object] = {
+        "workload": "tpch_q3",
+        "best_seconds": {"single": single["best_seconds"]},
+        "rows": single["rows"],
+        "speedup": {},
+        "gate": {
+            "required_speedup": SHARD_SPEEDUP_GATE,
+            "workers": max(SHARD_WORKER_COUNTS),
+            "min_cpus": SHARD_GATE_MIN_CPUS,
+            "enforced": not quick and (os.cpu_count() or 1) >= SHARD_GATE_MIN_CPUS,
+        },
+    }
+    regressions: List[str] = []
+    warnings_as_log: List[str] = []
+    for workers in SHARD_WORKER_COUNTS:
+        surface = repro.connect(f"shard://local?workers={workers}", catalog=catalog)
+        try:
+            verification = surface.query(sql)  # warm-up: ships partitions
+            if verification.num_rows != single["rows"]:
+                regressions.append(
+                    f"shard tpch_q3[x{workers}]: result rows "
+                    f"{verification.num_rows} != single-process {single['rows']}"
+                )
+            entry = time_workload(
+                Workload(
+                    f"tpch_q3[shard x{workers}]",
+                    lambda: surface.query(sql),
+                    verification.num_rows,
+                    {},
+                ),
+                best_of,
+            )
+        finally:
+            surface.close()
+        best = entry["best_seconds"]
+        speedup = single["best_seconds"] / best if best > 0 else 0.0
+        section["best_seconds"][f"shard_x{workers}"] = best
+        section["speedup"][f"x{workers}"] = round(speedup, 4)
+        log(
+            f"  shard tpch_q3 x{workers}: best {best * 1000:.2f}ms "
+            f"(single {single['best_seconds'] * 1000:.2f}ms, "
+            f"{speedup:.2f}x throughput)"
+        )
+        if workers == max(SHARD_WORKER_COUNTS) and speedup < SHARD_SPEEDUP_GATE:
+            line = (
+                f"shard tpch_q3 x{workers}: throughput {speedup:.2f}x single-"
+                f"process is below the {SHARD_SPEEDUP_GATE:.0f}x scale-out gate"
+            )
+            if section["gate"]["enforced"]:
+                regressions.append(line)
+            else:
+                reason = (
+                    "quick scale, wire overhead dominates"
+                    if quick and (os.cpu_count() or 1) >= SHARD_GATE_MIN_CPUS
+                    else f"host has {os.cpu_count()} cpu(s), "
+                    f"gate needs >= {SHARD_GATE_MIN_CPUS}"
+                )
+                warnings_as_log.append(line + f" (advisory: {reason})")
+    for line in warnings_as_log:
+        log(f"  warning: {line}")
+    return section, regressions
+
+
 def _inject(run: Callable[[], object], factor: float) -> Callable[[], object]:
     """Wrap ``run`` so its wall time is multiplied by ``factor``."""
 
@@ -489,6 +598,7 @@ def run_regression(
     strategy: Optional[bool] = None,
     strategy_workloads: Optional[Tuple[str, ...]] = None,
     feedback: Optional[bool] = None,
+    shard: Optional[bool] = None,
     log: Callable[[str], None] = print,
 ) -> int:
     """Run the pinned workloads, diff against the latest baseline.
@@ -506,6 +616,8 @@ def run_regression(
         strategy = workloads is None
     if feedback is None:
         feedback = workloads is None
+    if shard is None:
+        shard = workloads is None
     if inject_slowdown is not None and inject_slowdown not in names:
         raise SystemExit(
             f"--inject-slowdown {inject_slowdown!r} is not among {names}"
@@ -554,6 +666,12 @@ def run_regression(
         )
         document["feedback_compare"] = section
         regressions.extend(feedback_regressions)
+
+    if shard:
+        log(f"regress: shard_compare on tpch_q3 across {SHARD_WORKER_COUNTS} workers")
+        section, shard_regressions = run_shard_compare(quick, best_of, log)
+        document["shard_compare"] = section
+        regressions.extend(shard_regressions)
 
     baseline_path = latest_bench(out_dir)
     if baseline_path is None:
@@ -627,6 +745,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     feedback_group.add_argument(
         "--no-feedback", dest="feedback", action="store_false",
         help="skip the q-error feedback section")
+    shard_group = parser.add_mutually_exclusive_group()
+    shard_group.add_argument(
+        "--shard", dest="shard", action="store_true", default=None,
+        help="force the shard scale-out comparison section on")
+    shard_group.add_argument(
+        "--no-shard", dest="shard", action="store_false",
+        help="skip the shard scale-out comparison section")
     args = parser.parse_args(argv)
 
     workloads = tuple(args.workloads.split(",")) if args.workloads else None
@@ -643,6 +768,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         workloads=workloads,
         strategy=args.strategy,
         feedback=args.feedback,
+        shard=args.shard,
     )
 
 

@@ -7,13 +7,17 @@ Usage::
     python -m repro.cli DATA_DIR --explain -e "SELECT …"
 
     python -m repro.cli serve --load DATA_DIR --port 5433 --http-port 8181
-    python -m repro.cli --connect 127.0.0.1:5433 -e "SELECT …"
-    python -m repro.cli --connect 127.0.0.1:5433   # remote shell
+    python -m repro.cli serve --load DATA_DIR --engine "shard://local?workers=4"
+    python -m repro.cli --connect tcp://127.0.0.1:5433 -e "SELECT …"
+    python -m repro.cli DATA_DIR --connect "shard://local?workers=4"
 
 ``serve`` loads a saved catalog and runs a
-:class:`~repro.server.ReproServer` until interrupted; ``--connect``
-turns the shell into a :class:`~repro.client.ReproClient` speaking to
-such a server instead of opening the catalog in-process.
+:class:`~repro.server.ReproServer` until interrupted (with ``--engine``
+it serves a shard coordinator instead of a plain engine); ``--connect``
+takes the same connection-string grammar as :func:`repro.connect`
+(``tcp://HOST:PORT`` opens a remote shell, ``shard://local?workers=N``
+opens the shell over a shard fleet loaded from ``DATA_DIR``, and a bare
+``HOST:PORT`` keeps meaning tcp for backward compatibility).
 
 ``DATA_DIR`` is a directory written by
 :func:`repro.storage.persist.save_catalog` (``schema.json`` plus
@@ -125,7 +129,10 @@ def _handle_strategy(engine: LevelHeadedEngine, arg: str) -> str:
                 f"{', '.join(JOIN_STRATEGIES)}, got {arg!r}")
     from dataclasses import replace
 
-    engine.config = replace(engine.config, join_strategy=arg)
+    try:
+        engine.config = replace(engine.config, join_strategy=arg)
+    except ReproError as exc:  # e.g. fixed config on a shard surface
+        return f"error: {exc}"
     return f"join strategy: {arg}"
 
 
@@ -333,12 +340,18 @@ def _remote_repl(client) -> int:
     return 0
 
 
-def _remote_main(args) -> int:
-    from .client import connect as client_connect
+def _normalize_connect_dsn(value: str) -> str:
+    """``--connect`` grammar: full DSNs, plus bare HOST:PORT meaning tcp."""
+    if "://" in value or value == "local":
+        return value
+    return f"tcp://{value}"
 
-    host, _, port = args.connect.rpartition(":")
+
+def _remote_main(args, dsn: str) -> int:
+    import repro
+
     try:
-        client = client_connect(host or "127.0.0.1", int(port))
+        client = repro.connect(dsn, timeout_ms=args.timeout_ms)
     except (ReproError, OSError, ValueError) as exc:
         print(f"error: cannot connect to {args.connect}: {exc}", file=sys.stderr)
         return 2
@@ -392,22 +405,30 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         "--batch-rows", type=int, default=DEFAULT_BATCH_ROWS,
         help="rows per result batch frame",
     )
+    parser.add_argument(
+        "--engine", metavar="DSN", default="local",
+        help="what to serve: 'local' (default) or 'shard://local?workers=N' "
+             "(a shard coordinator behind the same wire protocol)",
+    )
     args = parser.parse_args(argv)
 
-    governor = None
-    if args.max_concurrency is not None or args.memory_budget is not None:
-        from .core.governor import Governor
+    import repro
+    from .surface import parse_dsn
 
-        governor = Governor(
-            max_concurrency=args.max_concurrency,
-            global_memory_budget_bytes=args.memory_budget,
-        )
     try:
-        engine = LevelHeadedEngine(
-            load_catalog(args.load),
+        scheme, _ = parse_dsn(args.engine)
+        if scheme == "tcp":
+            raise ReproError(
+                "serve needs an in-process engine: --engine takes 'local' "
+                "or 'shard://local?workers=N', not tcp://"
+            )
+        engine = repro.connect(
+            args.engine,
+            catalog=load_catalog(args.load),
             config=_cli_config(args.join_strategy),
-            governor=governor,
-            default_timeout_ms=args.timeout_ms,
+            timeout_ms=args.timeout_ms,
+            max_concurrency=args.max_concurrency,
+            global_memory_budget=args.memory_budget,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -436,6 +457,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         print("shutting down", flush=True)
     finally:
         server.stop()
+        engine.close()  # a shard surface reaps its workers here
     return 0
 
 
@@ -452,8 +474,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="directory written by save_catalog",
     )
     parser.add_argument(
-        "--connect", metavar="HOST:PORT", default=None,
-        help="connect to a running 'repro.cli serve' instead of a data dir",
+        "--connect", metavar="DSN", default=None,
+        help="where queries run: tcp://HOST:PORT (or bare HOST:PORT) for a "
+             "running 'repro.cli serve', shard://local?workers=N to shard "
+             "DATA_DIR across worker processes, local for in-process",
     )
     parser.add_argument(
         "-e", "--execute", action="append", default=None,
@@ -480,53 +504,60 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.connect is not None:
-        return _remote_main(args)
-    if args.data_dir is None:
-        parser.error("data_dir is required unless --connect is given")
+    from .surface import parse_dsn
 
-    governor = None
-    if args.max_concurrency is not None or args.memory_budget is not None:
-        from .core.governor import Governor
-
-        governor = Governor(
-            max_concurrency=args.max_concurrency,
-            global_memory_budget_bytes=args.memory_budget,
-        )
+    dsn = "local" if args.connect is None else _normalize_connect_dsn(args.connect)
     try:
-        engine = LevelHeadedEngine(
-            load_catalog(args.data_dir),
+        scheme, _ = parse_dsn(dsn)
+    except ReproError as exc:
+        parser.error(str(exc))
+    if scheme == "tcp":
+        return _remote_main(args, dsn)
+    # local and shard surfaces both open DATA_DIR in this process
+    if args.data_dir is None:
+        parser.error("data_dir is required unless --connect tcp://... is given")
+
+    import repro
+
+    try:
+        engine = repro.connect(
+            dsn,
+            catalog=load_catalog(args.data_dir),
             config=_cli_config(args.join_strategy),
-            governor=governor,
-            default_timeout_ms=args.timeout_ms,
+            timeout_ms=args.timeout_ms,
+            max_concurrency=args.max_concurrency,
+            global_memory_budget=args.memory_budget,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if args.execute:
-        status = 0
-        for sql in args.execute:
-            try:
-                print(run_statement(engine, sql, explain=args.explain))
-            except ReproError as exc:
-                print(f"error: {exc}", file=sys.stderr)
-                status = 1
-        return status
+    try:
+        if args.execute:
+            status = 0
+            for sql in args.execute:
+                try:
+                    print(run_statement(engine, sql, explain=args.explain))
+                except ReproError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    status = 1
+            return status
 
-    print(f"LevelHeaded shell -- {len(list(engine.catalog.names()))} tables "
-          "(\\d to list, \\q to quit)")
-    while True:
-        try:
-            line = input("lh> ")
-        except EOFError:
-            break
-        output = _handle_line(engine, line)
-        if output is None:
-            break
-        if output:
-            print(output)
-    return 0
+        print(f"LevelHeaded shell -- {len(list(engine.catalog.names()))} tables "
+              "(\\d to list, \\q to quit)")
+        while True:
+            try:
+                line = input("lh> ")
+            except EOFError:
+                break
+            output = _handle_line(engine, line)
+            if output is None:
+                break
+            if output:
+                print(output)
+        return 0
+    finally:
+        engine.close()  # a shard surface reaps its workers here
 
 
 if __name__ == "__main__":

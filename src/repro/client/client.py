@@ -33,9 +33,12 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..core.governor import CancelToken, QueryHandle
 from ..core.result import ResultTable
-from ..errors import ReproError, error_from_wire
+from ..errors import ReproError, UnsupportedOnTopology, error_from_wire
 from ..obs import Span, span_from_wire
+from ..storage.persist import attribute_to_dict
+from ..xcution.stats import ExecutionStats
 from ..server.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -80,16 +83,28 @@ class RemoteStatement:
     def execute(
         self,
         params: Optional[Dict] = None,
+        collect_stats: bool = False,
         timeout_ms: Optional[float] = None,
         trace: bool = False,
+        cancel_token=None,
+        partial: bool = False,
+        query_id: Optional[str] = None,
     ) -> ResultTable:
         if self.closed:
             raise ReproError("prepared statement is closed")
+        request: Dict = {"type": "execute", "stmt": self.stmt_id}
+        if collect_stats:
+            request["collect_stats"] = True
+        if partial:
+            request["partial"] = True
+        if query_id is not None:
+            request["query_id"] = query_id
         return self._client._run(
-            {"type": "execute", "stmt": self.stmt_id},
+            request,
             params=params,
             timeout_ms=timeout_ms,
             trace=trace,
+            cancel_token=cancel_token,
         )
 
     def close(self) -> None:
@@ -123,10 +138,16 @@ class ReproClient:
         port: int = 0,
         connect_timeout: float = 10.0,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        default_timeout_ms: Optional[float] = None,
     ):
         self.host = host
         self.port = port
         self.max_frame_bytes = max_frame_bytes
+        #: applied when a query passes no ``timeout_ms`` of its own --
+        #: the client-side mirror of the engine's ``default_timeout_ms``,
+        #: so ``repro.connect(..., timeout_ms=...)`` means the same thing
+        #: on every topology.
+        self.default_timeout_ms = default_timeout_ms
         self._sock = socket.create_connection((host, port), timeout=connect_timeout)
         # blocking I/O from here on; query runtimes are governed
         # server-side (timeout_ms), not by socket timeouts
@@ -161,10 +182,25 @@ class ReproClient:
         self,
         sql: str,
         params: Optional[Dict] = None,
-        timeout_ms: Optional[float] = None,
+        config=None,
+        collect_stats: bool = False,
         trace: bool = False,
+        profile: bool = False,
+        timeout_ms: Optional[float] = None,
+        cancel_token: Optional[CancelToken] = None,
+        partial: bool = False,
+        query_id: Optional[str] = None,
     ) -> ResultTable:
         """Run ``sql`` on the server and return its full result.
+
+        The signature matches ``Engine.query`` (the QuerySurface
+        contract behind ``repro.connect()``): ``collect_stats=True``
+        attaches the server's execution counters as ``result.stats``,
+        ``cancel_token`` fires a ``cancel`` frame at the server when
+        cancelled, and ``partial``/``query_id`` are the shard-worker
+        extensions.  ``config=`` and ``profile=`` cannot cross the wire
+        and raise :class:`~repro.errors.UnsupportedOnTopology` rather
+        than being silently dropped.
 
         With ``trace=True`` the returned table's ``.trace`` is one
         stitched span tree covering the whole exchange: client send,
@@ -172,18 +208,84 @@ class ReproClient:
         spans inside it, all sharing the server-minted ``query_id``
         (also on ``result.query_id``).
         """
+        self._reject_unsupported(config=config, profile=profile)
+        request: Dict = {"type": "query", "sql": sql}
+        if collect_stats:
+            request["collect_stats"] = True
+        if partial:
+            request["partial"] = True
+        if query_id is not None:
+            request["query_id"] = query_id
         return self._run(
-            {"type": "query", "sql": sql},
+            request,
             params=params, timeout_ms=timeout_ms, trace=trace,
+            cancel_token=cancel_token,
         )
+
+    def submit(
+        self,
+        sql: str,
+        params: Optional[Dict] = None,
+        config=None,
+        collect_stats: bool = False,
+        trace: bool = False,
+        timeout_ms: Optional[float] = None,
+        cancel_token: Optional[CancelToken] = None,
+    ) -> QueryHandle:
+        """Run ``query(sql, ...)`` on a background thread.
+
+        The remote counterpart of ``Engine.submit``: returns a
+        :class:`~repro.core.governor.QueryHandle` immediately;
+        ``handle.cancel()`` fires the shared token, which the in-flight
+        exchange notices and turns into a ``cancel`` frame, so the
+        server kills the query and the handle's ``result()`` re-raises
+        the typed :class:`~repro.errors.QueryCancelledError`.
+        """
+        self._reject_unsupported(config=config)
+        token = cancel_token or CancelToken(timeout_ms=timeout_ms)
+        handle = QueryHandle(token, sql)
+        thread = threading.Thread(
+            target=handle._run,
+            args=(
+                lambda: self.query(
+                    sql,
+                    params=params,
+                    collect_stats=collect_stats,
+                    trace=trace,
+                    timeout_ms=timeout_ms,
+                    cancel_token=token,
+                ),
+            ),
+            name="repro-client-query",
+            daemon=True,
+        )
+        thread.start()
+        return handle
+
+    def _reject_unsupported(self, config=None, profile: bool = False) -> None:
+        if config is not None:
+            raise UnsupportedOnTopology(
+                "config= overrides cannot cross the wire: the serving "
+                "engine's configuration is fixed server-side (start the "
+                "server with the config you need)",
+                option="config", topology="tcp",
+            )
+        if profile:
+            raise UnsupportedOnTopology(
+                "profile= is not supported over tcp:// -- kernel "
+                "profiles hold non-serializable per-level state; run "
+                "the query on a local engine to profile it",
+                option="profile", topology="tcp",
+            )
 
     def debug(self, what: str, n: Optional[int] = None,
               outcome: Optional[str] = None) -> Dict:
         """One of the server's live-introspection snapshots.
 
         ``what`` is ``queries`` / ``flight`` / ``plans`` / ``governor``
-        -- the same payloads the HTTP sidecar serves under ``/debug/*``;
-        ``n`` and ``outcome`` filter the flight view.
+        / ``metrics`` -- the same payloads the HTTP sidecar serves
+        under ``/debug/*``; ``n`` and ``outcome`` filter the flight
+        view.
         """
         request: Dict = {"type": "debug", "what": what}
         if n is not None:
@@ -212,8 +314,9 @@ class ReproClient:
             finally:
                 self._active_qid = None
 
-    def prepare(self, sql: str) -> RemoteStatement:
+    def prepare(self, sql: str, config=None) -> RemoteStatement:
         """Compile ``sql`` server-side; returns the reusable handle."""
+        self._reject_unsupported(config=config)
         with self._exchange_lock:
             self._ensure_open()
             self._write({"type": "prepare", "sql": sql})
@@ -221,6 +324,52 @@ class ReproClient:
             if frame["type"] != "prepared":
                 raise ProtocolError(f"expected prepared frame, got {frame['type']!r}")
             return RemoteStatement(self, frame["stmt"], frame["params"])
+
+    def register_table(self, table, chunk_cells: int = 100_000) -> int:
+        """Ship a :class:`~repro.storage.table.Table` to the server.
+
+        The shard coordinator's data-distribution path: the table goes
+        over as a ``register_partition`` chunk sequence (each chunk
+        bounded to roughly ``chunk_cells`` cells so no frame approaches
+        the frame limit), the server reassembles it with exact dtypes
+        and registers it with its engine's catalog.  Returns the row
+        count the server registered.
+        """
+        names = [a.name for a in table.schema.attributes]
+        frame0 = {
+            "schema": [attribute_to_dict(a) for a in table.schema.attributes],
+            "dtypes": {
+                name: np.asarray(table.columns[name]).dtype.str for name in names
+            },
+        }
+        lists = {name: np.asarray(table.columns[name]).tolist() for name in names}
+        n = table.num_rows
+        step = max(1, chunk_cells // max(1, len(names)))
+        with self._exchange_lock:
+            self._ensure_open()
+            seq, start = 0, 0
+            while True:
+                frame: Dict = {
+                    "type": "register_partition",
+                    "table": table.schema.name,
+                    "seq": seq,
+                    "last": start + step >= n,
+                    "columns": {
+                        name: lists[name][start : start + step] for name in names
+                    },
+                }
+                if seq == 0:
+                    frame.update(frame0)
+                self._write(frame)
+                reply = self._read_for(None)
+                if reply["type"] != "registered":
+                    raise ProtocolError(
+                        f"expected registered frame, got {reply['type']!r}"
+                    )
+                if reply.get("complete"):
+                    return int(reply.get("rows") or 0)
+                seq += 1
+                start += step
 
     def cancel(self, qid: int, reason: str = "cancelled by client") -> None:
         """Ask the server to kill in-flight query ``qid`` (thread-safe)."""
@@ -282,7 +431,10 @@ class ReproClient:
         params: Optional[Dict],
         timeout_ms: Optional[float],
         trace: bool = False,
+        cancel_token: Optional[CancelToken] = None,
     ) -> ResultTable:
+        if timeout_ms is None:
+            timeout_ms = self.default_timeout_ms
         with self._exchange_lock:
             trace_ctx = None
             if trace:
@@ -294,16 +446,55 @@ class ReproClient:
             t0 = time.perf_counter()
             qid = self._start(request, params, timeout_ms)
             t_sent = time.perf_counter()
+            watcher_done = None
+            if cancel_token is not None:
+                watcher_done = threading.Event()
+                watcher = threading.Thread(
+                    target=self._watch_token,
+                    args=(cancel_token, qid, watcher_done),
+                    name="repro-client-cancel-watch",
+                    daemon=True,
+                )
+                watcher.start()
             try:
                 result, done = self._collect(qid)
             finally:
                 self._active_qid = None
+                if watcher_done is not None:
+                    watcher_done.set()
         result.query_id = done.get("query_id")
+        if isinstance(done.get("stats"), dict):
+            stats = ExecutionStats.from_dict(done["stats"])
+            stats.query_id = done.get("query_id") or ""
+            result.stats = stats
         if trace_ctx is not None:
             result.trace = self._stitch_trace(
                 trace_ctx, done, t0, t_sent, time.perf_counter()
             )
         return result
+
+    def _watch_token(
+        self, token: CancelToken, qid: int, done: threading.Event
+    ) -> None:
+        """Translate a fired :class:`CancelToken` into a ``cancel`` frame.
+
+        This is what makes caller-side cancellation topology-agnostic:
+        an engine polls the token inside its executors, the remote
+        client polls it here and ships the cancellation to the server,
+        where the session fires the server-side token of query ``qid``.
+        """
+        while not done.wait(0.005):
+            expired = token.remaining_ms() == 0.0
+            if token.cancelled or expired:
+                try:
+                    self.cancel(
+                        qid,
+                        "query deadline exceeded" if expired and not token.cancelled
+                        else getattr(token, "_reason", None) or "cancelled by caller",
+                    )
+                except ReproError:
+                    pass  # exchange already tearing down
+                return
 
     @staticmethod
     def _stitch_trace(
@@ -421,6 +612,10 @@ def connect(
     host: str = "127.0.0.1",
     port: int = 0,
     connect_timeout: float = 10.0,
+    default_timeout_ms: Optional[float] = None,
 ) -> ReproClient:
     """Open a connection and complete the protocol handshake."""
-    return ReproClient(host, port, connect_timeout=connect_timeout)
+    return ReproClient(
+        host, port, connect_timeout=connect_timeout,
+        default_timeout_ms=default_timeout_ms,
+    )

@@ -36,7 +36,6 @@ import numpy as np
 
 from ..errors import (
     AdmissionError,
-    ExecutionError,
     OutOfMemoryBudgetError,
     QueryCancelledError,
     QueryKilledError,
@@ -60,16 +59,14 @@ from ..obs import (
 from ..obs import activate as _activate_profiler
 from ..optimizer.feedback import QueryFeedback, measure
 from ..query.translate import CompiledQuery, translate
-from ..sql.ast import ColumnRef
 from ..sql.binder import bind
-from ..sql.expressions import evaluate
 from ..sql.params import ParamValues, normalize_sql
 from ..sql.parser import parse
-from ..sql.result_clauses import make_result_resolver, result_row_index
 from ..storage.catalog import Catalog
 from ..storage.csv_loader import load_dataframe, load_table
 from ..storage.schema import Schema
 from ..storage.table import Table
+from ..xcution.finalize import finalize_result
 from ..xcution.plan import EngineConfig, PhysicalPlan, build_plan
 from ..xcution.stats import ExecutionStats
 from ..xcution.yannakakis import RawResult, execute_plan
@@ -245,11 +242,20 @@ class LevelHeadedEngine:
         profile: bool = False,
         timeout_ms: Optional[float] = None,
         cancel_token: Optional[CancelToken] = None,
+        partial: bool = False,
+        query_id: Optional[str] = None,
     ) -> ResultTable:
-        """Execute a compiled plan and decode its result."""
+        """Execute a compiled plan and decode its result.
+
+        ``partial=True`` skips result finalization and returns raw
+        partial aggregates (shard-worker mode; see
+        :mod:`repro.xcution.finalize`).  ``query_id`` overrides the
+        minted correlation id so a coordinator can stamp one id end to
+        end across every shard's flight entry.
+        """
         token = self._make_token(timeout_ms, cancel_token)
         tracer = Tracer() if trace else NULL_TRACER
-        query_id = next_query_id()
+        query_id = query_id or next_query_id()
         entry = self.inflight.register(
             query_id, None, session=current_admission_session()
         )
@@ -274,6 +280,7 @@ class LevelHeadedEngine:
                     slot=slot,
                     query_id=query_id,
                     inflight=entry,
+                    partial=partial,
                 )
         except BaseException as exc:
             self._note_query_failure(exc, entry)
@@ -292,6 +299,8 @@ class LevelHeadedEngine:
         profile: bool = False,
         timeout_ms: Optional[float] = None,
         cancel_token: Optional[CancelToken] = None,
+        partial: bool = False,
+        query_id: Optional[str] = None,
     ) -> ResultTable:
         """Run one SQL query end to end.
 
@@ -316,6 +325,10 @@ class LevelHeadedEngine:
         any thread).  With a governor attached, the query first acquires
         an admission slot (and its share of the global memory budget) --
         see :class:`~repro.core.governor.Governor`.
+
+        ``partial=True`` returns raw partial aggregates without
+        finalization (shard-worker mode) and ``query_id`` overrides the
+        minted correlation id -- see :meth:`execute`.
         """
         cfg = config or self.config
         if params is not None:
@@ -326,6 +339,8 @@ class LevelHeadedEngine:
                 profile=profile,
                 timeout_ms=timeout_ms,
                 cancel_token=cancel_token,
+                partial=partial,
+                query_id=query_id,
             )
         token = self._make_token(timeout_ms, cancel_token)
         cached = self.governor is not None and self.plan_cache.peek(
@@ -338,7 +353,7 @@ class LevelHeadedEngine:
             if (trace or token is not None or self._forces_trace())
             else NULL_TRACER
         )
-        query_id = next_query_id()
+        query_id = query_id or next_query_id()
         entry = self.inflight.register(
             query_id, sql, session=current_admission_session()
         )
@@ -376,6 +391,7 @@ class LevelHeadedEngine:
                     cache_key=key,
                     query_id=query_id,
                     inflight=entry,
+                    partial=partial,
                 )
         except BaseException as exc:
             self._note_query_failure(exc, entry)
@@ -614,8 +630,10 @@ class LevelHeadedEngine:
         ``what`` selects the view the ``/debug/*`` HTTP endpoints and
         the ``debug`` wire frame expose: ``queries`` (in-flight),
         ``flight`` (the recorder ring; ``n`` and ``outcome`` filter),
-        ``plans`` (plan-cache entries + feedback drift state), or
-        ``governor`` (slots, queue, per-session shares).
+        ``plans`` (plan-cache entries + feedback drift state),
+        ``governor`` (slots, queue, per-session shares), or ``metrics``
+        (the engine's counter/gauge/histogram registry -- the view a
+        shard coordinator aggregates across workers).
         """
         if what == "queries":
             return {"count": len(self.inflight), "queries": self.inflight.snapshot()}
@@ -638,9 +656,32 @@ class LevelHeadedEngine:
                     self.governor.snapshot() if self.governor is not None else None
                 )
             }
+        if what == "metrics":
+            return {"metrics": self.metrics.as_dict()}
         raise ReproError(
-            f"unknown debug view {what!r} (one of: queries, flight, plans, governor)"
+            f"unknown debug view {what!r} "
+            f"(one of: queries, flight, plans, governor, metrics)"
         )
+
+    def debug(
+        self, what: str, n: Optional[int] = None, outcome: Optional[str] = None
+    ) -> Dict[str, object]:
+        """:meth:`debug_snapshot` under the unified QuerySurface name.
+
+        Every topology behind ``repro.connect()`` -- this engine, the
+        remote client, the shard coordinator -- answers ``debug(what)``
+        with the same view names.
+        """
+        return self.debug_snapshot(what, n=n, outcome=outcome)
+
+    def close(self) -> None:
+        """Release surface resources (a no-op for the in-process engine).
+
+        Part of the QuerySurface contract: remote clients close their
+        socket, shard coordinators stop their workers, and the engine has
+        nothing to tear down -- callers can ``close()`` whatever
+        ``repro.connect()`` returned without caring which topology it is.
+        """
 
     # -- internal query machinery ---------------------------------------------
 
@@ -719,6 +760,7 @@ class LevelHeadedEngine:
         cache_key: Optional[Tuple] = None,
         query_id: str = "",
         inflight: Optional[InflightQuery] = None,
+        partial: bool = False,
     ) -> ResultTable:
         tracer = tracer or NULL_TRACER
         stats: Optional[ExecutionStats] = None
@@ -793,7 +835,10 @@ class LevelHeadedEngine:
         if inflight is not None:
             inflight.phase = "decode"
         with tracer.span("decode"):
-            result = self._decode(plan.compiled, plan, raw)
+            if partial:
+                result = self._decode_partial(plan.compiled, plan, raw)
+            else:
+                result = self._decode(plan.compiled, plan, raw)
         execute_seconds = time.perf_counter() - t0
         _, drifted = self._record_feedback(plan, stats, cache_key)
         if collect_stats:
@@ -1017,72 +1062,46 @@ class LevelHeadedEngine:
     def _decode(
         self, compiled: CompiledQuery, plan: PhysicalPlan, raw: RawResult
     ) -> ResultTable:
-        matrix = raw.matrix
-        # a grand aggregate over zero matching tuples still emits one
-        # row, each cell holding its aggregate's identity (COUNT/SUM ->
-        # 0, MIN/MAX -> NaN: no rows means no extremum, and the engine
-        # has no NULLs).
-        if matrix.shape[0] == 0 and not raw.group_layout:
-            funcs = {a.id: a.func for a in compiled.aggregates}
-            matrix = np.array(
-                [[_aggregate_identity(funcs.get(agg_id)) for agg_id in raw.agg_ids]],
-                dtype=np.float64,
-            ).reshape(1, len(raw.agg_ids))
-        n_rows = matrix.shape[0]
+        key_env, agg_columns, n_rows = self._decode_env(compiled, plan, raw)
+        return finalize_result(compiled, key_env, agg_columns, n_rows)
 
-        env: Dict[str, np.ndarray] = {}
+    def _decode_env(
+        self, compiled: CompiledQuery, plan: PhysicalPlan, raw: RawResult
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], int]:
+        """Decode a raw result into (group-key env, raw agg columns, rows).
+
+        Group keys come back decoded through their dictionaries; the
+        aggregate columns stay raw float64 (COUNT's int cast, the
+        identity fill, and the output expressions are finalization --
+        :func:`~repro.xcution.finalize.finalize_result`).
+        """
+        key_env: Dict[str, np.ndarray] = {}
         for position, (kind, ref) in enumerate(raw.group_layout):
-            env[ref] = self._decode_component(
+            key_env[ref] = self._decode_component(
                 compiled, plan, raw, kind, ref, raw.key_columns[position]
             )
-        count_ids = {a.id for a in compiled.aggregates if a.func == "count"}
-        for a_idx, agg_id in enumerate(raw.agg_ids):
-            column = matrix[:, a_idx]
-            if agg_id in count_ids:
-                column = np.rint(column).astype(np.int64)
-            env[agg_id] = column
+        agg_columns: Dict[str, np.ndarray] = {
+            agg_id: raw.matrix[:, a_idx] for a_idx, agg_id in enumerate(raw.agg_ids)
+        }
+        return key_env, agg_columns, raw.matrix.shape[0]
 
-        def resolve(ref: ColumnRef):
-            try:
-                return env[ref.name]
-            except KeyError:
-                raise ExecutionError(f"unresolved output reference '{ref.name}'") from None
+    def _decode_partial(
+        self, compiled: CompiledQuery, plan: PhysicalPlan, raw: RawResult
+    ) -> ResultTable:
+        """Shard-worker decode: decoded group keys + raw partial aggregates.
 
-        names: List[str] = []
-        columns: List[np.ndarray] = []
-        for name, expr in compiled.output_columns:
-            value = evaluate(expr, resolve)
-            arr = np.asarray(value)
-            if arr.ndim == 0:
-                arr = np.full(n_rows, value)
-            names.append(name)
-            columns.append(arr)
-
-        env_for_clauses = env
-        if compiled.row_multiplicity_aggregate is not None:
-            counts = np.rint(env[compiled.row_multiplicity_aggregate]).astype(np.int64)
-            columns = [np.repeat(column, counts) for column in columns]
-            env_for_clauses = {}  # group-level refs are gone post-expansion
-
-        if (
-            compiled.having is not None
-            or compiled.order_keys
-            or compiled.limit is not None
-        ):
-            outputs = dict(zip(names, columns))
-            # ORDER BY/LIMIT on a degenerate empty column list: nothing
-            # to index, so there are zero result rows to reorder.
-            n_final = int(columns[0].shape[0]) if columns else 0
-            index = result_row_index(
-                make_result_resolver(env_for_clauses, outputs),
-                n_final,
-                compiled.having,
-                compiled.order_keys,
-                compiled.limit,
-            )
-            if index is not None and columns:
-                columns = [column[index] for column in columns]
-
+        The returned table's columns are the group-key refs (decoded, so
+        the coordinator merges on values, never on shard-local dictionary
+        codes) followed by the aggregate slot ids as float64 partials.
+        No identity fill, no COUNT cast, no output expressions, no
+        HAVING/ORDER BY/LIMIT -- the coordinator applies those once,
+        after the semiring merge.
+        """
+        key_env, agg_columns, _ = self._decode_env(compiled, plan, raw)
+        names = list(key_env) + list(agg_columns)
+        columns = list(key_env.values()) + [
+            np.asarray(c, dtype=np.float64) for c in agg_columns.values()
+        ]
         return ResultTable(names, columns)
 
     def _decode_component(self, compiled, plan, raw, kind, ref, column):
@@ -1107,10 +1126,3 @@ class LevelHeadedEngine:
         if dictionary is not None:
             return dictionary.decode(np.asarray(column, dtype=np.int64))
         return np.asarray(column)
-
-
-def _aggregate_identity(func: Optional[str]) -> float:
-    """The zero-row value of one aggregate (COUNT is int-cast later)."""
-    if func in ("min", "max"):
-        return float("nan")
-    return 0.0

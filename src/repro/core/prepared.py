@@ -120,6 +120,8 @@ class PreparedStatement:
         profile: bool = False,
         timeout_ms: Optional[float] = None,
         cancel_token: Optional[CancelToken] = None,
+        partial: bool = False,
+        query_id: Optional[str] = None,
     ):
         """Run the statement with ``params`` bound to its placeholders.
 
@@ -147,7 +149,7 @@ class PreparedStatement:
             if (trace or token is not None or engine._forces_trace())
             else NULL_TRACER
         )
-        query_id = next_query_id()
+        query_id = query_id or next_query_id()
         entry = engine.inflight.register(
             query_id, self.sql, session=current_admission_session()
         )
@@ -186,6 +188,7 @@ class PreparedStatement:
                     cache_key=key,
                     query_id=query_id,
                     inflight=entry,
+                    partial=partial,
                 )
         except BaseException as exc:
             engine._note_query_failure(exc, entry)

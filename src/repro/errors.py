@@ -56,6 +56,24 @@ class PlanningError(ReproError):
     """The query compiler failed to produce a GHD-based plan."""
 
 
+class UnsupportedOnTopology(ReproError):
+    """A query-surface option is not supported by this topology.
+
+    The unified ``repro.connect()`` surface spans three topologies --
+    in-process engine, remote ``tcp://`` client, sharded ``shard://``
+    coordinator -- with identical ``query/prepare/explain/submit/debug``
+    signatures.  Options that cannot be honored on a given topology
+    (e.g. ``config=`` overrides or ``profile=`` over the wire) raise
+    this error instead of being silently dropped, so callers never get
+    an answer computed under different settings than they asked for.
+    """
+
+    def __init__(self, message: str, option: str = "", topology: str = ""):
+        super().__init__(message)
+        self.option = option
+        self.topology = topology
+
+
 class ExecutionError(ReproError):
     """A physical plan failed during execution."""
 
@@ -153,6 +171,7 @@ _CODE_BY_CLASS = {
     BindError: "bind",
     SchemaError: "schema",
     UnsupportedQueryError: "unsupported",
+    UnsupportedOnTopology: "unsupported_topology",
     PlanningError: "planning",
     QueryTimeoutError: "timeout",
     QueryCancelledError: "cancelled",
@@ -169,6 +188,7 @@ _CLASS_BY_CODE = {code: cls for cls, code in _CODE_BY_CLASS.items()}
 #: 1:1 onto constructor keywords of the matching class).
 _WIRE_FIELDS = {
     "parse": ("position",),
+    "unsupported_topology": ("option", "topology"),
     "timeout": ("timeout_ms", "elapsed_ms"),
     "cancelled": ("reason",),
     "oom": ("requested_bytes", "budget_bytes"),

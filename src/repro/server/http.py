@@ -14,8 +14,9 @@ seconds; they are telemetry, not traffic worth a log line each).
   governor, and plan-cache gauges; the status flips to ``overloaded``
   when the admission queue is full.  Load balancers and the CI server
   job poll it to know the process is up.
-* ``/debug/queries``, ``/debug/flight``, ``/debug/plans``, and
-  ``/debug/governor`` expose the engine's live-introspection snapshots
+* ``/debug/queries``, ``/debug/flight``, ``/debug/plans``,
+  ``/debug/governor``, and ``/debug/metrics`` expose the engine's
+  live-introspection snapshots
   (:meth:`~repro.core.engine.LevelHeadedEngine.debug_snapshot`) as
   JSON.  Every payload is built from an atomic snapshot under the
   owning lock, so a scrape taken while queries are in flight never
@@ -38,7 +39,7 @@ __all__ = ["MetricsHTTPServer"]
 
 logger = logging.getLogger("repro.server.http")
 
-_DEBUG_VIEWS = ("queries", "flight", "plans", "governor")
+_DEBUG_VIEWS = ("queries", "flight", "plans", "governor", "metrics")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -48,8 +49,11 @@ class _Handler(BaseHTTPRequestHandler):
         owner: "MetricsHTTPServer" = self.server.owner  # type: ignore[attr-defined]
         path, _, query = self.path.partition("?")
         if path == "/metrics":
-            body = owner.engine.metrics.to_prometheus().encode("utf-8")
-            self._reply(200, "text/plain; version=0.0.4; charset=utf-8", body)
+            # a shard coordinator overrides the plain registry render
+            # with one that folds in per-worker counters
+            render = getattr(owner.engine, "metrics_prometheus", None)
+            text = render() if callable(render) else owner.engine.metrics.to_prometheus()
+            self._reply(200, "text/plain; version=0.0.4; charset=utf-8", text.encode("utf-8"))
         elif path == "/healthz":
             self._reply_json(200, owner.health())
         elif path.startswith("/debug/"):
@@ -128,6 +132,16 @@ class MetricsHTTPServer:
             }
             if snap["waiting"] >= snap["max_queue"] > 0:
                 payload["status"] = "overloaded"
+        # per-shard liveness: a coordinator-backed engine reports every
+        # worker; one dead or unresponsive worker degrades the whole
+        # surface ("degraded" trumps "overloaded" -- capacity is *gone*,
+        # not merely saturated)
+        liveness = getattr(self.engine, "shard_liveness", None)
+        if callable(liveness):
+            shards = liveness()
+            payload["shards"] = shards
+            if any(not shard.get("alive") for shard in shards):
+                payload["status"] = "degraded"
         return payload
 
     def start(self) -> Tuple[str, int]:

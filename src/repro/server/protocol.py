@@ -12,24 +12,29 @@ reason: a billion-row result never materializes as one frame.
 Request types (client -> server)::
 
     hello      {version, client?}               -- must be first
-    query      {qid, sql, params?, timeout_ms?, explain?, trace?}
+    query      {qid, sql, params?, timeout_ms?, explain?, trace?,
+                collect_stats?, partial?, query_id?}
     prepare    {sql}
-    execute    {qid, stmt, params?, timeout_ms?, trace?}
+    execute    {qid, stmt, params?, timeout_ms?, trace?,
+                collect_stats?, partial?, query_id?}
     cancel     {qid, reason?}
     close_stmt {stmt}
     close      {}
     debug      {what, n?, outcome?}
+    register_partition {table, seq, last, columns,
+                        schema?, dtypes?}       -- schema/dtypes on seq 0
 
 Response types (server -> client)::
 
     hello         {version, server, session, batch_rows, join_strategy}
     result_header {qid, names, dtypes}
     batch         {qid, rows}                   -- row-major, <= batch_rows
-    done          {qid, rows, elapsed_ms, query_id?, trace?}
+    done          {qid, rows, elapsed_ms, query_id?, stats?, trace?}
     explain       {qid, text}
     prepared      {stmt, params}
     closed        {stmt}
     debug         {what, data}
+    registered    {table, seq, complete, rows?}
     error         {qid?, error: {code, message, query_id?, ...}}
     bye           {}
 
@@ -47,8 +52,22 @@ tree.  Both fields are backward-compatible: old clients omit ``trace``
 (nothing is traced), old servers ignore it (the client still gets its
 result, just without the server tree).  ``debug`` requests one of the
 engine's live-introspection snapshots (``queries`` / ``flight`` /
-``plans`` / ``governor`` -- the same payloads the HTTP sidecar serves
-under ``/debug/*``).
+``plans`` / ``governor`` / ``metrics`` -- the same payloads the HTTP
+sidecar serves under ``/debug/*``).
+
+The shard-coordinator extensions stay within the same frame grammar:
+``collect_stats`` asks the server to attach the execution counters
+(:meth:`repro.xcution.stats.ExecutionStats.as_dict`) to the ``done``
+frame, ``partial`` runs the query in shard-worker mode (decoded group
+keys + raw partial aggregates, no finalization -- see
+:mod:`repro.xcution.finalize`), and ``query_id`` overrides the
+server-minted correlation id so one id spans the coordinator and every
+shard's flight entry.  ``register_partition`` uploads one table slice
+as a chunk sequence (bounded by the frame limit like everything else);
+``schema`` is the persisted-catalog attribute form
+(:func:`repro.storage.persist.attribute_to_dict`) and ``dtypes`` maps
+column names to ``np.dtype.str`` tags so the receiver rebuilds
+byte-identical columns.
 """
 
 from __future__ import annotations

@@ -183,6 +183,24 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 str(frame.get("reason", "cancelled by client")),
             )
             return True
+        if kind == "register_partition":
+            try:
+                table = session.ingest_partition_chunk(frame)
+                if table is not None:
+                    server.engine.register_table(table)
+                    server.engine.metrics.inc("server_partitions_registered")
+                self._send(
+                    {
+                        "type": "registered",
+                        "table": frame.get("table"),
+                        "seq": frame.get("seq"),
+                        "complete": table is not None,
+                        "rows": table.num_rows if table is not None else None,
+                    }
+                )
+            except ReproError as exc:
+                self._send(error_frame(exc))
+            return True
         if kind == "close_stmt":
             self._send(
                 {"type": "closed", "stmt": frame.get("stmt"),
@@ -246,6 +264,9 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
             trace_ctx = frame.get("trace")
             if not isinstance(trace_ctx, dict):
                 trace_ctx = None
+            partial = bool(frame.get("partial"))
+            collect_stats = bool(frame.get("collect_stats"))
+            query_id = frame.get("query_id") or None
             with admission_scope(session.id):
                 if frame.get("explain"):
                     text = engine.explain(frame.get("sql", ""), params=params)
@@ -254,12 +275,16 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 if frame["type"] == "execute":
                     statement = session.statement(frame.get("stmt", -1))
                     result = statement.execute(
-                        params, cancel_token=token, trace=trace_ctx is not None
+                        params, cancel_token=token, trace=trace_ctx is not None,
+                        collect_stats=collect_stats, partial=partial,
+                        query_id=query_id,
                     )
                 else:
                     result = engine.query(
                         frame.get("sql", ""), params=params, cancel_token=token,
                         trace=trace_ctx is not None,
+                        collect_stats=collect_stats, partial=partial,
+                        query_id=query_id,
                     )
             self._stream_result(server, qid, result, t0, trace_ctx)
         except ReproError as exc:
@@ -299,6 +324,8 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
         }
         if getattr(result, "query_id", None):
             done["query_id"] = result.query_id
+        if getattr(result, "stats", None) is not None:
+            done["stats"] = result.stats.as_dict()
         if trace_ctx is not None and result.trace is not None:
             # adopt the client's trace context: the served span tree goes
             # back tagged with the client-minted trace_id so the client

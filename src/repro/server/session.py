@@ -20,9 +20,14 @@ import threading
 import time
 from typing import Dict, Optional
 
+import numpy as np
+
 from ..core.governor import CancelToken
 from ..core.prepared import PreparedStatement
-from ..errors import ReproError
+from ..errors import ReproError, SchemaError
+from ..storage.persist import attribute_from_dict
+from ..storage.schema import Schema
+from ..storage.table import Table
 
 __all__ = ["Session"]
 
@@ -39,6 +44,9 @@ class Session:
         self._statements: Dict[int, PreparedStatement] = {}
         self._next_stmt = 1
         self._inflight: Dict[int, CancelToken] = {}
+        #: in-progress ``register_partition`` uploads, keyed by table
+        #: name: schema + accumulated column chunks until ``last``.
+        self._partitions: Dict[str, Dict] = {}
         self._closed = False
         #: queries this session started (reported at close).
         self.queries = 0
@@ -78,6 +86,57 @@ class Session:
     def inflight(self) -> int:
         with self._lock:
             return len(self._inflight)
+
+    # -- partition ingest -------------------------------------------------------
+
+    def ingest_partition_chunk(self, frame: Dict) -> Optional[Table]:
+        """Buffer one ``register_partition`` chunk; a Table when complete.
+
+        A table upload is a sequence of chunks (``seq`` 0, 1, ...; the
+        first carries the schema and per-column dtype tags) ending with
+        ``last: true``.  Chunks accumulate session-side; on the last one
+        the columns are assembled into a :class:`Table` with its exact
+        dtypes and the buffer is dropped.  Returns None for
+        intermediate chunks.  A broken upload (bad sequence, unknown
+        dtype) raises and discards the buffer, so a retry can restart
+        from chunk 0.
+        """
+        name = str(frame.get("table", ""))
+        if not name:
+            raise ReproError("register_partition frame needs a table name")
+        seq = frame.get("seq", 0)
+        with self._lock:
+            if self._closed:
+                raise ReproError("session is closed")
+            state = self._partitions.get(name)
+            try:
+                if state is None:
+                    if seq != 0:
+                        raise ReproError(
+                            f"partition upload for {name!r} must start at seq 0"
+                        )
+                    state = {
+                        "schema": frame.get("schema"),
+                        "dtypes": frame.get("dtypes") or {},
+                        "columns": {},
+                        "seq": 0,
+                    }
+                    self._partitions[name] = state
+                if seq != state["seq"]:
+                    raise ReproError(
+                        f"partition chunk out of order for {name!r}: "
+                        f"got seq {seq}, expected {state['seq']}"
+                    )
+                state["seq"] += 1
+                for column, values in (frame.get("columns") or {}).items():
+                    state["columns"].setdefault(column, []).extend(values)
+                if not frame.get("last"):
+                    return None
+                state = self._partitions.pop(name)
+            except Exception:
+                self._partitions.pop(name, None)
+                raise
+        return _assemble_partition(name, state)
 
     # -- prepared statements ---------------------------------------------------
 
@@ -140,3 +199,32 @@ class Session:
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
         return f"Session({self.id}, peer={self.peer!r}, {state})"
+
+
+def _assemble_partition(name: str, state: Dict) -> Table:
+    """Rebuild a Table from accumulated ``register_partition`` chunks.
+
+    Columns are rebuilt with the *exact* dtype the sender recorded
+    (``np.dtype.str`` round-trips through JSON), so a shipped partition
+    is structurally identical to the sender's slice -- dictionary
+    coding, dense-matrix detection, and BLAS routing behave on the
+    worker exactly as they would have on the coordinator.
+    """
+    schema_dicts = state.get("schema")
+    if not isinstance(schema_dicts, list) or not schema_dicts:
+        raise SchemaError(f"partition upload for {name!r} carried no schema")
+    attributes = [attribute_from_dict(d) for d in schema_dicts]
+    dtypes = state.get("dtypes") or {}
+    columns = {}
+    for attribute in attributes:
+        values = state["columns"].get(attribute.name, [])
+        tag = dtypes.get(attribute.name)
+        try:
+            dtype = np.dtype(tag) if tag else None
+        except TypeError as exc:
+            raise SchemaError(
+                f"partition upload for {name!r}: bad dtype {tag!r} "
+                f"for column {attribute.name!r}"
+            ) from exc
+        columns[attribute.name] = np.array(values, dtype=dtype)
+    return Table(Schema(name, attributes), columns)

@@ -1,0 +1,176 @@
+"""Semiring-aware merge of per-shard partial results.
+
+Workers execute in *partial* mode: each returns decoded group-key
+columns plus raw float64 aggregate partials (see
+:meth:`LevelHeadedEngine._decode_partial`), with none of the result
+finalization applied.  The coordinator's job is the classic
+distributed-aggregation fold:
+
+* ``SUM`` / ``COUNT`` partials **add** across shards (``AVG`` was
+  already rewritten to a SUM/COUNT pair at translation time, so it
+  merges for free and divides during finalization);
+* ``MIN`` / ``MAX`` partials take the elementwise extremum;
+* LA results *are* SUM aggregations under the (+, *) semiring --
+  a matrix product's output tile is the union of per-shard tiles with
+  coincident (i, j) entries summed -- so they ride the same path.
+
+Groups are keyed by their decoded values (never shard-local dictionary
+codes) and the merged table is ordered by sorted key tuples, which is
+deterministic regardless of shard count or arrival order.  The caller
+then applies :func:`repro.xcution.finalize.finalize_result` exactly
+once -- the same code path a single-process run takes after executing
+locally -- which is what makes sharded answers byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.result import ResultTable
+from ..errors import ExecutionError
+from ..xcution.stats import ExecutionStats
+
+__all__ = ["MERGEABLE_FUNCS", "merge_partials", "merge_shard_stats"]
+
+#: aggregate functions with a shard-mergeable partial form.  Anything
+#: outside this set routes the query away from scatter execution.
+MERGEABLE_FUNCS = frozenset({"sum", "count", "min", "max"})
+
+
+def _merge_value(func: Optional[str], old: float, new: float) -> float:
+    if func == "min":
+        return new if new < old else old
+    if func == "max":
+        return new if new > old else old
+    # sum / count (and the semiring + of LA annotations)
+    return old + new
+
+
+def _decoded_dtype(compiled, plan, ref):
+    """The dtype a *local* decode would give group-key column ``ref``.
+
+    Wire partials lose numpy dtype width (strings travel as JSON), but a
+    local run decodes keys by fancy-indexing the domain dictionary, so
+    its columns inherit the dictionary array's dtype (e.g. ``<U7`` for a
+    nation-name dictionary whose widest value is ``'GERMANY'``).  The
+    coordinator holds the very same catalog the plan compiled against,
+    so it can recover that dtype exactly; ``None`` when ``ref`` has no
+    dictionary (plain numeric keys keep their wire dtype).
+    """
+    bound = compiled.bound
+    try:
+        vertex = bound.vertex(ref)
+    except KeyError:
+        vertex = None
+    if vertex is not None:
+        alias, attr_name = vertex.members[0]
+        dictionary = bound.tables[alias]._domain_dictionary(attr_name)
+        return None if dictionary._is_identity else dictionary.values.dtype
+    if plan is not None and plan.root is not None:
+        for fetcher in plan.root.group_fetchers + plan.root.deferred_fetchers:
+            if fetcher.ref_id == ref and fetcher.dictionary is not None:
+                return fetcher.dictionary.values.dtype
+    return None
+
+
+def merge_partials(
+    compiled, partials: List[ResultTable], plan=None
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], int]:
+    """Fold per-shard partial tables into one final aggregate state.
+
+    Returns ``(key_env, agg_columns, n_rows)`` in exactly the shape
+    :meth:`LevelHeadedEngine._decode_env` produces locally, ready for
+    :func:`~repro.xcution.finalize.finalize_result`.  ``plan`` (the
+    coordinator's compiled physical plan) lets string key columns be
+    rebuilt with their dictionary's native dtype -- see
+    :func:`_decoded_dtype`.
+    """
+    funcs = {a.id: a.func for a in compiled.aggregates}
+    tables = [p for p in partials if p is not None]
+    if not tables:
+        raise ExecutionError("shard merge received no partial results")
+    names = tables[0].names
+    for other in tables[1:]:
+        if other.names != names:
+            raise ExecutionError(
+                f"shard partials disagree on layout: {other.names} vs {names}"
+            )
+    key_names = [n for n in names if n not in funcs]
+    agg_names = [n for n in names if n in funcs]
+
+    groups: Dict[Tuple, List[float]] = {}
+    for table in tables:
+        key_cols = [np.asarray(table.columns[n]) for n in key_names]
+        agg_cols = [np.asarray(table.columns[n], dtype=np.float64) for n in agg_names]
+        for i in range(table.num_rows):
+            key = tuple(col[i] for col in key_cols)
+            row = [float(col[i]) for col in agg_cols]
+            have = groups.get(key)
+            if have is None:
+                groups[key] = row
+            else:
+                for j, name in enumerate(agg_names):
+                    have[j] = _merge_value(funcs.get(name), have[j], row[j])
+
+    ordered = sorted(groups)
+    n_rows = len(ordered)
+    key_env: Dict[str, np.ndarray] = {}
+    for position, name in enumerate(key_names):
+        source = np.asarray(tables[0].columns[name])
+        values = [key[position] for key in ordered]
+        native = _decoded_dtype(compiled, plan, name)
+        if source.dtype != object:
+            key_env[name] = np.array(
+                values, dtype=native if native is not None else source.dtype
+            )
+        else:
+            # wire-decoded string columns arrive as object arrays;
+            # rebuild with the dictionary's dtype like a local decode does
+            strings = [str(v) for v in values]
+            key_env[name] = (
+                np.array(strings, dtype=native)
+                if native is not None
+                else np.array(strings)
+            )
+    agg_columns: Dict[str, np.ndarray] = {
+        name: np.array([groups[key][j] for key in ordered], dtype=np.float64)
+        for j, name in enumerate(agg_names)
+    }
+    return key_env, agg_columns, n_rows
+
+
+#: per-shard counters that must NOT sum into the coordinator's stats:
+#: each worker runs its own plan cache, but the caller sees exactly one
+#: compile -- the coordinator's -- so only its outcome may count.
+_LOCAL_ONLY_FIELDS = (
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "plan_cache_invalidations",
+    "plan_reoptimizations",
+)
+
+
+def merge_shard_stats(
+    merged: ExecutionStats, shard_stats: List[Optional[ExecutionStats]]
+) -> ExecutionStats:
+    """Fold worker ExecutionStats into ``merged`` (coordinator's), in order.
+
+    Counter fields sum, q-error fields take the max, per-node row maps
+    add up -- :meth:`ExecutionStats.merge` semantics -- except the
+    plan-cache outcome counters, which are stripped: the coordinator
+    compiled (or cache-hit) the plan exactly once and already noted it.
+    """
+    for stats in shard_stats:
+        if stats is None:
+            continue
+        cleaned = ExecutionStats.from_dict(
+            {
+                k: v
+                for k, v in stats.as_dict().items()
+                if k not in _LOCAL_ONLY_FIELDS
+            }
+        )
+        merged.merge(cleaned)
+    return merged

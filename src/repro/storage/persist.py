@@ -44,6 +44,12 @@ def _attribute_from_dict(data: Dict) -> Attribute:
         raise SchemaError(f"malformed attribute entry: {data}") from exc
 
 
+#: public names for the schema <-> dict codec: the ``register_partition``
+#: wire frame ships table schemas in exactly the persisted-catalog form.
+attribute_to_dict = _attribute_to_dict
+attribute_from_dict = _attribute_from_dict
+
+
 def save_catalog(catalog: Catalog, directory: str, delimiter: str = "|") -> None:
     """Write every table of ``catalog`` to ``directory``.
 

@@ -1,0 +1,121 @@
+"""The unified query surface: one contract, three topologies, one DSN.
+
+Everything ``repro.connect()`` can return -- the in-process
+:class:`~repro.core.engine.LevelHeadedEngine`, the remote
+:class:`~repro.client.ReproClient`, the multi-process
+:class:`~repro.shard.ShardCoordinator` -- answers the same six calls
+with the same signatures:
+
+    ``query(sql, params=, collect_stats=, trace=, timeout_ms=,
+    cancel_token=, ...)``, ``prepare(sql)``, ``explain(sql, ...)``,
+    ``submit(sql, ...)``, ``debug(what, n=, outcome=)``, ``close()``
+
+Code written against this :class:`QuerySurface` protocol moves between
+topologies by changing a connection string, nothing else.  Options a
+topology genuinely cannot honor (``profile=`` over the wire, per-query
+``config=`` on a shard fleet) raise the typed
+:class:`~repro.errors.UnsupportedOnTopology` rather than being
+silently dropped.
+
+The DSN grammar (parsed by :func:`parse_dsn`):
+
+    ``local``                      in-process engine (same as no DSN)
+    ``tcp://HOST:PORT``            remote frame-protocol server
+    ``shard://local?workers=N``    N-worker shard coordinator
+    ``shard://local?workers=N&partition=DOMAIN``  explicit partition domain
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Tuple, runtime_checkable
+from urllib.parse import parse_qs, urlsplit
+
+from .errors import ReproError
+
+__all__ = ["QuerySurface", "parse_dsn", "SCHEMES"]
+
+SCHEMES = ("local", "tcp", "shard")
+
+
+@runtime_checkable
+class QuerySurface(Protocol):
+    """The topology-agnostic query contract behind ``repro.connect()``."""
+
+    def query(self, sql: str, **kwargs): ...
+
+    def prepare(self, sql: str, **kwargs): ...
+
+    def explain(self, sql: str, **kwargs): ...
+
+    def submit(self, sql: str, **kwargs): ...
+
+    def debug(self, what: str, **kwargs) -> Dict: ...
+
+    def close(self) -> None: ...
+
+
+def parse_dsn(dsn: Optional[str]) -> Tuple[str, Dict[str, object]]:
+    """Parse a connection string into ``(scheme, options)``.
+
+    ``None``/``""``/``"local"`` mean the in-process engine.  Raises
+    :class:`ReproError` on unknown schemes, malformed addresses, or
+    unrecognized query parameters -- a typo'd option must never be
+    silently ignored.
+    """
+    if dsn is None or dsn == "" or dsn == "local":
+        return "local", {}
+    if "://" not in dsn:
+        raise ReproError(
+            f"malformed connection string {dsn!r}: expected 'local', "
+            f"'tcp://HOST:PORT', or 'shard://local?workers=N'"
+        )
+    parts = urlsplit(dsn)
+    scheme = parts.scheme
+    params = {
+        name: values[-1] for name, values in parse_qs(parts.query).items()
+    }
+    if scheme == "local":
+        _reject_unknown(params, (), dsn)
+        return "local", {}
+    if scheme == "tcp":
+        if not parts.hostname or parts.port is None:
+            raise ReproError(
+                f"malformed tcp DSN {dsn!r}: expected tcp://HOST:PORT"
+            )
+        _reject_unknown(params, (), dsn)
+        return "tcp", {"host": parts.hostname, "port": parts.port}
+    if scheme == "shard":
+        if parts.netloc not in ("", "local"):
+            raise ReproError(
+                f"shard DSN {dsn!r}: only shard://local is supported "
+                f"(workers are spawned on this machine)"
+            )
+        _reject_unknown(params, ("workers", "partition", "start_method"), dsn)
+        options: Dict[str, object] = {}
+        if "workers" in params:
+            try:
+                options["workers"] = int(params["workers"])
+            except ValueError:
+                raise ReproError(
+                    f"shard DSN {dsn!r}: workers must be an integer"
+                ) from None
+            if options["workers"] < 1:
+                raise ReproError(f"shard DSN {dsn!r}: workers must be >= 1")
+        if "partition" in params:
+            options["partition"] = params["partition"]
+        if "start_method" in params:
+            options["start_method"] = params["start_method"]
+        return "shard", options
+    raise ReproError(
+        f"unknown connection scheme {scheme!r} in {dsn!r} "
+        f"(one of: {', '.join(SCHEMES)})"
+    )
+
+
+def _reject_unknown(params: Dict, allowed: Tuple[str, ...], dsn: str) -> None:
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise ReproError(
+            f"unknown DSN parameter(s) {', '.join(unknown)} in {dsn!r}"
+            + (f" (allowed: {', '.join(allowed)})" if allowed else "")
+        )

@@ -1,0 +1,115 @@
+"""Result finalization: from merged aggregate state to a ResultTable.
+
+The last stage of query execution -- identity fill for empty grand
+aggregates, COUNT's int cast, output-expression evaluation,
+row-multiplicity expansion, HAVING/ORDER BY/LIMIT -- is pure column
+algebra over *final* aggregate values.  It is split out of the engine so
+two call sites can share it byte-for-byte:
+
+* :meth:`LevelHeadedEngine._decode` finalizes a locally executed plan's
+  raw result, and
+* the :mod:`repro.shard` coordinator finalizes the semiring merge of
+  partial aggregates gathered from worker shards.
+
+Workers therefore run in *partial* mode (group keys decoded, aggregate
+columns left as raw float64 partials, none of the steps below applied),
+and the coordinator applies this exact finalization once after the
+merge -- which is what makes sharded results byte-identical to
+single-process ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..sql.ast import ColumnRef
+from ..sql.expressions import evaluate
+from ..sql.result_clauses import make_result_resolver, result_row_index
+from ..core.result import ResultTable
+
+
+def aggregate_identity(func: Optional[str]) -> float:
+    """The zero-row value of one aggregate (COUNT is int-cast later)."""
+    if func in ("min", "max"):
+        return float("nan")
+    return 0.0
+
+
+def finalize_result(
+    compiled,
+    key_env: Dict[str, np.ndarray],
+    agg_columns: Dict[str, np.ndarray],
+    n_rows: int,
+) -> ResultTable:
+    """Turn final aggregate state into the query's ResultTable.
+
+    ``key_env`` maps group-key refs (vertex names / annotation refs) to
+    decoded columns; ``agg_columns`` maps aggregate slot ids to their
+    final float64 values, in slot order.  Applies, in order: the
+    grand-aggregate identity fill, COUNT's int cast, output-expression
+    evaluation, row-multiplicity expansion, and HAVING/ORDER BY/LIMIT.
+    """
+    # a grand aggregate over zero matching tuples still emits one
+    # row, each cell holding its aggregate's identity (COUNT/SUM ->
+    # 0, MIN/MAX -> NaN: no rows means no extremum, and the engine
+    # has no NULLs).
+    if n_rows == 0 and not key_env:
+        funcs = {a.id: a.func for a in compiled.aggregates}
+        agg_columns = {
+            agg_id: np.array([aggregate_identity(funcs.get(agg_id))], dtype=np.float64)
+            for agg_id in agg_columns
+        }
+        n_rows = 1
+
+    env: Dict[str, np.ndarray] = dict(key_env)
+    count_ids = {a.id for a in compiled.aggregates if a.func == "count"}
+    for agg_id, column in agg_columns.items():
+        if agg_id in count_ids:
+            column = np.rint(column).astype(np.int64)
+        env[agg_id] = column
+
+    def resolve(ref: ColumnRef):
+        try:
+            return env[ref.name]
+        except KeyError:
+            raise ExecutionError(f"unresolved output reference '{ref.name}'") from None
+
+    names: List[str] = []
+    columns: List[np.ndarray] = []
+    for name, expr in compiled.output_columns:
+        value = evaluate(expr, resolve)
+        arr = np.asarray(value)
+        if arr.ndim == 0:
+            arr = np.full(n_rows, value)
+        names.append(name)
+        columns.append(arr)
+
+    env_for_clauses = env
+    if compiled.row_multiplicity_aggregate is not None:
+        counts = np.rint(env[compiled.row_multiplicity_aggregate]).astype(np.int64)
+        columns = [np.repeat(column, counts) for column in columns]
+        env_for_clauses = {}  # group-level refs are gone post-expansion
+
+    if (
+        compiled.having is not None
+        or compiled.order_keys
+        or compiled.limit is not None
+    ):
+        outputs = dict(zip(names, columns))
+        # ORDER BY/LIMIT on a degenerate empty column list: nothing
+        # to index, so there are zero result rows to reorder.
+        n_final = int(columns[0].shape[0]) if columns else 0
+        index = result_row_index(
+            make_result_resolver(env_for_clauses, outputs),
+            n_final,
+            compiled.having,
+            compiled.order_keys,
+            compiled.limit,
+        )
+        if index is not None and columns:
+            columns = [column[index] for column in columns]
+
+    return ResultTable(names, columns)

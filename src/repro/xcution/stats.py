@@ -118,6 +118,27 @@ class ExecutionStats:
             out[name] = dict(value) if isinstance(value, dict) else value
         return out
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExecutionStats":
+        """Rebuild stats from an :meth:`as_dict` payload (wire transport).
+
+        Unknown keys from a newer peer are ignored; missing keys keep
+        their zero defaults, so ``from_dict(s.as_dict()).as_dict() ==
+        s.as_dict()`` holds across protocol versions.
+        """
+        stats = cls()
+        for name in cls.__dataclass_fields__:
+            if name in _STR_FIELDS or name not in data:
+                continue
+            value = data[name]
+            if name == "node_rows":
+                stats.node_rows = {str(k): int(v) for k, v in dict(value).items()}
+            elif name in _MAX_FIELDS:
+                setattr(stats, name, float(value))
+            else:
+                setattr(stats, name, int(value))
+        return stats
+
     def snapshot(self) -> Dict[str, object]:
         """Current counter values (for :meth:`delta_since` span scoping)."""
         return self.as_dict()
