@@ -105,6 +105,7 @@ def connect(
     governor=None,
     join_strategy=None,
     config=None,
+    approx=None,
 ):
     """The library's front door: one :class:`QuerySurface` per topology.
 
@@ -139,6 +140,14 @@ def connect(
     (it becomes the client's default deadline).  Engine-construction
     options raise :class:`~repro.errors.UnsupportedOnTopology` there:
     the server owns its catalog and governor.
+
+    ``approx`` (or a ``?approx=`` DSN parameter; the keyword wins when
+    both appear) sets the surface's default approximate-query policy --
+    ``"never"`` / ``"allow"`` / ``"force"`` (see :mod:`repro.approx`).
+    On a local surface it becomes ``EngineConfig.approx``; on tcp it
+    becomes the client's session default, sent with every query; shard
+    surfaces raise :class:`~repro.errors.UnsupportedOnTopology` because
+    samples are not co-partitioned across workers.
     """
     from .surface import parse_dsn
 
@@ -170,15 +179,38 @@ def connect(
                 )
         from .client import ReproClient
 
-        return ReproClient(
+        client = ReproClient(
             options["host"], options["port"], default_timeout_ms=timeout_ms
         )
+        policy = approx if approx is not None else options.get("approx")
+        if policy is not None:
+            from .approx import normalize_policy
+
+            client.default_approx = normalize_policy(policy, default=None)
+        return client
 
     if join_strategy is not None:
         from dataclasses import replace
 
         base = config if config is not None else EngineConfig()
         config = replace(base, join_strategy=join_strategy)
+    policy = approx if approx is not None else options.pop("approx", None)
+    if policy is not None:
+        if scheme == "shard":
+            from .errors import UnsupportedOnTopology
+
+            raise UnsupportedOnTopology(
+                "approx= does not apply to a shard surface: catalog "
+                "samples are not co-partitioned across workers",
+                option="approx",
+                topology="shard",
+            )
+        from dataclasses import replace
+
+        from .approx import normalize_policy
+
+        base = config if config is not None else EngineConfig()
+        config = replace(base, approx=normalize_policy(policy, default=base.approx))
     if governor is None and (
         max_concurrency is not None or global_memory_budget is not None
     ):

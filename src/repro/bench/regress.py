@@ -43,6 +43,18 @@ corrected plan running slower than the base plan past the same
 ratio+delta gate -- the loop's contract is "better estimates, never a
 slower plan".
 
+Full runs also record an ``approx_compare`` section driving the
+approximate-query tier (:mod:`repro.approx`): TPC-H Q1 and Q3 run
+exact and on 1% / 10% uniform ``lineitem`` samples.  Two findings
+fail the run: the true value falling outside the reported 95%
+confidence interval on more than 5% of comparable aggregate cells
+across the seeded trials (the error bars would be lying), and -- on
+full, non ``--quick`` runs -- the 1% approximate run not reaching a
+2x speedup over exact (the whole point of answering from a sample).
+At the quick scale exact queries are already sub-millisecond, so the
+speedup finding downgrades to a warning there, like every other
+timing comparison.
+
 Finally, full runs time a ``shard_compare`` section: TPC-H Q3 on the
 pinned dataset single-process versus ``shard://local`` fleets of 1 and
 4 workers.  Row counts must agree everywhere; the 4-worker fleet must
@@ -461,6 +473,191 @@ def run_shard_compare(
     return section, regressions
 
 
+#: workloads the approx_compare section runs exact vs. sampled.
+APPROX_WORKLOAD_NAMES = ("tpch_q1", "tpch_q3")
+#: lineitem sampling fractions compared against exact.
+APPROX_FRACTIONS = (0.01, 0.1)
+#: exact/approx best-time ratio the 1% sample must reach on full runs.
+APPROX_SPEEDUP_GATE = 2.0
+#: the speedup gate only binds when exact is at least this slow: below
+#: it, per-query fixed overhead (parse, admission, decode) dominates
+#: both sides and the sample physically cannot buy a 2x.
+APPROX_GATE_MIN_EXACT_MS = 10.0
+#: share of comparable aggregate cells the 95% CI must cover.
+APPROX_COVERAGE_GATE = 0.95
+#: the sample name the section recycles (created and dropped per trial).
+_APPROX_BENCH_SAMPLE = "__bench_approx_sample"
+
+
+def _result_groups(result, group_names, agg_names) -> Dict[Tuple, Dict[str, float]]:
+    """Index a grouped result's aggregate cells by group-key tuple."""
+    columns = result.columns
+    out: Dict[Tuple, Dict[str, float]] = {}
+    for i in range(result.num_rows):
+        key = tuple(columns[name][i] for name in group_names)
+        out[key] = {name: float(columns[name][i]) for name in agg_names}
+    return out
+
+
+def run_approx_compare(
+    quick: bool,
+    best_of: int,
+    log: Callable[[str], None] = print,
+) -> Tuple[Dict[str, object], List[str]]:
+    """Exact vs. sampled TPC-H Q1/Q3 over many seeded uniform samples.
+
+    Returns ``(section, regressions)``.  For each workload and each
+    fraction, ``trials`` independently-seeded 1% / 10% uniform samples
+    of ``lineitem`` are materialized; every approximate aggregate cell
+    whose group also appears in the exact answer is checked against
+    the exact value using the result's own reported 95% half-width.
+    Two findings regress:
+
+    * pooled CI coverage below ``APPROX_COVERAGE_GATE`` for any
+      (workload, fraction) -- the error bars understate the true error;
+    * on full runs, the 1% sample not delivering
+      ``APPROX_SPEEDUP_GATE``x over exact (best-of-k both sides) --
+      enforced only where exact costs at least
+      ``APPROX_GATE_MIN_EXACT_MS``, because a query already dominated
+      by per-query fixed overhead (Q3 here: the unsampled
+      customer/orders join plus parse/admission/decode) cannot be
+      accelerated by sampling lineitem and the finding downgrades to
+      a warning.
+
+    Groups the sample misses entirely (Q3's one-row groups at 1%) have
+    no CI to check; they are counted and recorded as
+    ``dropped_groups`` but do not affect coverage -- the confidence
+    statement only exists for reported cells.
+    """
+    trials = 10 if quick else 40
+    catalog = generate_tpch(scale_factor=0.002 if quick else 0.01, seed=2018)
+    section: Dict[str, object] = {
+        "fractions": list(APPROX_FRACTIONS),
+        "trials": trials,
+        "coverage_gate": APPROX_COVERAGE_GATE,
+        "speedup_gate": {
+            "required": APPROX_SPEEDUP_GATE,
+            "fraction": APPROX_FRACTIONS[0],
+            "enforced": not quick,
+        },
+        "workloads": {},
+    }
+    regressions: List[str] = []
+    warnings_as_log: List[str] = []
+    for name in APPROX_WORKLOAD_NAMES:
+        sql = TPCH_QUERIES[name[len("tpch_"):].upper()]
+        engine = LevelHeadedEngine(catalog)
+        exact = engine.query(sql)
+        entry: Dict[str, object] = {"rows": exact.num_rows, "fractions": {}}
+
+        exact_map = None
+        for fraction in APPROX_FRACTIONS:
+            covered = total = dropped = 0
+            for trial in range(trials):
+                engine.create_sample(
+                    "lineitem", fraction, seed=3000 + trial,
+                    name=_APPROX_BENCH_SAMPLE,
+                )
+                try:
+                    approx = engine.query(sql, approx=True)
+                finally:
+                    engine.drop_sample(_APPROX_BENCH_SAMPLE)
+                meta = approx.approx
+                errors = {
+                    col: info["error"]
+                    for col, info in meta["columns"].items()
+                    if info.get("error") is not None
+                }
+                group_names = [
+                    col for col in approx.names if col not in meta["columns"]
+                ]
+                if exact_map is None:
+                    exact_map = _result_groups(exact, group_names, errors)
+                approx_map = _result_groups(approx, group_names, errors)
+                dropped += len(set(exact_map) - set(approx_map))
+                for group, cells in approx_map.items():
+                    truth = exact_map.get(group)
+                    if truth is None:
+                        continue
+                    for col, half_width in errors.items():
+                        total += 1
+                        if abs(cells[col] - truth[col]) <= half_width + 1e-9:
+                            covered += 1
+            if total == 0:
+                regressions.append(
+                    f"approx {name}@{fraction:g}: no comparable aggregate "
+                    f"cells across {trials} trials"
+                )
+                coverage = 0.0
+            else:
+                coverage = covered / total
+                if coverage < APPROX_COVERAGE_GATE:
+                    regressions.append(
+                        f"approx {name}@{fraction:g}: 95% CI covered the true "
+                        f"value on {coverage:.1%} of {total} cells, below the "
+                        f"{APPROX_COVERAGE_GATE:.0%} gate"
+                    )
+            entry["fractions"][f"{fraction:g}"] = {
+                "coverage": round(coverage, 4),
+                "cells": total,
+                "dropped_groups": dropped,
+            }
+            log(
+                f"  approx {name}@{fraction:g}: CI coverage {coverage:.1%} "
+                f"over {total} cells in {trials} trials "
+                f"({dropped} dropped group instances)"
+            )
+
+        # speedup at the smallest fraction: pinned-seed sample, both
+        # sides timed through the same query() path after a warm-up
+        engine.create_sample(
+            "lineitem", APPROX_FRACTIONS[0], seed=2018, name=_APPROX_BENCH_SAMPLE
+        )
+        try:
+            approx_rows = engine.query(sql, approx=True).num_rows
+            exact_best = time_workload(
+                Workload(f"{name}[exact]", lambda: engine.query(sql),
+                         exact.num_rows, {}),
+                best_of,
+            )["best_seconds"]
+            approx_best = time_workload(
+                Workload(f"{name}[approx]",
+                         lambda: engine.query(sql, approx=True),
+                         approx_rows, {}),
+                best_of,
+            )["best_seconds"]
+        finally:
+            engine.drop_sample(_APPROX_BENCH_SAMPLE)
+        speedup = exact_best / approx_best if approx_best > 0 else 0.0
+        entry["best_seconds"] = {"exact": exact_best, "approx": approx_best}
+        entry["speedup"] = round(speedup, 4)
+        log(
+            f"  approx {name}: exact {exact_best * 1000:.2f}ms, "
+            f"1% sample {approx_best * 1000:.2f}ms ({speedup:.2f}x)"
+        )
+        if speedup < APPROX_SPEEDUP_GATE:
+            line = (
+                f"approx {name}: 1% sample ran at {speedup:.2f}x exact, "
+                f"below the {APPROX_SPEEDUP_GATE:.0f}x gate"
+            )
+            if quick:
+                warnings_as_log.append(
+                    line + " (advisory: quick scale, fixed overheads dominate)"
+                )
+            elif exact_best * 1000.0 < APPROX_GATE_MIN_EXACT_MS:
+                warnings_as_log.append(
+                    line + f" (advisory: exact is already "
+                    f"{exact_best * 1000:.2f}ms, under the "
+                    f"{APPROX_GATE_MIN_EXACT_MS:g}ms gate floor)"
+                )
+            else:
+                regressions.append(line)
+        section["workloads"][name] = entry
+    for line in warnings_as_log:
+        log(f"  warning: {line}")
+    return section, regressions
+
+
 def _inject(run: Callable[[], object], factor: float) -> Callable[[], object]:
     """Wrap ``run`` so its wall time is multiplied by ``factor``."""
 
@@ -599,6 +796,7 @@ def run_regression(
     strategy_workloads: Optional[Tuple[str, ...]] = None,
     feedback: Optional[bool] = None,
     shard: Optional[bool] = None,
+    approx: Optional[bool] = None,
     log: Callable[[str], None] = print,
 ) -> int:
     """Run the pinned workloads, diff against the latest baseline.
@@ -618,6 +816,8 @@ def run_regression(
         feedback = workloads is None
     if shard is None:
         shard = workloads is None
+    if approx is None:
+        approx = workloads is None
     if inject_slowdown is not None and inject_slowdown not in names:
         raise SystemExit(
             f"--inject-slowdown {inject_slowdown!r} is not among {names}"
@@ -666,6 +866,13 @@ def run_regression(
         )
         document["feedback_compare"] = section
         regressions.extend(feedback_regressions)
+
+    if approx:
+        log(f"regress: approx_compare on {', '.join(APPROX_WORKLOAD_NAMES)} "
+            f"at fractions {APPROX_FRACTIONS}")
+        section, approx_regressions = run_approx_compare(quick, best_of, log)
+        document["approx_compare"] = section
+        regressions.extend(approx_regressions)
 
     if shard:
         log(f"regress: shard_compare on tpch_q3 across {SHARD_WORKER_COUNTS} workers")
@@ -752,6 +959,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     shard_group.add_argument(
         "--no-shard", dest="shard", action="store_false",
         help="skip the shard scale-out comparison section")
+    approx_group = parser.add_mutually_exclusive_group()
+    approx_group.add_argument(
+        "--approx", dest="approx", action="store_true", default=None,
+        help="force the approximate-query comparison section on")
+    approx_group.add_argument(
+        "--no-approx", dest="approx", action="store_false",
+        help="skip the approximate-query comparison section")
     args = parser.parse_args(argv)
 
     workloads = tuple(args.workloads.split(",")) if args.workloads else None
@@ -769,6 +983,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         strategy=args.strategy,
         feedback=args.feedback,
         shard=args.shard,
+        approx=args.approx,
     )
 
 

@@ -34,9 +34,15 @@ join strategy (per-GHD-node engine choice), ``\\governor [shed on|off]``
 shows the admission governor's state (or toggles load shedding),
 ``\\top`` shows the queries in flight right now plus the governor
 gauges, ``\\last [n]`` shows the newest entries of the engine's flight
-recorder (default 10), and ``\\q`` quits.  ``\\top`` and ``\\last``
-also work in the remote shell (``--connect``), served over the wire by
-the ``debug`` protocol frame.
+recorder (default 10, with error-bar summaries for approximate runs),
+``\\approx [on|off|force]`` shows or sets the session's
+approximate-query policy (``on`` lets the governor degrade overloaded
+queries to samples, ``force`` runs everything on samples -- see
+:mod:`repro.approx`), and ``\\q`` quits.  ``\\top``, ``\\last``, and
+``\\approx`` also work in the remote shell (``--connect``), the first
+two served over the wire by the ``debug`` protocol frame and the last
+as the client's session default.  ``--approx on|off|force`` sets the
+same policy for one-shot ``-e`` statements on any surface.
 """
 
 from __future__ import annotations
@@ -78,6 +84,20 @@ def _describe_schema(engine: LevelHeadedEngine, name: str) -> str:
     return "\n".join(lines)
 
 
+def _approx_summary(meta: dict) -> str:
+    """One line of error bars for an approximate result's metadata."""
+    parts = []
+    for name, info in meta.get("columns", {}).items():
+        error = info.get("error")
+        parts.append(f"{name} ±{error:.4g}" if error is not None else f"{name} (no CI)")
+    confidence = int(round(meta.get("confidence", 0.95) * 100))
+    return (
+        f"approx[{meta.get('mode', 'forced')}]: "
+        f"fraction={meta.get('fraction', 0):g} {confidence}% CI: "
+        + ("; ".join(parts) if parts else "(no aggregates)")
+    )
+
+
 def run_statement(
     engine: LevelHeadedEngine,
     sql: str,
@@ -92,6 +112,8 @@ def run_statement(
     result = engine.query(sql, trace=trace, profile=profile)
     elapsed = (time.perf_counter() - start) * 1000
     text = f"{result.to_text()}\n({result.num_rows} rows in {elapsed:.1f}ms)"
+    if getattr(result, "approx", None):
+        text += "\n" + _approx_summary(result.approx)
     if trace and result.trace is not None:
         text += "\n" + result.trace.render()
     if profile and result.profile is not None:
@@ -162,6 +184,30 @@ def _handle_feedback(engine: LevelHeadedEngine) -> str:
     return "\n".join(lines)
 
 
+#: shell spellings -> :mod:`repro.approx` policies (``on`` reads better
+#: at a prompt than ``allow``).
+_APPROX_SPELLINGS = {
+    "on": "allow", "off": "never",
+    "allow": "allow", "never": "never", "force": "force",
+}
+
+
+def _handle_approx(engine: LevelHeadedEngine, arg: str) -> str:
+    """Show or set the approximate-query policy (``\\approx [on|off|force]``)."""
+    if not arg:
+        return f"approx policy: {engine.config.approx}"
+    policy = _APPROX_SPELLINGS.get(arg)
+    if policy is None:
+        return f"error: \\approx expects on, off, or force, got {arg!r}"
+    from dataclasses import replace
+
+    try:
+        engine.config = replace(engine.config, approx=policy)
+    except ReproError as exc:  # e.g. fixed config on a shard surface
+        return f"error: {exc}"
+    return f"approx policy: {policy}"
+
+
 def _handle_governor(engine: LevelHeadedEngine, arg: str) -> str:
     """Show the admission governor (``\\governor``) or toggle shedding."""
     if engine.governor is None:
@@ -221,6 +267,18 @@ def _render_last(flight: dict) -> str:
         )
         if e.get("error"):
             lines.append(f"      error: {_one_line_sql(e['error'], 70)}")
+        approx = (e.get("annotations") or {}).get("approx")
+        if approx:
+            errors = approx.get("errors") or {}
+            bars = "; ".join(
+                f"{name} ±{error:.4g}" if error is not None else f"{name} (no CI)"
+                for name, error in errors.items()
+            )
+            lines.append(
+                f"      approx[{approx.get('mode', 'forced')}]: "
+                f"fraction={approx.get('fraction', 0):g}"
+                + (f" {bars}" if bars else "")
+            )
     return "\n".join(lines)
 
 
@@ -256,6 +314,8 @@ def _handle_line(engine: LevelHeadedEngine, line: str) -> Optional[str]:
         return _handle_strategy(engine, stripped[len("\\strategy"):].strip())
     if stripped == "\\governor" or stripped.startswith("\\governor "):
         return _handle_governor(engine, stripped[len("\\governor"):].strip())
+    if stripped == "\\approx" or stripped.startswith("\\approx "):
+        return _handle_approx(engine, stripped[len("\\approx"):].strip())
     if stripped == "\\top":
         return _render_top(
             engine.debug_snapshot("queries"), engine.debug_snapshot("governor")
@@ -297,7 +357,10 @@ def run_remote_statement(client, sql: str, explain: bool = False) -> str:
     start = time.perf_counter()
     result = client.query(sql)
     elapsed = (time.perf_counter() - start) * 1000
-    return f"{result.to_text()}\n({result.num_rows} rows in {elapsed:.1f}ms)"
+    text = f"{result.to_text()}\n({result.num_rows} rows in {elapsed:.1f}ms)"
+    if getattr(result, "approx", None):
+        text += "\n" + _approx_summary(result.approx)
+    return text
 
 
 def _remote_repl(client) -> int:
@@ -329,6 +392,18 @@ def _remote_repl(client) -> int:
             except ReproError as exc:
                 print(f"error: {exc}")
             continue
+        if stripped == "\\approx" or stripped.startswith("\\approx "):
+            arg = stripped[len("\\approx"):].strip()
+            if not arg:
+                print(f"approx policy: {client.default_approx or 'never'}")
+            else:
+                policy = _APPROX_SPELLINGS.get(arg)
+                if policy is None:
+                    print(f"error: \\approx expects on, off, or force, got {arg!r}")
+                else:
+                    client.default_approx = policy
+                    print(f"approx policy: {policy}")
+            continue
         explain = False
         if stripped.startswith("\\explain "):
             explain = True
@@ -351,7 +426,11 @@ def _remote_main(args, dsn: str) -> int:
     import repro
 
     try:
-        client = repro.connect(dsn, timeout_ms=args.timeout_ms)
+        client = repro.connect(
+            dsn,
+            timeout_ms=args.timeout_ms,
+            approx=_APPROX_SPELLINGS[args.approx] if args.approx else None,
+        )
     except (ReproError, OSError, ValueError) as exc:
         print(f"error: cannot connect to {args.connect}: {exc}", file=sys.stderr)
         return 2
@@ -502,6 +581,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--join-strategy", choices=("auto", "wcoj", "binary"), default=None,
         help="per-GHD-node engine choice (default: REPRO_JOIN_STRATEGY or auto)",
     )
+    parser.add_argument(
+        "--approx", choices=("on", "off", "force"), default=None,
+        help="approximate-query policy: on lets the governor degrade to "
+             "samples under load, force runs aggregates on samples "
+             "(override with \\approx)",
+    )
     args = parser.parse_args(argv)
 
     from .surface import parse_dsn
@@ -527,6 +612,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             timeout_ms=args.timeout_ms,
             max_concurrency=args.max_concurrency,
             global_memory_budget=args.memory_budget,
+            approx=_APPROX_SPELLINGS[args.approx] if args.approx else None,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -89,6 +89,7 @@ class RemoteStatement:
         cancel_token=None,
         partial: bool = False,
         query_id: Optional[str] = None,
+        approx=None,
     ) -> ResultTable:
         if self.closed:
             raise ReproError("prepared statement is closed")
@@ -99,6 +100,10 @@ class RemoteStatement:
             request["partial"] = True
         if query_id is not None:
             request["query_id"] = query_id
+        if approx is None:
+            approx = self._client.default_approx
+        if approx is not None:
+            request["approx"] = approx
         return self._client._run(
             request,
             params=params,
@@ -170,6 +175,10 @@ class ReproClient:
         #: the serving engine's q-error feedback policy (from hello):
         #: ``{"q_error_threshold": ..., "drift_runs": ...}``.
         self.feedback: Optional[Dict] = None
+        #: session-default approximate-query policy sent with every
+        #: query/execute when the call passes no ``approx=`` of its own
+        #: (None: leave the server's configured default in charge).
+        self.default_approx = None
         try:
             self._handshake()
         except BaseException:
@@ -190,6 +199,7 @@ class ReproClient:
         cancel_token: Optional[CancelToken] = None,
         partial: bool = False,
         query_id: Optional[str] = None,
+        approx=None,
     ) -> ResultTable:
         """Run ``sql`` on the server and return its full result.
 
@@ -207,6 +217,13 @@ class ReproClient:
         wire round-trip, and the server's own admission/compile/execute
         spans inside it, all sharing the server-minted ``query_id``
         (also on ``result.query_id``).
+
+        ``approx`` selects the approximate-query policy for this call
+        (``"never"`` / ``"allow"`` / ``"force"`` or booleans, see
+        :mod:`repro.approx`); when the server runs the query on samples
+        the error-bar metadata comes back as ``result.approx``.  Unset,
+        the client's ``default_approx`` session policy (the CLI's
+        ``\\approx``) applies.
         """
         self._reject_unsupported(config=config, profile=profile)
         request: Dict = {"type": "query", "sql": sql}
@@ -216,6 +233,10 @@ class ReproClient:
             request["partial"] = True
         if query_id is not None:
             request["query_id"] = query_id
+        if approx is None:
+            approx = self.default_approx
+        if approx is not None:
+            request["approx"] = approx
         return self._run(
             request,
             params=params, timeout_ms=timeout_ms, trace=trace,
@@ -463,6 +484,8 @@ class ReproClient:
                 if watcher_done is not None:
                     watcher_done.set()
         result.query_id = done.get("query_id")
+        if isinstance(done.get("approx"), dict):
+            result.approx = done["approx"]
         if isinstance(done.get("stats"), dict):
             stats = ExecutionStats.from_dict(done["stats"])
             stats.query_id = done.get("query_id") or ""

@@ -28,12 +28,22 @@ ordering, the relaxation rule, and BLAS routing can each be disabled.
 
 from __future__ import annotations
 
+import dataclasses
+import re
 import threading
 import time
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..approx import (
+    apply_estimation,
+    build_sample,
+    default_sample_name,
+    has_usable_sample,
+    maybe_rewrite,
+    normalize_policy,
+)
 from ..errors import (
     AdmissionError,
     OutOfMemoryBudgetError,
@@ -81,6 +91,14 @@ from .governor import (
 from .plan_cache import HIT, INVALIDATED, MISS, REOPTIMIZED, PlanCache
 from .prepared import PreparedStatement
 from .result import ResultTable
+
+#: explain(format="json") schema: 2 added the top-level ``approx`` block
+#: (schema 1 was the unversioned dict without this key).
+EXPLAIN_SCHEMA_VERSION = 2
+
+#: the textual APPROXIMATE prefix ("APPROXIMATE SELECT ...") -- detected
+#: before parsing so the plan-cache key and config reflect the policy.
+_APPROX_PREFIX = re.compile(r"^\s*approximate\b", re.IGNORECASE)
 
 
 class LevelHeadedEngine:
@@ -148,6 +166,65 @@ class LevelHeadedEngine:
 
     def table(self, name: str) -> Table:
         return self.catalog.table(name)
+
+    def replace_table(self, table: Table) -> Table:
+        """Re-register ``table`` under its existing name (new contents).
+
+        Invalidates every cached plan, trie, and prepared statement
+        built against the old rows -- and drops every materialized
+        sample of the old table (:meth:`create_sample`), since their
+        rows no longer describe the base.
+        """
+        replaced = self.catalog.replace(table)
+        self.metrics.set_gauge("sample_bytes", self.catalog.sample_bytes())
+        return replaced
+
+    # -- approximate query processing (repro.approx) -----------------------------
+
+    def create_sample(
+        self,
+        table: Union[str, Table],
+        fraction: float,
+        kind: str = "uniform",
+        strata=(),
+        seed: int = 0,
+        name: Optional[str] = None,
+    ) -> Table:
+        """Materialize a deterministic sample of ``table`` into the catalog.
+
+        The sample is a first-class catalog table (queryable by name,
+        persisted by :func:`repro.storage.persist.save_catalog`) tied to
+        the exact base-table object it was drawn from: replacing the
+        base (:meth:`replace_table`) drops its samples.  ``kind`` is
+        ``"uniform"`` (seeded Bernoulli row selection) or
+        ``"stratified"`` (per-group sampling over ``strata`` columns,
+        preserving every stratum key).  Identical arguments always
+        produce a byte-identical sample.
+        """
+        base = table if isinstance(table, str) else table.name
+        base_table = self.catalog.table(base)
+        sample_name = name or default_sample_name(base, fraction, kind)
+        sample = build_sample(
+            base_table, sample_name, fraction,
+            kind=kind, strata=tuple(strata), seed=seed,
+        )
+        self.catalog.register_sample(
+            sample, base=base, fraction=fraction,
+            kind=kind, strata=tuple(strata), seed=seed,
+        )
+        self.metrics.inc("samples_created")
+        self.metrics.set_gauge("sample_bytes", self.catalog.sample_bytes())
+        return sample
+
+    def drop_sample(self, name: str):
+        """Drop one materialized sample by its sample-table name."""
+        meta = self.catalog.drop_sample(name)
+        self.metrics.set_gauge("sample_bytes", self.catalog.sample_bytes())
+        return meta
+
+    def samples(self) -> List[Dict]:
+        """Metadata for every registered sample, JSON-ready."""
+        return [meta.as_dict() for meta in self.catalog.samples.values()]
 
     def register_matrix(
         self,
@@ -231,8 +308,15 @@ class LevelHeadedEngine:
         Always compiles fresh (no cache) -- use this for plan
         inspection; ``query``/``prepare`` are the cached paths.
         """
-        compiled = translate(bind(parse(sql), self.catalog))
-        return build_plan(compiled, config or self.config)
+        cfg = config or self.config
+        stmt = parse(sql)
+        approx_spec = None
+        if cfg.approx == "force":
+            stmt, approx_spec = maybe_rewrite(stmt, self.catalog)
+        compiled = translate(bind(stmt, self.catalog))
+        plan = build_plan(compiled, cfg)
+        plan.approx = approx_spec
+        return plan
 
     def execute(
         self,
@@ -301,6 +385,7 @@ class LevelHeadedEngine:
         cancel_token: Optional[CancelToken] = None,
         partial: bool = False,
         query_id: Optional[str] = None,
+        approx=None,
     ) -> ResultTable:
         """Run one SQL query end to end.
 
@@ -329,8 +414,23 @@ class LevelHeadedEngine:
         ``partial=True`` returns raw partial aggregates without
         finalization (shard-worker mode) and ``query_id`` overrides the
         minted correlation id -- see :meth:`execute`.
+
+        ``approx`` opts the query into sample-based approximation
+        (``repro.approx``): ``"force"``/``True`` runs on materialized
+        samples whenever one covers a touched table (error bars on
+        ``result.approx``), ``"allow"`` runs exact but degrades to
+        approximate instead of failing when the governor rejects the
+        query at admission, ``"never"``/``False`` pins exact execution.
+        Default (None): the config's ``approx`` policy.  The SQL prefix
+        ``APPROXIMATE SELECT ...`` is equivalent to ``approx="force"``.
         """
         cfg = config or self.config
+        if _APPROX_PREFIX.match(sql or ""):
+            policy = "force"
+        else:
+            policy = normalize_policy(approx, default=cfg.approx)
+        if cfg.approx != policy:
+            cfg = dataclasses.replace(cfg, approx=policy)
         if params is not None:
             return self.prepare(sql, config=cfg).execute(
                 params,
@@ -358,11 +458,30 @@ class LevelHeadedEngine:
             query_id, sql, session=current_admission_session()
         )
         slot: Optional[AdmissionSlot] = None
+        degraded = False
+        admission_error: Optional[RetryableAdmissionError] = None
         try:
             with cancel_scope(token), tracer.span("query") as qspan:
                 qspan.set(query_id=query_id)
                 with tracer.span("admission.wait") as aspan:
-                    slot = self._admit(cached=cached, token=token, entry=entry)
+                    try:
+                        slot = self._admit(
+                            cached=cached, token=token, entry=entry,
+                            count_rejected=policy != "allow",
+                        )
+                    except RetryableAdmissionError as exc:
+                        # the shedding rung before queue_full rejection:
+                        # an opted-in query with sample coverage runs
+                        # approximately instead of failing retryable
+                        if policy != "allow" or not self._approx_covers(sql):
+                            if policy == "allow":
+                                self._count_rejection(exc)
+                            raise
+                        degraded = True
+                        admission_error = exc
+                        cfg = dataclasses.replace(cfg, approx="force")
+                        self.metrics.inc("degraded_to_approx")
+                        aspan.set(degraded_to_approx=True, cause=exc.cause)
                     if slot is not None:
                         aspan.set(
                             queued=slot.queued,
@@ -372,6 +491,11 @@ class LevelHeadedEngine:
                 t0 = time.perf_counter()
                 with tracer.span("compile"):
                     plan, outcome, key = self._cached_plan(sql, cfg, tracer)
+                if degraded and plan.approx is None:
+                    # coverage disappeared between the pre-check and the
+                    # compile (a concurrent drop): the rejection stands
+                    self._count_rejection(admission_error)
+                    raise admission_error
                 compile_seconds = (
                     time.perf_counter() - t0
                     if outcome in (MISS, INVALIDATED, REOPTIMIZED)
@@ -392,6 +516,7 @@ class LevelHeadedEngine:
                     query_id=query_id,
                     inflight=entry,
                     partial=partial,
+                    degraded=degraded,
                 )
         except BaseException as exc:
             self._note_query_failure(exc, entry)
@@ -465,6 +590,8 @@ class LevelHeadedEngine:
         (a plain dict, ready for ``json.dumps``).
         """
         cfg = config or self.config
+        if _APPROX_PREFIX.match(sql or "") and cfg.approx != "force":
+            cfg = dataclasses.replace(cfg, approx="force")
         if params is not None:
             return self.prepare(sql, config=cfg).explain(
                 params, analyze=analyze, format=format
@@ -485,23 +612,45 @@ class LevelHeadedEngine:
             return None
         return CancelToken(timeout_ms=effective)
 
+    def _count_rejection(self, exc: RetryableAdmissionError) -> None:
+        # one rejection, one total increment; the cause label splits
+        # the total without double-counting any query
+        self.metrics.inc("admission_rejected")
+        if exc.cause:
+            self.metrics.inc(f"admission_rejected_{exc.cause}")
+
+    def _approx_covers(self, sql: Optional[str]) -> bool:
+        """Whether ``sql`` could run approximately (degrade pre-check)."""
+        if not sql:
+            return False
+        try:
+            stmt = parse(sql)
+        except Exception:
+            return False
+        if stmt.parameters:
+            return False
+        return has_usable_sample(stmt, self.catalog)
+
     def _admit(
         self,
         cached: bool,
         token: Optional[CancelToken],
         entry: Optional[InflightQuery] = None,
+        count_rejected: bool = True,
     ) -> Optional[AdmissionSlot]:
-        """Acquire an admission slot (None when no governor is attached)."""
+        """Acquire an admission slot (None when no governor is attached).
+
+        ``count_rejected=False`` leaves the rejection metrics to the
+        caller -- the degrade-to-approximate path only counts a
+        rejection when it actually rejects.
+        """
         if self.governor is None:
             return None
         try:
             slot = self.governor.admit(cached=cached, token=token)
         except RetryableAdmissionError as exc:
-            # one rejection, one total increment; the cause label splits
-            # the total without double-counting any query
-            self.metrics.inc("admission_rejected")
-            if exc.cause:
-                self.metrics.inc(f"admission_rejected_{exc.cause}")
+            if count_rejected:
+                self._count_rejection(exc)
             raise
         self.metrics.inc("admission_admitted")
         if entry is not None:
@@ -577,12 +726,37 @@ class LevelHeadedEngine:
         drifted: bool = False,
         bytes_out: int = 0,
         error: Optional[str] = None,
+        annotations: Optional[Dict[str, object]] = None,
     ) -> None:
-        """Write one flight-recorder entry for a finished query (once)."""
+        """Write one flight-recorder entry for a finished query (once).
+
+        Every record carries an ``annotations`` block with the
+        ``strategy`` and ``feedback`` sub-blocks *uniformly present*
+        (empty on admission rejections and compile failures, where no
+        plan exists) -- ``/debug/flight`` consumers never need
+        per-outcome key guards.  The approximate-execution annotation
+        (``approx``) joins the block only when the query ran on samples.
+        """
         if entry is None or entry.recorded:
             return
         entry.recorded = True
         nodes = plan.node_summaries() if plan is not None else []
+        block: Dict[str, object] = dict(annotations or {})
+        block["strategy"] = [
+            {
+                "node": summary.get("node_key"),
+                "choice": (summary.get("strategy") or {}).get("choice"),
+            }
+            for summary in nodes
+        ]
+        block["feedback"] = {
+            "q_error_max": (
+                float(stats.q_error_max)
+                if stats is not None and stats.q_error_max
+                else None
+            ),
+            "drifted": bool(drifted),
+        }
         record: Dict[str, object] = {
             "query_id": entry.query_id,
             "ts": round(time.time(), 6),
@@ -617,6 +791,7 @@ class LevelHeadedEngine:
                 else None
             ),
             "drifted": bool(drifted),
+            "annotations": block,
         }
         if error is not None:
             record["error"] = error
@@ -686,7 +861,12 @@ class LevelHeadedEngine:
     # -- internal query machinery ---------------------------------------------
 
     def _plan_key(self, sql: str, cfg: EngineConfig) -> Tuple:
-        return (normalize_sql(sql), (), cfg.fingerprint())
+        key = (normalize_sql(sql), (), cfg.fingerprint())
+        if cfg.approx == "force":
+            # sample creation/drop must be picked up by the next
+            # approximate query without flushing any cached exact plan
+            key = key + (self.catalog.samples_epoch,)
+        return key
 
     def _cached_plan(
         self, sql: str, cfg: EngineConfig, tracer=NULL_TRACER
@@ -716,12 +896,17 @@ class LevelHeadedEngine:
                     "statement has parameter placeholders; pass params= or "
                     "use engine.prepare(sql)"
                 )
+            approx_spec = None
+            if cfg.approx == "force":
+                with tracer.span("approx.rewrite"):
+                    stmt, approx_spec = maybe_rewrite(stmt, self.catalog)
             with tracer.span("bind"):
                 bound = bind(stmt, self.catalog)
             with tracer.span("translate"):
                 compiled = translate(bound)
             with tracer.span("physical_plan"):
                 plan = build_plan(compiled, cfg, tracer=tracer, feedback=corrections)
+            plan.approx = approx_spec
             self.plan_cache.store(key, plan)
             if outcome == REOPTIMIZED:
                 self.metrics.inc("plan_reoptimizations")
@@ -761,6 +946,7 @@ class LevelHeadedEngine:
         query_id: str = "",
         inflight: Optional[InflightQuery] = None,
         partial: bool = False,
+        degraded: bool = False,
     ) -> ResultTable:
         tracer = tracer or NULL_TRACER
         stats: Optional[ExecutionStats] = None
@@ -839,6 +1025,13 @@ class LevelHeadedEngine:
                 result = self._decode_partial(plan.compiled, plan, raw)
             else:
                 result = self._decode(plan.compiled, plan, raw)
+        approx_meta = None
+        if not partial and plan.approx is not None:
+            with tracer.span("approx.estimate"):
+                approx_meta = apply_estimation(
+                    result, plan.approx, mode="degraded" if degraded else "forced"
+                )
+            self.metrics.inc("approx_queries")
         execute_seconds = time.perf_counter() - t0
         _, drifted = self._record_feedback(plan, stats, cache_key)
         if collect_stats:
@@ -851,6 +1044,17 @@ class LevelHeadedEngine:
             result.profile = profiler
         result.query_id = query_id or None
         bytes_out = result.nbytes
+        annotations: Dict[str, object] = {}
+        if approx_meta is not None:
+            annotations["approx"] = {
+                "mode": approx_meta["mode"],
+                "fraction": approx_meta["fraction"],
+                "samples": [use["sample"] for use in approx_meta["samples"]],
+                "errors": {
+                    name: info["error"]
+                    for name, info in approx_meta["columns"].items()
+                },
+            }
         self.metrics.record_query(
             execute_seconds,
             compile_seconds=compile_seconds,
@@ -875,6 +1079,7 @@ class LevelHeadedEngine:
                 plan_text=plan.explain() if slow else None,
                 trace_root=tracer.root if slow else None,
                 query_id=query_id or None,
+                annotations=annotations,
             )
         self._finish_flight(
             inflight,
@@ -887,6 +1092,7 @@ class LevelHeadedEngine:
             stats=stats,
             drifted=drifted,
             bytes_out=bytes_out,
+            annotations=annotations,
         )
         return result
 
@@ -1025,8 +1231,12 @@ class LevelHeadedEngine:
                         summary["actual_rows"] = int(nf.actual_rows)
                         summary["q_error"] = float(nf.q_error)
             return {
+                "schema_version": EXPLAIN_SCHEMA_VERSION,
                 "mode": plan.mode,
                 "plan": plan.explain(),
+                "approx": (
+                    plan.approx.as_dict() if plan.approx is not None else None
+                ),
                 "plan_nodes": plan_nodes,
                 "plan_cache": {"outcome": outcome, **cache.as_dict()},
                 "domain_versions": dict(plan.domain_versions),

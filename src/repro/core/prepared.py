@@ -61,6 +61,10 @@ class PreparedStatement:
         self.recompiles = 0
         self._seen_keys = set()
         self._last_plan: Optional[PhysicalPlan] = None
+        #: per-policy sibling statements minted by ``execute(approx=...)``
+        #: overrides, so one prepared handle serves both exact and
+        #: approximate runs without recompiling per call.
+        self._approx_variants: dict = {}
         if not self.param_slots:
             # No placeholders: capture the compiled plan (and the domain
             # versions it was built against) right now.
@@ -69,11 +73,16 @@ class PreparedStatement:
     # -- compilation ---------------------------------------------------------
 
     def _cache_key(self, literals) -> Tuple:
-        return (
+        key = (
             self.normalized_sql,
             param_cache_token(literals),
             self.config.fingerprint(),
         )
+        if self.config.approx == "force":
+            # match the engine's keying: sample creation/drop re-keys
+            # approximate plans without flushing exact ones
+            key = key + (self._engine.catalog.samples_epoch,)
+        return key
 
     def _plan_for(
         self, literals, tracer=NULL_TRACER
@@ -93,6 +102,12 @@ class PreparedStatement:
                     if self._stmt.parameters
                     else self._stmt
                 )
+            approx_spec = None
+            if self.config.approx == "force":
+                from ..approx import maybe_rewrite
+
+                with tracer.span("approx.rewrite"):
+                    stmt, approx_spec = maybe_rewrite(stmt, engine.catalog)
             with tracer.span("bind"):
                 bound = bind(stmt, engine.catalog)
             with tracer.span("translate"):
@@ -101,6 +116,7 @@ class PreparedStatement:
                 plan = build_plan(
                     compiled, self.config, tracer=tracer, feedback=corrections
                 )
+            plan.approx = approx_spec
             engine.plan_cache.store(key, plan)
             if outcome == REOPTIMIZED:
                 engine.metrics.inc("plan_reoptimizations")
@@ -122,6 +138,7 @@ class PreparedStatement:
         cancel_token: Optional[CancelToken] = None,
         partial: bool = False,
         query_id: Optional[str] = None,
+        approx=None,
     ):
         """Run the statement with ``params`` bound to its placeholders.
 
@@ -137,7 +154,37 @@ class PreparedStatement:
         ``cancel_token`` govern the run exactly like
         :meth:`LevelHeadedEngine.query`, including admission when the
         engine has a governor.
+
+        ``approx`` overrides this statement's configured policy for one
+        call: ``"force"``/``True`` runs on samples, ``"never"``/``False``
+        pins exact.  (The governor's degrade-to-approximate rung applies
+        to ad-hoc ``engine.query`` calls, not prepared executions.)
         """
+        if approx is not None:
+            from ..approx import normalize_policy
+
+            policy = normalize_policy(approx, default=self.config.approx)
+            if policy != self.config.approx:
+                variant = self._approx_variants.get(policy)
+                if variant is None:
+                    import dataclasses
+
+                    variant = PreparedStatement(
+                        self._engine,
+                        self.sql,
+                        config=dataclasses.replace(self.config, approx=policy),
+                    )
+                    self._approx_variants[policy] = variant
+                return variant.execute(
+                    params,
+                    collect_stats=collect_stats,
+                    trace=trace,
+                    profile=profile,
+                    timeout_ms=timeout_ms,
+                    cancel_token=cancel_token,
+                    partial=partial,
+                    query_id=query_id,
+                )
         literals = bind_param_values(params, self.param_slots)
         engine = self._engine
         token = engine._make_token(timeout_ms, cancel_token)

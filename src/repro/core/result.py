@@ -39,6 +39,11 @@ class ResultTable:
         #: :class:`~repro.obs.KernelProfiler` with per-trie-level kernel
         #: attribution for this query's execution.
         self.profile = None
+        #: populated when the query ran approximately (``repro.approx``):
+        #: a dict with the sampling fraction, samples used, mode
+        #: (forced / degraded), and per-column +/- error at 95%
+        #: confidence.  None for exact results.
+        self.approx = None
 
     @property
     def nbytes(self) -> int:

@@ -10,7 +10,7 @@ from .matrices import (
     kkt_like,
     sparse_profile,
 )
-from .skewed import SKEWED_QUERIES, generate_skewed
+from .skewed import SKEWED_QUERIES, generate_events, generate_skewed
 from .tpch import TPCH_QUERIES, generate_tpch, table_sizes
 from .voters import (
     CATEGORICAL_FEATURES,
@@ -26,6 +26,7 @@ __all__ = [
     "voters",
     "skewed",
     "generate_skewed",
+    "generate_events",
     "SKEWED_QUERIES",
     "generate_tpch",
     "table_sizes",

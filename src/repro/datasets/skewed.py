@@ -74,6 +74,22 @@ REGION_SCHEMA = Schema(
     ],
 )
 
+#: heavy-hitter single-table workload for the approximate-query tier:
+#: one *whale* segment holds almost every event, the tail segments a
+#: handful each.  A uniform sample keeps the whale's aggregates tight
+#: but routinely drops whole tail segments; a sample stratified on
+#: ``e_segment`` keeps every group (see ``examples/approx_stratified``).
+#: Fresh ``eventkey`` domain -- the table joins nothing above, so the
+#: feedback-tuning triangle workload is untouched.
+EVENTS_SCHEMA = Schema(
+    "events",
+    [
+        key("e_eventkey", domain="eventkey"),
+        annotation("e_segment", AttrType.LONG),
+        annotation("e_amount", AttrType.DOUBLE),
+    ],
+)
+
 #: the drifting query: per-user triangle counts restricted to suppliers
 #: in hot regions.  The ``r_hot = 1`` filter passes ``n_hot`` region
 #: rows, so the supp/region child's post-filter minimum is tiny -- but
@@ -90,6 +106,11 @@ SKEWED_QUERIES = {
           AND s_regionkey = r_regionkey
           AND r_hot = 1
         GROUP BY f_userkey
+    """,
+    "segment_totals": """
+        SELECT e_segment, SUM(e_amount) AS total, COUNT(*) AS events
+        FROM events
+        GROUP BY e_segment
     """,
 }
 
@@ -167,6 +188,51 @@ def generate_skewed(
             DEAL_SCHEMA,
             d_suppkey=rng.integers(0, n_suppliers, n_deal),
             d_userkey=rng.integers(0, n_users, n_deal),
+        )
+    )
+    return catalog
+
+
+def generate_events(
+    n_events: int = 5000,
+    n_segments: int = 8,
+    whale_share: float = 0.9,
+    seed: int = 11,
+    catalog: Catalog | None = None,
+) -> Catalog:
+    """Generate the heavy-hitter ``events`` table into a catalog.
+
+    Segment 0 (the *whale*) receives ``whale_share`` of all events;
+    the other ``n_segments - 1`` tail segments split the rest evenly,
+    so at the defaults each tail segment holds ~60 of 5000 rows.  A
+    ``fraction=0.01`` uniform sample then expects well under one row
+    per tail segment -- the demonstration that uniform sampling loses
+    whole groups while ``strata=["e_segment"]`` keeps them all.  Amounts
+    differ by segment (whale events are small, tail events large) so a
+    dropped tail group visibly skews ``SUM(e_amount)``.
+    """
+    if not 0 < whale_share < 1:
+        raise ValueError("whale_share must be in (0, 1)")
+    if n_segments < 2:
+        raise ValueError("n_segments must be >= 2 (a whale plus a tail)")
+    catalog = catalog if catalog is not None else Catalog()
+    rng = np.random.default_rng(seed)
+    tail = rng.integers(1, n_segments, n_events)
+    whale = rng.random(n_events) < whale_share
+    segment = np.where(whale, 0, tail).astype(np.int64)
+    # whale events cluster near 1.0, tail events near 100.0: losing a
+    # tail segment is obvious in SUM(e_amount), not buried in noise
+    amount = np.where(
+        segment == 0,
+        rng.random(n_events) + 0.5,
+        rng.random(n_events) * 20.0 + 90.0,
+    )
+    catalog.register(
+        Table.from_columns(
+            EVENTS_SCHEMA,
+            e_eventkey=np.arange(n_events),
+            e_segment=segment,
+            e_amount=amount,
         )
     )
     return catalog

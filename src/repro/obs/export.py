@@ -178,6 +178,7 @@ class QueryLog:
         trace_root: Optional[Span] = None,
         outcome: str = "ok",
         query_id: Optional[str] = None,
+        annotations: Optional[Dict[str, object]] = None,
     ) -> None:
         """Append one query event; thread-safe, one line per call.
 
@@ -187,6 +188,11 @@ class QueryLog:
         span tree (a query the governor killed is precisely the one to
         diagnose afterwards).  Extra fields are only emitted for killed
         queries so the ordinary event schema stays unchanged.
+
+        ``annotations`` is emitted on *every* event -- an empty dict
+        when the caller has none (killed and rejected queries included),
+        so consumers never guard on the key's presence.  The engine puts
+        the approximate-execution block (``approx``) here.
         """
         killed = outcome != "ok"
         slow = (
@@ -207,6 +213,7 @@ class QueryLog:
             "execute_ms": round(execute_seconds * 1000, 4),
             "rows": int(rows),
             "slow": slow,
+            "annotations": dict(annotations or {}),
         }
         if killed:
             event["outcome"] = outcome

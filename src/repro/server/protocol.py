@@ -13,10 +13,10 @@ Request types (client -> server)::
 
     hello      {version, client?}               -- must be first
     query      {qid, sql, params?, timeout_ms?, explain?, trace?,
-                collect_stats?, partial?, query_id?}
+                collect_stats?, partial?, query_id?, approx?}
     prepare    {sql}
     execute    {qid, stmt, params?, timeout_ms?, trace?,
-                collect_stats?, partial?, query_id?}
+                collect_stats?, partial?, query_id?, approx?}
     cancel     {qid, reason?}
     close_stmt {stmt}
     close      {}
@@ -29,7 +29,7 @@ Response types (server -> client)::
     hello         {version, server, session, batch_rows, join_strategy}
     result_header {qid, names, dtypes}
     batch         {qid, rows}                   -- row-major, <= batch_rows
-    done          {qid, rows, elapsed_ms, query_id?, stats?, trace?}
+    done          {qid, rows, elapsed_ms, query_id?, approx?, stats?, trace?}
     explain       {qid, text}
     prepared      {stmt, params}
     closed        {stmt}
@@ -68,6 +68,15 @@ as a chunk sequence (bounded by the frame limit like everything else);
 (:func:`repro.storage.persist.attribute_to_dict`) and ``dtypes`` maps
 column names to ``np.dtype.str`` tags so the receiver rebuilds
 byte-identical columns.
+
+``approx`` on a query/execute request selects the approximate-query
+policy for that statement (``"never"`` / ``"allow"`` / ``"force"``, or
+booleans -- see :mod:`repro.approx`); when the server ran the query on
+samples the ``done`` frame carries the ``approx`` metadata block
+(fraction, samples, mode, per-column error bars at 95% confidence) and
+the reference client re-attaches it as ``result.approx``.  Both sides
+stay backward-compatible: old clients never send ``approx``, old
+servers ignore it.
 """
 
 from __future__ import annotations

@@ -267,6 +267,7 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
             partial = bool(frame.get("partial"))
             collect_stats = bool(frame.get("collect_stats"))
             query_id = frame.get("query_id") or None
+            approx = frame.get("approx")
             with admission_scope(session.id):
                 if frame.get("explain"):
                     text = engine.explain(frame.get("sql", ""), params=params)
@@ -277,14 +278,14 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                     result = statement.execute(
                         params, cancel_token=token, trace=trace_ctx is not None,
                         collect_stats=collect_stats, partial=partial,
-                        query_id=query_id,
+                        query_id=query_id, approx=approx,
                     )
                 else:
                     result = engine.query(
                         frame.get("sql", ""), params=params, cancel_token=token,
                         trace=trace_ctx is not None,
                         collect_stats=collect_stats, partial=partial,
-                        query_id=query_id,
+                        query_id=query_id, approx=approx,
                     )
             self._stream_result(server, qid, result, t0, trace_ctx)
         except ReproError as exc:
@@ -324,6 +325,10 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
         }
         if getattr(result, "query_id", None):
             done["query_id"] = result.query_id
+        if getattr(result, "approx", None) is not None:
+            # error bars round-trip: the client re-attaches this block
+            # as result.approx
+            done["approx"] = result.approx
         if getattr(result, "stats", None) is not None:
             done["stats"] = result.stats.as_dict()
         if trace_ctx is not None and result.trace is not None:

@@ -93,6 +93,7 @@ class ShardStatement:
         cancel_token: Optional[CancelToken] = None,
         partial: bool = False,
         query_id: Optional[str] = None,
+        approx=None,
     ):
         return self._coordinator.query(
             self.sql,
@@ -103,6 +104,7 @@ class ShardStatement:
             cancel_token=cancel_token,
             partial=partial,
             query_id=query_id,
+            approx=approx,
         )
 
     __call__ = execute
@@ -267,20 +269,24 @@ class ShardCoordinator:
         cancel_token: Optional[CancelToken] = None,
         partial: bool = False,
         query_id: Optional[str] = None,
+        approx=None,
     ):
         """Run one SQL query across the shard fleet.
 
         Admission, cancellation, stats, tracing, and flight recording
         behave exactly like :meth:`LevelHeadedEngine.query`; ``config=``,
-        ``profile=``, and ``partial=`` raise
+        ``profile=``, ``partial=``, and ``approx=`` raise
         :class:`UnsupportedOnTopology` (a per-query config override
         cannot reach already-built workers, kernel profiles don't
-        aggregate across processes, and shard surfaces don't nest).
+        aggregate across processes, shard surfaces don't nest, and
+        catalog samples aren't co-partitioned across workers yet).
         ``query_id`` lets a fronting server stamp its correlation id
         through -- a coordinator can itself sit behind a
         :class:`~repro.server.ReproServer`.
         """
-        self._reject_unsupported(config=config, profile=profile, partial=partial)
+        self._reject_unsupported(
+            config=config, profile=profile, partial=partial, approx=approx
+        )
         engine = self.engine
         self._sync()
         token = engine._make_token(timeout_ms, cancel_token)
@@ -667,7 +673,7 @@ class ShardCoordinator:
         )
 
     def _reject_unsupported(
-        self, config=None, profile: bool = False, partial: bool = False
+        self, config=None, profile: bool = False, partial: bool = False, approx=None
     ) -> None:
         if config is not None:
             raise UnsupportedOnTopology(
@@ -689,6 +695,15 @@ class ShardCoordinator:
                 "partial= is not supported on the shard surface: workers "
                 "already return partials, and shard surfaces don't nest",
                 option="partial",
+                topology="shard",
+            )
+        if approx is not None:
+            raise UnsupportedOnTopology(
+                "approx= is not supported on the shard surface: catalog "
+                "samples are not co-partitioned across workers, so a "
+                "scatter over samples would double-count strata; run "
+                "approximate queries on a local or tcp surface",
+                option="approx",
                 topology="shard",
             )
 

@@ -49,6 +49,12 @@ def parse(sql: str) -> SelectStmt:
     stream = TokenStream(tokenize(sql))
     params = _ParamSlots()
     stream.params = params
+    # the optional APPROXIMATE prefix ("APPROXIMATE SELECT ...") opts the
+    # statement into sample-based execution (repro.approx); it is not a
+    # reserved keyword, so it lexes as a plain identifier
+    token = stream.peek()
+    if token.kind == "IDENT" and token.value == "approximate":
+        stream.next()
     stmt = _parse_select(stream)
     if not stream.at_end():
         token = stream.peek()

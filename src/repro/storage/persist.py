@@ -70,8 +70,16 @@ def save_catalog(catalog: Catalog, directory: str, delimiter: str = "|") -> None
             }
         )
         write_table(table, os.path.join(directory, f"{name}.tbl"), delimiter=delimiter)
+    document: Dict = {"delimiter": delimiter, "tables": manifest}
+    # materialized samples (repro.approx) persist as ordinary tables
+    # above; this section re-ties them to their bases on load
+    samples = [
+        catalog.samples[name].as_dict() for name in sorted(catalog.samples)
+    ]
+    if samples:
+        document["samples"] = samples
     with open(os.path.join(directory, SCHEMA_FILE), "w", encoding="utf-8") as handle:
-        json.dump({"delimiter": delimiter, "tables": manifest}, handle, indent=2)
+        json.dump(document, handle, indent=2)
 
 
 def load_catalog(directory: str) -> Catalog:
@@ -83,13 +91,34 @@ def load_catalog(directory: str) -> Catalog:
         manifest = json.load(handle)
     delimiter = manifest.get("delimiter", "|")
     catalog = Catalog()
+    sample_entries = manifest.get("samples", [])
+    sample_names = {entry["name"] for entry in sample_entries}
+    tables = {}
     for entry in manifest.get("tables", []):
         schema = Schema(
             entry["name"],
             [_attribute_from_dict(a) for a in entry["attributes"]],
         )
         path = os.path.join(directory, f"{entry['name']}.tbl")
-        catalog.register(load_table(path, schema, delimiter=delimiter))
+        table = load_table(path, schema, delimiter=delimiter)
+        tables[entry["name"]] = table
+        if entry["name"] not in sample_names:
+            catalog.register(table)
+    # samples register after every base exists, re-tied to their bases
+    for entry in sample_entries:
+        table = tables.get(entry["name"])
+        if table is None:
+            raise SchemaError(
+                f"sample '{entry['name']}' has no table entry in {SCHEMA_FILE}"
+            )
+        catalog.register_sample(
+            table,
+            base=entry["base"],
+            fraction=entry["fraction"],
+            kind=entry["kind"],
+            strata=tuple(entry.get("strata", ())),
+            seed=entry.get("seed", 0),
+        )
     return catalog
 
 

@@ -20,9 +20,16 @@ silently dropped.
 The DSN grammar (parsed by :func:`parse_dsn`):
 
     ``local``                      in-process engine (same as no DSN)
+    ``local://?approx=POLICY``     in-process with an approx default
     ``tcp://HOST:PORT``            remote frame-protocol server
+    ``tcp://HOST:PORT?approx=POLICY``  remote with a session approx default
     ``shard://local?workers=N``    N-worker shard coordinator
     ``shard://local?workers=N&partition=DOMAIN``  explicit partition domain
+
+``approx`` sets the surface's default approximate-query policy
+(``never`` / ``allow`` / ``force``, or the CLI spellings ``on`` /
+``off`` -- see :mod:`repro.approx`).  Shard DSNs reject it: samples
+are not co-partitioned across workers.
 """
 
 from __future__ import annotations
@@ -75,15 +82,17 @@ def parse_dsn(dsn: Optional[str]) -> Tuple[str, Dict[str, object]]:
         name: values[-1] for name, values in parse_qs(parts.query).items()
     }
     if scheme == "local":
-        _reject_unknown(params, (), dsn)
-        return "local", {}
+        _reject_unknown(params, ("approx",), dsn)
+        return "local", _approx_option(params, dsn)
     if scheme == "tcp":
         if not parts.hostname or parts.port is None:
             raise ReproError(
                 f"malformed tcp DSN {dsn!r}: expected tcp://HOST:PORT"
             )
-        _reject_unknown(params, (), dsn)
-        return "tcp", {"host": parts.hostname, "port": parts.port}
+        _reject_unknown(params, ("approx",), dsn)
+        options: Dict[str, object] = {"host": parts.hostname, "port": parts.port}
+        options.update(_approx_option(params, dsn))
+        return "tcp", options
     if scheme == "shard":
         if parts.netloc not in ("", "local"):
             raise ReproError(
@@ -110,6 +119,22 @@ def parse_dsn(dsn: Optional[str]) -> Tuple[str, Dict[str, object]]:
         f"unknown connection scheme {scheme!r} in {dsn!r} "
         f"(one of: {', '.join(SCHEMES)})"
     )
+
+
+def _approx_option(params: Dict, dsn: str) -> Dict[str, object]:
+    """Validate and normalize a DSN ``approx=`` parameter, if present."""
+    if "approx" not in params:
+        return {}
+    from .approx import APPROX_POLICIES, normalize_policy
+
+    try:
+        return {"approx": normalize_policy(params["approx"], default="never")}
+    except ReproError:
+        raise ReproError(
+            f"DSN {dsn!r}: approx must be one of "
+            f"{', '.join(APPROX_POLICIES)} (or on/off), "
+            f"got {params['approx']!r}"
+        ) from None
 
 
 def _reject_unknown(params: Dict, allowed: Tuple[str, ...], dsn: str) -> None:

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..approx.rewrite import APPROX_POLICIES
 from ..errors import PlanningError, UnsupportedQueryError
 from ..obs import NULL_TRACER
 from ..optimizer import (
@@ -81,6 +82,20 @@ def _default_join_strategy() -> str:
     return raw
 
 
+def _default_approx() -> str:
+    """Default for ``EngineConfig.approx``: the ``REPRO_APPROX`` env toggle.
+
+    CI runs the approximate-query suite with its policy defaulted from
+    the environment, mirroring ``REPRO_PARALLEL``/``REPRO_JOIN_STRATEGY``.
+    """
+    raw = os.environ.get("REPRO_APPROX", "").strip().lower()
+    if not raw:
+        return "never"
+    if raw not in APPROX_POLICIES:
+        raise ValueError(f"REPRO_APPROX={raw!r} is not one of {APPROX_POLICIES}")
+    return raw
+
+
 @dataclass
 class EngineConfig:
     """Optimizer and executor toggles (the Table III ablations)."""
@@ -113,12 +128,22 @@ class EngineConfig:
     #: intersection.  Unfiltered tries are cached/shared and always
     #: eager.
     lazy_trie_build: bool = True
+    #: approximate-query policy (``repro.approx``): ``"never"`` always
+    #: runs exact, ``"force"`` runs on samples whenever one covers a
+    #: touched table, ``"allow"`` runs exact but lets the governor
+    #: degrade an admission-rejected query to approximate instead of
+    #: failing it.  Defaults from ``REPRO_APPROX``.
+    approx: str = field(default_factory=_default_approx)
 
     def __post_init__(self):
         if self.join_strategy not in JOIN_STRATEGIES:
             raise ValueError(
                 f"join_strategy={self.join_strategy!r} is not one of "
                 f"{JOIN_STRATEGIES}"
+            )
+        if self.approx not in APPROX_POLICIES:
+            raise ValueError(
+                f"approx={self.approx!r} is not one of {APPROX_POLICIES}"
             )
 
     def fingerprint(self) -> Tuple:
@@ -258,6 +283,9 @@ class PhysicalPlan:
     config: EngineConfig = field(default_factory=EngineConfig)
     #: key-domain versions captured at build time: domain name -> version.
     domain_versions: Dict[str, int] = field(default_factory=dict)
+    #: :class:`~repro.approx.rewrite.ApproxSpec` when this plan was
+    #: compiled over samples (``repro.approx``); None for exact plans.
+    approx: Optional[object] = None
 
     def is_current(self, catalog) -> bool:
         """Whether the catalog's key domains still match this plan."""
@@ -268,6 +296,14 @@ class PhysicalPlan:
 
     def explain(self) -> str:
         lines = [f"mode: {self.mode}"]
+        if self.approx is not None:
+            samples = ", ".join(
+                f"{use.base}->{use.sample}" for use in self.approx.samples
+            )
+            lines.append(
+                f"approx: fraction={self.approx.fraction:g} "
+                f"confidence={self.approx.confidence:g} samples=[{samples}]"
+            )
         if self.ghd is not None:
             lines.append("GHD:")
             lines.append(self.ghd.describe())

@@ -92,7 +92,7 @@ def test_prometheus_bucketed_histograms_emit_cumulative_bucket_series():
 # ---------------------------------------------------------------------------
 
 EXPECTED_FIELDS = ["ts", "event", "query_id", "sql", "mode", "cache_outcome",
-                   "compile_ms", "execute_ms", "rows", "slow"]
+                   "compile_ms", "execute_ms", "rows", "slow", "annotations"]
 
 
 def test_query_log_event_schema_and_field_order():
@@ -111,6 +111,8 @@ def test_query_log_event_schema_and_field_order():
     assert event["execute_ms"] == pytest.approx(1.0)
     assert event["rows"] == 1
     assert event["slow"] is False
+    # annotations is present on every event, an empty dict when unused.
+    assert event["annotations"] == {}
     assert log.events_written == 1 and log.slow_events_written == 0
 
 
